@@ -1,0 +1,40 @@
+"""Cost-of-accuracy benchmark (the paper's Section 6 trade-off).
+
+Times the full accuracy study and prints its table: per model, the
+wall-clock needed to land within 1 summed percentage point of the exact
+solution, at both ends of the Power Up Delay range.
+"""
+
+from repro.experiments.accuracy import (
+    render_cost_of_accuracy,
+    run_cost_of_accuracy,
+)
+
+TARGET_PP = 1.0
+
+
+def test_cost_of_accuracy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_cost_of_accuracy(
+            delays=(0.001, 10.0), target_pct=TARGET_PP, seed=20080901
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_cost_of_accuracy(rows, TARGET_PP))
+
+    by_key = {(r.model, r.power_up_delay): r for r in rows}
+    # the paper's Section 6, as assertions:
+    # 1. where valid, the analytical Markov model is orders of magnitude
+    #    cheaper than simulating the Petri net
+    markov_small = by_key[("markov (eqs. 17-19)", 0.001)]
+    petri_small = by_key[("petri net", 0.001)]
+    assert markov_small.reached_target
+    assert markov_small.wall_clock_s * 100.0 < petri_small.wall_clock_s
+    # 2. at D = 10 the Markov model cannot reach the target at any cost
+    assert not by_key[("markov (eqs. 17-19)", 10.0)].reached_target
+    # 3. the stochastic models and the phase-type chain still can
+    assert by_key[("petri net", 10.0)].reached_target
+    assert by_key[("event simulation", 10.0)].reached_target
+    assert by_key[("phase-type (Erlang-32)", 10.0)].reached_target

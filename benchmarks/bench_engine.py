@@ -1,0 +1,99 @@
+"""Engine microbenchmarks: the cost drivers behind the paper experiments.
+
+These time the building blocks (DES event loop, Petri token game, CTMC
+solve, closed-form evaluation, vectorised job scan) so regressions in the
+substrates are visible independently of the experiment harness.
+"""
+
+import numpy as np
+
+from repro.core.markov_supplementary import MarkovSupplementaryModel
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.core.phase_type import PhaseTypeModel
+from repro.core.simulation_cpu import CPUEventSimulator, simulate_job_scan
+from repro.des.engine import Simulator
+from repro.markov.ctmc import CTMC
+from repro.petri.simulator import PetriNetSimulator
+
+
+def test_des_engine_event_throughput(benchmark):
+    """Raw event loop: schedule-and-run chains of 20k events."""
+
+    def run_chain():
+        sim = Simulator()
+        remaining = [20_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run_chain)
+    assert events == 20_001
+
+
+def test_petri_token_game_throughput(benchmark):
+    """The Figure 3 net for 500 simulated seconds (~3.5k firings)."""
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+    net = build_cpu_net(params)
+
+    def run():
+        return PetriNetSimulator(net, seed=1).run(horizon=500.0)
+
+    result = benchmark(run)
+    assert result.firing_counts["AR"] > 300
+
+
+def test_cpu_event_simulator_throughput(benchmark):
+    """The benchmark simulator for 2000 simulated seconds."""
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+
+    def run():
+        return CPUEventSimulator(params, seed=2).run(horizon=2_000.0)
+
+    result = benchmark(run)
+    assert result.jobs_served > 1_500
+
+
+def test_job_scan_throughput(benchmark):
+    """The vectorised-input job scan: 50k jobs per call."""
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+    rng = np.random.default_rng(3)
+
+    result = benchmark(lambda: simulate_job_scan(params, 50_000, rng))
+    assert result.jobs_served == 50_000
+
+
+def test_markov_closed_form_evaluation(benchmark):
+    """One full closed-form solve (the paper's eqs. 11-24)."""
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+
+    st = benchmark(lambda: MarkovSupplementaryModel(params).solve())
+    assert 0.0 < st.p_standby < 1.0
+
+
+def test_phase_type_solve(benchmark):
+    """Erlang-16 sparse CTMC assembly + solve at D = 0.3."""
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+
+    sol = benchmark(lambda: PhaseTypeModel(params, stages=16).solve())
+    assert sol.truncation_mass < 1e-6
+
+
+def test_ctmc_steady_state_solve(benchmark):
+    """Dense 200-state birth-death steady state."""
+    n = 200
+    Q = np.zeros((n, n))
+    for i in range(n - 1):
+        Q[i, i + 1] = 1.0
+        Q[i + 1, i] = 2.0
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    chain = CTMC(Q)
+
+    pi = benchmark(chain.steady_state)
+    assert abs(pi.sum() - 1.0) < 1e-9

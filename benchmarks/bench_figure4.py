@@ -1,0 +1,58 @@
+"""Figure 4 benchmark: steady-state percentages vs Power Down Threshold.
+
+Regenerates the Figure 4 series (simulation / Markov / Petri net at
+D = 0.001 s) and prints them in the paper's layout; pytest-benchmark times
+the regeneration.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_THRESHOLDS, bench_sweep_config
+from repro.core.comparison import run_threshold_sweep
+from repro.core.params import STATE_NAMES, CPUModelParams
+from repro.experiments.reporting import format_table
+
+MODELS = ("simulation", "markov", "petri")
+
+
+def _regenerate():
+    params = CPUModelParams.paper_defaults(D=0.001)
+    return run_threshold_sweep(
+        params, BENCH_THRESHOLDS, MODELS, bench_sweep_config()
+    )
+
+
+def test_figure4_regeneration(benchmark):
+    sweep = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for i, t in enumerate(sweep.thresholds):
+        for model in MODELS:
+            pct = sweep.fractions[model][i].as_percent_dict()
+            rows.append([t, model] + [pct[s] for s in STATE_NAMES])
+    print()
+    print(format_table(
+        ["T (s)", "model", "idle %", "standby %", "powerup %", "active %"],
+        rows,
+        title=(
+            "Figure 4 — steady-state percentage of time vs Power Down "
+            "Threshold (D = 0.001 s)"
+        ),
+    ))
+
+    # paper shape assertions: standby falls, idle rises, active ~ 10 %,
+    # and all three models agree at this tiny D
+    for model in MODELS:
+        standby = sweep.series_percent(model, "standby")
+        idle = sweep.series_percent(model, "idle")
+        active = sweep.series_percent(model, "active")
+        assert standby[0] > standby[-1]
+        assert idle[0] < idle[-1]
+        assert np.all(np.abs(active - 10.0) < 3.0)
+    markov = np.concatenate(
+        [sweep.series_percent("markov", s) for s in STATE_NAMES]
+    )
+    petri = np.concatenate(
+        [sweep.series_percent("petri", s) for s in STATE_NAMES]
+    )
+    assert np.max(np.abs(markov - petri)) < 5.0

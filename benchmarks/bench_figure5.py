@@ -1,0 +1,52 @@
+"""Figure 5 benchmark: energy vs Power Down Threshold (eq. 25, 1000 s)."""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_THRESHOLDS, bench_sweep_config
+from repro.core.comparison import run_threshold_sweep
+from repro.core.params import PAPER_TOTAL_SIMULATED_TIME, CPUModelParams
+from repro.experiments.reporting import ascii_plot, format_table
+
+MODELS = ("simulation", "markov", "petri")
+
+
+def _regenerate():
+    params = CPUModelParams.paper_defaults(D=0.001)
+    return run_threshold_sweep(
+        params, BENCH_THRESHOLDS, MODELS, bench_sweep_config()
+    )
+
+
+def test_figure5_regeneration(benchmark):
+    sweep = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    series = {
+        m: sweep.energies_joules(m, PAPER_TOTAL_SIMULATED_TIME)
+        for m in MODELS
+    }
+    print()
+    print(ascii_plot(
+        np.asarray(sweep.thresholds),
+        series,
+        title=(
+            "Figure 5 — energy (J over 1000 s) vs Power Down Threshold "
+            "(D = 0.001 s)"
+        ),
+        x_label="Power Down Threshold (s)",
+        width=56,
+        height=12,
+    ))
+    rows = [
+        [t] + [float(series[m][i]) for m in MODELS]
+        for i, t in enumerate(sweep.thresholds)
+    ]
+    print(format_table(["T (s)"] + [f"{m} (J)" for m in MODELS], rows))
+
+    # paper shape: monotone increasing energy; models within a few J
+    for m in MODELS:
+        assert np.all(np.diff(series[m]) > -0.5)  # stochastic jitter allowed
+    assert np.all(np.diff(series["markov"]) > 0)
+    spread = np.max(
+        np.abs(series["simulation"] - series["markov"])
+    )
+    assert spread < 5.0

@@ -1,0 +1,53 @@
+"""Table 5 benchmark: avg Δ energy consumption (J) vs Power Up Delay."""
+
+from benchmarks.conftest import BENCH_DELAYS, BENCH_THRESHOLDS, bench_sweep_config
+from repro.core.comparison import delta_energy, run_threshold_sweep
+from repro.core.params import PAPER_TOTAL_SIMULATED_TIME, CPUModelParams
+from repro.experiments.reporting import format_table
+
+MODELS = ("simulation", "markov", "petri")
+PAIRS = (("simulation", "markov"), ("simulation", "petri"), ("markov", "petri"))
+PAPER_VALUES = {
+    0.001: (0.154, 0.166, 0.037),
+    0.3: (1.558, 0.298, 1.401),
+    10.0: (24.866, 1.285, 25.411),
+}
+
+
+def _regenerate():
+    cfg = bench_sweep_config(seed=42)
+    return {
+        d: run_threshold_sweep(
+            CPUModelParams.paper_defaults(D=d), BENCH_THRESHOLDS, MODELS, cfg
+        )
+        for d in BENCH_DELAYS
+    }
+
+
+def test_table5_regeneration(benchmark):
+    sweeps = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for d in BENCH_DELAYS:
+        ours = [
+            delta_energy(sweeps[d], a, b, PAPER_TOTAL_SIMULATED_TIME)
+            for a, b in PAIRS
+        ]
+        rows.append([d] + ours + list(PAPER_VALUES[d]))
+    print()
+    print(format_table(
+        [
+            "Power Up Delay (s)",
+            "Sim-Markov", "Sim-PN", "Markov-PN",
+            "paper S-M", "paper S-PN", "paper M-PN",
+        ],
+        rows,
+        title="Table 5 — avg Δ energy (J over 1000 s), ours vs paper",
+    ))
+
+    sm = {d: delta_energy(sweeps[d], "simulation", "markov") for d in BENCH_DELAYS}
+    sp = {d: delta_energy(sweeps[d], "simulation", "petri") for d in BENCH_DELAYS}
+    # paper shape: Markov's energy error grows with D, the PN's does not
+    assert sm[10.0] > 10.0
+    assert sm[10.0] > 5.0 * sm[0.001]
+    assert sp[10.0] < 5.0

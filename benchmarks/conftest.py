@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper artifact gets one benchmark module; running::
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates each table/figure (printing the same rows/series the paper
+reports) while pytest-benchmark records the regeneration cost.  The
+benchmark configs are deliberately small — the point is the *shape* of the
+reproduced numbers and a stable timing baseline, not publication-grade
+precision; use ``python -m repro run <id> --full`` for that.
+"""
+
+import pytest
+
+from repro.core.comparison import SweepConfig
+
+#: Threshold grid used by the benchmark-sized sweeps (the paper uses a
+#: 0.1-step grid; benchmarks use 0.25 to stay fast).
+BENCH_THRESHOLDS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: The paper's Table 4/5 Power Up Delay grid.
+BENCH_DELAYS = (0.001, 0.3, 10.0)
+
+
+def bench_sweep_config(seed: int = 20080901) -> SweepConfig:
+    """Small-but-honest stochastic model configuration."""
+    return SweepConfig(
+        sim_horizon=1_500.0,
+        sim_warmup=100.0,
+        sim_replications=2,
+        petri_horizon=1_500.0,
+        petri_warmup=100.0,
+        petri_replications=1,
+        phase_stages=16,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_config() -> SweepConfig:
+    return bench_sweep_config()

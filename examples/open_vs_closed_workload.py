@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Open vs closed workload generators (the paper's Section 4.1 dichotomy).
+
+The paper implements only the open generator; this example builds both and
+shows where they diverge.  The same CPU (paper parameters) is driven by:
+
+- an **open Poisson** workload at rate λ (interrupt-driven sensing),
+- a **bursty open MMPP** workload with the same long-run rate
+  (quiet monitoring punctuated by event storms),
+- a **closed** workload whose population/think time produce a comparable
+  throughput (fixed-interval duty-cycling per §4.1).
+
+The punchline: with equal average rates, burstiness shifts time from
+standby+powerup into queueing, and the closed loop self-throttles (a busy
+CPU delays the next submission), so its power state mix is gentler.
+
+Run with::
+
+    python examples/open_vs_closed_workload.py
+"""
+
+from repro.core import CPUEventSimulator, CPUModelParams, energy_joules
+from repro.experiments import format_table
+from repro.workload import ClosedCPUSimulator, ClosedWorkload, MMPPProcess
+from repro.des import Exponential
+
+HORIZON = 20_000.0
+WARMUP = 500.0
+
+
+def main() -> None:
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+    rows = []
+
+    # 1. open Poisson (the paper's generator)
+    poisson_res = CPUEventSimulator(params, seed=11).run(HORIZON, WARMUP)
+    rows.append(("open: Poisson(1.0)", poisson_res.fractions,
+                 poisson_res.mean_latency))
+
+    # 2. open MMPP with the same mean rate but cv^2 >> 1
+    mmpp = MMPPProcess(rates=[0.2, 1.8], switch_rates=[0.05, 0.05])
+    assert abs(mmpp.mean_rate() - params.arrival_rate) < 1e-9
+    mmpp_res = CPUEventSimulator(
+        params, seed=12, arrival_process=mmpp
+    ).run(HORIZON, WARMUP)
+    rows.append(("open: MMPP (bursty, same rate)", mmpp_res.fractions,
+                 mmpp_res.mean_latency))
+
+    # 3. closed population tuned to a similar throughput
+    workload = ClosedWorkload(n_clients=1, think_time=Exponential(1.0))
+    closed_res = ClosedCPUSimulator(params, workload, seed=13).run(
+        HORIZON, WARMUP
+    )
+    rows.append(
+        (f"closed: 1 client, think ~ Exp(1)  "
+         f"(throughput {closed_res.effective_arrival_rate:.2f}/s)",
+         closed_res.fractions, closed_res.mean_latency)
+    )
+
+    table = []
+    for name, fractions, latency in rows:
+        pct = fractions.as_percent_dict()
+        table.append([
+            name, pct["idle"], pct["standby"], pct["powerup"], pct["active"],
+            latency,
+            energy_joules(fractions, params.profile, 1000.0),
+        ])
+    print(format_table(
+        ["workload", "idle %", "standby %", "powerup %", "active %",
+         "latency (s)", "energy (J/1000s)"],
+        table,
+        title="Same CPU (T = 0.3 s, D = 0.3 s), three workload generators",
+    ))
+    print(
+        "\nObservations:\n"
+        "- The MMPP's quiet phases push the CPU into standby noticeably more"
+        " (and cut\n  power-up time: bursts share one wake-up where Poisson"
+        " arrivals each pay\n  their own), so the bursty workload burns ~10%"
+        " less energy at the same rate.\n"
+        "- The closed generator cannot submit while waiting, so load"
+        " self-throttles;\n  with one client there is never queueing —"
+        " latency is service plus wake-up,\n  and throughput drops below the"
+        " nominal rate.\n"
+        "- Energy follows the state mix (eq. 25); none of these differences"
+        " are visible\n  to the paper's Markov model, which is wedded to"
+        " Poisson arrivals."
+    )
+
+
+if __name__ == "__main__":
+    main()

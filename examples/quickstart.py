@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 net, then the full CPU model three ways.
+
+Run with::
+
+    python examples/quickstart.py
+
+Part 1 builds the two-place/one-transition net of the paper's Figure 1 and
+simulates it — the "hello world" of the Petri engine.  Part 2 solves the
+actual CPU energy model with the three approaches the paper compares
+(simulation, Markov closed forms, Petri net) plus the library's exact
+renewal solution, and prints the steady-state percentages side by side.
+"""
+
+from repro.core import (
+    CPUEventSimulator,
+    CPUModelParams,
+    ExactRenewalModel,
+    MarkovSupplementaryModel,
+    PetriCPUModel,
+    energy_joules,
+)
+from repro.des import Exponential
+from repro.experiments import format_table
+from repro.petri import PetriNet, PetriNetSimulator, to_dot
+
+
+def figure1_demo() -> None:
+    """The paper's Figure 1: one token, one exponential transition."""
+    print("=" * 70)
+    print("Part 1 — Figure 1: the simplest timed Petri net")
+    print("=" * 70)
+
+    net = PetriNet("figure1")
+    net.add_place("P0", initial=1)
+    net.add_place("P1")
+    net.add_timed_transition("T0", Exponential(rate=1.0))
+    net.add_input_arc("P0", "T0")
+    net.add_output_arc("T0", "P1")
+
+    result = PetriNetSimulator(net, seed=2008).run(horizon=100.0)
+    print(f"mean tokens in P0 over 100 s: {result.mean_tokens('P0'):.4f}")
+    print(f"mean tokens in P1 over 100 s: {result.mean_tokens('P1'):.4f}")
+    print(f"T0 fired {result.firing_counts['T0']} time(s)")
+    print("\nGraphviz DOT of the net (paste into any DOT renderer):\n")
+    print(to_dot(net))
+
+
+def cpu_model_demo() -> None:
+    """The paper's CPU model, solved four ways."""
+    print()
+    print("=" * 70)
+    print("Part 2 — the CPU energy model (paper Tables 2-3 parameters)")
+    print("=" * 70)
+
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+    print(
+        f"lambda = {params.arrival_rate}/s, mu = {params.service_rate}/s, "
+        f"T = {params.power_down_threshold} s, D = {params.power_up_delay} s\n"
+    )
+
+    markov = MarkovSupplementaryModel(params).solve().fractions()
+    exact = ExactRenewalModel(params).solve().fractions()
+    sim = CPUEventSimulator(params, seed=1).run(horizon=20_000.0, warmup=500.0)
+    petri = PetriCPUModel(params, seed=2).run(horizon=20_000.0, warmup=500.0)
+
+    rows = []
+    for name, f in [
+        ("simulation", sim.fractions),
+        ("markov (paper eq. 17-19)", markov),
+        ("petri net (paper fig. 3)", petri.fractions),
+        ("exact renewal (extension)", exact),
+    ]:
+        pct = f.as_percent_dict()
+        energy = energy_joules(f, params.profile, 1000.0)
+        rows.append(
+            [name, pct["idle"], pct["standby"], pct["powerup"],
+             pct["active"], energy]
+        )
+    print(
+        format_table(
+            ["model", "idle %", "standby %", "powerup %", "active %",
+             "energy (J/1000s)"],
+            rows,
+        )
+    )
+    print(
+        "\nAll four agree at D = 0.001 s — exactly the paper's Figure 4/5 "
+        "regime.\nRe-run with D = 10.0 in the source to watch the Markov "
+        "approximation collapse\nwhile the Petri net stays truthful "
+        "(the paper's Table 4)."
+    )
+
+
+if __name__ == "__main__":
+    figure1_demo()
+    cpu_model_demo()

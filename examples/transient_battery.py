@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Transient analysis: from cold start to steady state, to battery-empty.
+
+The paper's models are steady-state; a deployed node starts from a known
+state (CPU asleep, fresh battery).  This example uses the phase-type
+transient solver to show:
+
+1. the state-occupancy trajectory from standby to the stationary mix,
+2. how quickly "steady-state power x time" becomes an accurate energy
+   estimate (the validity window of the paper's eq. 25),
+3. coin-cell time-to-empty for a burst-heavy duty cycle, with the
+   transient correction vs the naive steady-state division.
+
+Run with::
+
+    python examples/transient_battery.py
+"""
+
+import numpy as np
+
+from repro.core import CPUModelParams, ExactRenewalModel, TransientEnergyModel
+from repro.experiments import ascii_plot, format_table
+from repro.wsn import Battery
+
+
+def occupancy_trajectory() -> None:
+    print("=" * 70)
+    print("1. Cold-start trajectory (T = 0.3 s, D = 0.3 s)")
+    print("=" * 70)
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+    model = TransientEnergyModel(params, stages=16)
+    curve = model.curve(horizon=20.0, n_points=40)
+    print(ascii_plot(
+        curve.times,
+        {
+            "standby": 100.0 * curve.occupancy["standby"],
+            "idle": 100.0 * curve.occupancy["idle"],
+            "powerup": 100.0 * curve.occupancy["powerup"],
+            "active": 100.0 * curve.occupancy["active"],
+        },
+        title="expected state occupancy (%) after a cold start",
+        x_label="time since deployment (s)",
+        width=56,
+        height=12,
+    ))
+    exact = ExactRenewalModel(params).solve().fractions()
+    final = curve.occupancy_at(len(curve.times) - 1)
+    print(
+        f"\nAt t = 20 s the trajectory sits {100 * final.l1_distance(exact):.2f} "
+        "percentage points\n(summed) from the stationary mix — the cold-start "
+        "transient lasts a few\nregeneration cycles "
+        f"(mean cycle: {ExactRenewalModel(params).solve().mean_cycle_length:.2f} s)."
+    )
+
+
+def eq25_validity_window() -> None:
+    print()
+    print("=" * 70)
+    print("2. When does eq. 25 (steady power x time) become accurate?")
+    print("=" * 70)
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+    model = TransientEnergyModel(params, stages=16)
+    curve = model.curve(horizon=200.0, n_points=80)
+    rel = curve.relative_transient_error()
+    rows = []
+    for target in (0.10, 0.05, 0.01):
+        above = np.where(rel > target)[0]
+        t_ok = curve.times[above[-1] + 1] if above.size else 0.0
+        rows.append([f"{target:.0%}", t_ok])
+    print(format_table(
+        ["relative energy error below", "after time (s)"],
+        rows,
+        float_fmt="{:.1f}",
+    ))
+    print(
+        "\nThe paper's 1000 s horizon is comfortably inside the region where "
+        "the\nsteady-state energy equation is exact to well under a percent."
+    )
+
+
+def coin_cell_lifetime() -> None:
+    print()
+    print("=" * 70)
+    print("3. Coin-cell time-to-empty, transient-corrected")
+    print("=" * 70)
+    params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+    model = TransientEnergyModel(params, stages=16)
+    battery = Battery.coin_cell()
+    budget = battery.energy_joules
+    steady_w = ExactRenewalModel(params).energy_rate_mw() / 1000.0
+    naive = budget / steady_w
+    corrected = model.time_to_empty(budget)
+    print(format_table(
+        ["method", "lifetime (hours)"],
+        [
+            ["steady-state division", naive / 3600.0],
+            ["transient-corrected", corrected / 3600.0],
+        ],
+        float_fmt="{:.3f}",
+    ))
+    print(
+        "\nFor realistic budgets the correction is tiny (the transient lasts "
+        "seconds,\nthe battery hours) — quantified evidence that the paper's "
+        "steady-state\ntreatment is the right tool for lifetime questions."
+    )
+
+
+if __name__ == "__main__":
+    occupancy_trajectory()
+    eq25_validity_window()
+    coin_cell_lifetime()

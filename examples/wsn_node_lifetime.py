@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""WSN node lifetime exploration — the paper's motivating scenario.
+
+A surveillance node senses at a configurable rate; each event costs a CPU
+job and a radio report.  This example uses the CPU energy model to answer
+the questions a deployment engineer actually asks:
+
+1. How long does a node live on a pair of AA cells, per processor?
+2. How does the Power Down Threshold change node lifetime?
+3. Where is the lifetime bottleneck in a 8-node collection tree?
+
+Run with::
+
+    python examples/wsn_node_lifetime.py
+"""
+
+from repro.core import CPUModelParams
+from repro.experiments import format_table
+from repro.wsn import (
+    Battery,
+    CC2420,
+    DutyCycledRadio,
+    MSP430,
+    SensorNetwork,
+    SensorNode,
+    processor_profiles,
+)
+
+
+def per_processor_lifetimes() -> None:
+    print("=" * 70)
+    print("1. Node lifetime by processor (sensing 0.1 events/s, 2xAA)")
+    print("=" * 70)
+    rows = []
+    for name, profile in processor_profiles().items():
+        params = CPUModelParams(
+            arrival_rate=0.1,
+            service_rate=10.0,
+            power_down_threshold=0.1,
+            power_up_delay=0.01,
+            profile=profile,
+        )
+        node = SensorNode(
+            cpu_params=params,
+            radio=DutyCycledRadio(CC2420, listen_duty_cycle=0.01),
+            battery=Battery.aa_pair(),
+        )
+        r = node.report()
+        rows.append(
+            [name, r.cpu_power_mw, r.radio_power_mw, r.total_power_mw,
+             r.lifetime_days]
+        )
+    print(format_table(
+        ["processor", "cpu mW", "radio mW", "total mW", "lifetime (days)"],
+        rows,
+    ))
+    print(
+        "\nThe PXA271 (the paper's processor) is an application-class part; "
+        "mote-class\nMCUs live orders of magnitude longer at this duty "
+        "cycle — which is why the\npaper's power-down modeling matters "
+        "most for beefier processors."
+    )
+
+
+def threshold_tradeoff() -> None:
+    print()
+    print("=" * 70)
+    print("2. Power Down Threshold vs lifetime (PXA271, sensing 0.5/s)")
+    print("=" * 70)
+    rows = []
+    for T in (0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0):
+        params = CPUModelParams.paper_defaults(T=T, D=0.001)
+        params = CPUModelParams(
+            arrival_rate=0.5,
+            service_rate=10.0,
+            power_down_threshold=T,
+            power_up_delay=0.001,
+            profile=params.profile,
+        )
+        node = SensorNode(cpu_params=params, radio=None,
+                          battery=Battery.aa_pair())
+        r = node.report()
+        rows.append([T, r.cpu_power_mw, r.lifetime_days])
+    print(format_table(
+        ["threshold T (s)", "cpu mW", "lifetime (days)"], rows
+    ))
+    print(
+        "\nIdle burns 88 mW vs 17 mW standby and the wake-up penalty at "
+        "D = 1 ms is\nnegligible, so aggressive power-down (small T) "
+        "always wins here — the\nquantitative version of the paper's "
+        "Figure 5 upward slope."
+    )
+
+
+def collection_tree_bottleneck() -> None:
+    print()
+    print("=" * 70)
+    print("3. 8-node collection tree: who dies first?")
+    print("=" * 70)
+    params = CPUModelParams(
+        arrival_rate=0.05,
+        service_rate=10.0,
+        power_down_threshold=0.1,
+        power_up_delay=0.01,
+        profile=MSP430,
+    )
+    network = SensorNetwork.collection_tree(
+        n_nodes=8,
+        sensing_rate=0.05,
+        cpu_params=params,
+        radio=DutyCycledRadio(CC2420, listen_duty_cycle=0.005),
+        battery=Battery.aa_pair(),
+    )
+    report = network.report()
+    rows = [
+        [name, r.cpu_power_mw, r.radio_power_mw, r.lifetime_days]
+        for name, r in sorted(report.node_reports.items())
+    ]
+    print(format_table(
+        ["node (node01 = next to sink)", "cpu mW", "radio mW",
+         "lifetime (days)"],
+        rows,
+    ))
+    print(
+        f"\nBottleneck: {report.bottleneck_node()} "
+        f"(first death after {report.first_death_days:.0f} days; "
+        f"the leaf lives {report.last_death_days:.0f})."
+        "\nRelay load concentrates drain next to the sink — the classic "
+        "WSN energy hole."
+    )
+
+
+if __name__ == "__main__":
+    per_processor_lifetimes()
+    threshold_tradeoff()
+    collection_tree_bottleneck()

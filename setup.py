@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so the package
+can be installed editable in offline environments whose setuptools lacks
+the ``wheel`` backend required by the PEP-517 editable path
+(``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,226 @@
+"""Multi-model comparison — the machinery behind Figures 4–5 and Tables 4–5.
+
+:func:`run_threshold_sweep` evaluates any subset of the five models
+(simulation, Markov, Petri net, exact renewal, phase-type) over a grid of
+Power Down Thresholds at a fixed Power Up Delay, mirroring the paper's
+experimental design.  :func:`delta_state_percent` and :func:`delta_energy`
+then compute the Δ statistics of Tables 4 and 5:
+
+- Table 4 reports, for each model pair, the *average Δ steady-state
+  percentage*: at every threshold we take the absolute percentage-point
+  difference in each of the four states, sum over the states, and average
+  over the threshold grid (this reading reproduces the magnitude of the
+  paper's numbers — e.g. ≈ 100 percentage points for Sim–Markov at
+  D = 10 s, where the Markov utilisation alone is ~25 points off).
+- Table 5 does the same with a single scalar per threshold: the absolute
+  difference in eq.-25 energy over the paper's 1000 s horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.energy import energy_joules
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.markov_supplementary import MarkovSupplementaryModel
+from repro.core.params import (
+    PAPER_TOTAL_SIMULATED_TIME,
+    CPUModelParams,
+    StateFractions,
+)
+from repro.core.petri_cpu import PetriCPUModel
+from repro.core.phase_type import PhaseTypeModel
+from repro.core.simulation_cpu import (
+    fractions_from_summary,
+    replicate_cpu_simulation,
+)
+from repro.des.random_streams import StreamManager
+
+__all__ = [
+    "MODEL_NAMES",
+    "SweepConfig",
+    "SweepResult",
+    "run_threshold_sweep",
+    "delta_state_percent",
+    "delta_energy",
+]
+
+#: Models the sweep knows how to run.
+MODEL_NAMES = ("simulation", "markov", "petri", "exact", "phase_type")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Accuracy/cost knobs for the stochastic models.
+
+    The defaults favour speed (CI-friendly); the experiment harness raises
+    them for publication-quality curves.
+    """
+
+    sim_horizon: float = 5_000.0
+    sim_warmup: float = 100.0
+    sim_replications: int = 5
+    petri_horizon: float = 5_000.0
+    petri_warmup: float = 100.0
+    petri_replications: int = 3
+    phase_stages: int = 32
+    seed: int = 20080901  # ICPP 2008 vintage
+    n_jobs: int = 1  # process fan-out for simulation replications
+
+
+@dataclass
+class SweepResult:
+    """All models' state fractions over a threshold grid."""
+
+    base_params: CPUModelParams
+    power_up_delay: float
+    thresholds: List[float]
+    fractions: Dict[str, List[StateFractions]] = field(default_factory=dict)
+
+    def models(self) -> List[str]:
+        return list(self.fractions)
+
+    def series_percent(self, model: str, state: str) -> np.ndarray:
+        """One Figure 4 curve: state percentage vs threshold."""
+        return np.array(
+            [100.0 * getattr(f, state) for f in self.fractions[model]]
+        )
+
+    def energies_joules(
+        self, model: str, duration_s: float = PAPER_TOTAL_SIMULATED_TIME
+    ) -> np.ndarray:
+        """One Figure 5 curve: eq.-25 energy vs threshold."""
+        profile = self.base_params.profile
+        return np.array(
+            [
+                energy_joules(f, profile, duration_s)
+                for f in self.fractions[model]
+            ]
+        )
+
+
+def _solve_one(
+    model: str,
+    params: CPUModelParams,
+    config: SweepConfig,
+    point_index: int,
+) -> StateFractions:
+    """Evaluate one model at one parameter point."""
+    if model == "markov":
+        return MarkovSupplementaryModel(params).solve().fractions()
+    if model == "exact":
+        return ExactRenewalModel(params).solve().fractions()
+    if model == "phase_type":
+        return PhaseTypeModel(params, stages=config.phase_stages).solve().fractions
+    if model == "simulation":
+        summary = replicate_cpu_simulation(
+            params,
+            horizon=config.sim_horizon,
+            n_replications=config.sim_replications,
+            seed=config.seed + point_index,
+            warmup=config.sim_warmup,
+            n_jobs=config.n_jobs,
+        )
+        return fractions_from_summary(summary)
+    if model == "petri":
+        streams = StreamManager(config.seed + 7919 * (point_index + 1))
+        model_obj = PetriCPUModel(params, streams=streams)
+        return model_obj.run_replicated(
+            horizon=config.petri_horizon,
+            n_replications=config.petri_replications,
+            warmup=config.petri_warmup,
+        ).fractions
+    raise ValueError(f"unknown model {model!r}; expected one of {MODEL_NAMES}")
+
+
+def run_threshold_sweep(
+    params: CPUModelParams,
+    thresholds: Sequence[float],
+    models: Sequence[str] = ("simulation", "markov", "petri"),
+    config: Optional[SweepConfig] = None,
+) -> SweepResult:
+    """Evaluate *models* at every Power Down Threshold in *thresholds*.
+
+    The Power Up Delay and all other parameters are taken from *params*;
+    only the threshold varies, exactly as in the paper's Figures 4–5.
+    """
+    if not thresholds:
+        raise ValueError("thresholds must be non-empty")
+    for m in models:
+        if m not in MODEL_NAMES:
+            raise ValueError(f"unknown model {m!r}; expected one of {MODEL_NAMES}")
+    cfg = config if config is not None else SweepConfig()
+    result = SweepResult(
+        base_params=params,
+        power_up_delay=params.power_up_delay,
+        thresholds=[float(t) for t in thresholds],
+        fractions={m: [] for m in models},
+    )
+    for i, T in enumerate(thresholds):
+        point = params.with_threshold(float(T))
+        for m in models:
+            result.fractions[m].append(_solve_one(m, point, cfg, i))
+    return result
+
+
+def delta_state_percent(
+    sweep: SweepResult, model_a: str, model_b: str
+) -> float:
+    """Table 4 statistic: mean over thresholds of the summed absolute
+    per-state percentage difference between two models."""
+    fa = sweep.fractions[model_a]
+    fb = sweep.fractions[model_b]
+    per_point = [100.0 * a.l1_distance(b) for a, b in zip(fa, fb)]
+    return float(np.mean(per_point))
+
+
+def delta_energy(
+    sweep: SweepResult,
+    model_a: str,
+    model_b: str,
+    duration_s: float = PAPER_TOTAL_SIMULATED_TIME,
+) -> float:
+    """Table 5 statistic: mean over thresholds of |ΔE| in Joules."""
+    ea = sweep.energies_joules(model_a, duration_s)
+    eb = sweep.energies_joules(model_b, duration_s)
+    return float(np.mean(np.abs(ea - eb)))
+
+
+def delta_table(
+    sweeps: Dict[float, SweepResult],
+    pairs: Sequence[Tuple[str, str]] = (
+        ("simulation", "markov"),
+        ("simulation", "petri"),
+        ("markov", "petri"),
+    ),
+) -> List[Dict[str, float]]:
+    """Rows of Table 4: one row per Power Up Delay, one column per pair."""
+    rows: List[Dict[str, float]] = []
+    for D in sorted(sweeps):
+        row: Dict[str, float] = {"power_up_delay": D}
+        for a, b in pairs:
+            row[f"{a}-{b}"] = delta_state_percent(sweeps[D], a, b)
+        rows.append(row)
+    return rows
+
+
+def energy_delta_table(
+    sweeps: Dict[float, SweepResult],
+    pairs: Sequence[Tuple[str, str]] = (
+        ("simulation", "markov"),
+        ("simulation", "petri"),
+        ("markov", "petri"),
+    ),
+    duration_s: float = PAPER_TOTAL_SIMULATED_TIME,
+) -> List[Dict[str, float]]:
+    """Rows of Table 5: mean |ΔE| per Power Up Delay and model pair."""
+    rows: List[Dict[str, float]] = []
+    for D in sorted(sweeps):
+        row: Dict[str, float] = {"power_up_delay": D}
+        for a, b in pairs:
+            row[f"{a}-{b}"] = delta_energy(sweeps[D], a, b, duration_s)
+        rows.append(row)
+    return rows

@@ -1,0 +1,69 @@
+"""Energy accounting — the paper's Equations 24 and 25.
+
+Equation 25 is the workhorse: total energy is the occupancy-weighted mean
+power times the observation time.  Power rates are milliwatts (Table 3
+units) and durations are seconds, so energies come out in **millijoules /
+1000 = Joules**; this module keeps the conversion in exactly one place.
+
+Equation 24 is the Markov-model variant that replaces wall-clock time with
+the derived "total running time" ``(N + L(1)^2)/λ`` of Equation 23; it is
+implemented on :class:`~repro.core.markov_supplementary.MarkovSupplementaryModel`
+and re-exported here for discoverability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.params import PowerProfile, StateFractions
+
+__all__ = [
+    "average_power_mw",
+    "energy_joules",
+    "energy_breakdown_joules",
+    "battery_lifetime_seconds",
+]
+
+
+def average_power_mw(fractions: StateFractions, profile: PowerProfile) -> float:
+    """Occupancy-weighted mean power draw in milliwatts."""
+    return profile.average_power_mw(fractions)
+
+
+def energy_joules(
+    fractions: StateFractions, profile: PowerProfile, duration_s: float
+) -> float:
+    """Paper eq. 25: ``E = Σ_state fraction·power × duration`` in Joules."""
+    if duration_s < 0.0:
+        raise ValueError("duration must be >= 0")
+    return average_power_mw(fractions, profile) * duration_s / 1000.0
+
+
+def energy_breakdown_joules(
+    fractions: StateFractions, profile: PowerProfile, duration_s: float
+) -> Dict[str, float]:
+    """Per-state energy contributions (sums to :func:`energy_joules`)."""
+    if duration_s < 0.0:
+        raise ValueError("duration must be >= 0")
+    powers = profile.as_dict()
+    occ = fractions.as_dict()
+    return {
+        state: powers[state] * occ[state] * duration_s / 1000.0
+        for state in powers
+    }
+
+
+def battery_lifetime_seconds(
+    fractions: StateFractions, profile: PowerProfile, battery_joules: float
+) -> float:
+    """Expected lifetime of a battery with *battery_joules* of energy.
+
+    The WSN motivation of the paper: a node's lifetime is its energy budget
+    divided by the model's average power.
+    """
+    if battery_joules <= 0.0:
+        raise ValueError("battery capacity must be > 0")
+    power_w = average_power_mw(fractions, profile) / 1000.0
+    if power_w <= 0.0:
+        return float("inf")
+    return battery_joules / power_w

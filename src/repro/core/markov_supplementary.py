@@ -1,0 +1,163 @@
+"""The paper's Markov model with supplementary variables (Section 4.1).
+
+The CPU is a birth–death chain (Figure 2) with two non-Markovian wrinkles:
+the idle→standby transition fires after a *constant* threshold ``T`` and the
+power-up takes a *constant* delay ``D``.  The paper handles both with Cox's
+method of supplementary variables and derives closed-form stationary
+quantities — equations (11) through (24).  This module implements those
+equations literally, plus numerically stable rearrangements for large
+``λT`` / ``λD`` (the published forms contain ``exp(λT)`` factors that
+overflow float64 near ``λT ≈ 710``; dividing numerator and denominator by
+``exp(λT)`` removes the hazard without changing any value).
+
+The model is an *approximation*: its utilisation (eq. 19) is
+``ρ (e^{λT} + λD) / denom`` which only equals the work-conservation value
+``ρ`` when ``denom = e^{λT} + λD``.  The paper's own Tables 4–5 show the
+approximation collapsing for ``D = 10``; the exact solution is in
+:mod:`repro.core.exact_renewal`, and the two agree to first order in
+``λD`` (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import CPUModelParams, StateFractions
+
+__all__ = ["MarkovSteadyState", "MarkovSupplementaryModel"]
+
+
+@dataclass(frozen=True)
+class MarkovSteadyState:
+    """Everything the closed forms yield.
+
+    Attributes mirror the paper's symbols: ``p_idle`` (eq. 12), ``p_standby``
+    (eq. 17), ``p_powerup`` (eq. 18), ``utilization`` = G0(1) (eq. 19),
+    ``mean_jobs`` = L(1) (eq. 21), ``mean_latency`` = τ (eq. 22).
+    """
+
+    p_idle: float
+    p_standby: float
+    p_powerup: float
+    utilization: float
+    mean_jobs: float
+    mean_latency: float
+
+    def fractions(self) -> StateFractions:
+        """The four state fractions (they sum to exactly 1 in this model)."""
+        return StateFractions(
+            idle=self.p_idle,
+            standby=self.p_standby,
+            powerup=self.p_powerup,
+            active=self.utilization,
+        )
+
+
+class MarkovSupplementaryModel:
+    """Evaluates the paper's supplementary-variable closed forms.
+
+    Parameters
+    ----------
+    params:
+        Model parameters; requires ``rho < 1`` (enforced by
+        :class:`~repro.core.params.CPUModelParams`).
+    """
+
+    def __init__(self, params: CPUModelParams) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+    def solve(self) -> MarkovSteadyState:
+        """Evaluate the closed forms in the overflow-free arrangement.
+
+        With ``s = exp(-λT)`` and ``q = 1 - exp(-λD)`` the paper's common
+        denominator ``e^{λT} + (1-ρ) q + ρ λ D`` becomes
+        ``(1 + s ((1-ρ) q + ρ λ D)) / s``, so every stationary quantity is a
+        ratio of bounded terms.
+        """
+        p = self.params
+        lam, mu = p.arrival_rate, p.service_rate
+        rho = p.utilization
+        T, D = p.power_down_threshold, p.power_up_delay
+
+        s = math.exp(-lam * T)  # e^{-λT}, in (0, 1]
+        q = -math.expm1(-lam * D)  # 1 - e^{-λD}, accurate for small λD
+        lam_d = lam * D
+
+        denom = 1.0 + s * ((1.0 - rho) * q + rho * lam_d)
+
+        p_standby = (1.0 - rho) * s / denom  # eq. 17
+        p_idle = (1.0 - s) * (1.0 - rho) / denom  # eq. 12 (= (e^{λT}-1) p_s)
+        p_powerup = (1.0 - rho) * q * s / denom  # eq. 18
+        utilization = rho * (1.0 + lam_d * s) / denom  # eq. 19
+
+        # eq. 21: L(1) = ρ/(1-ρ) * (e^{λT} + (1-ρ)λ²D²/2 + (2-ρ)λD) / denom
+        mean_jobs = (
+            rho
+            / (1.0 - rho)
+            * (1.0 + s * (0.5 * (1.0 - rho) * lam_d * lam_d + (2.0 - rho) * lam_d))
+            / denom
+        )
+        mean_latency = mean_jobs / lam  # eq. 22 (Little's law)
+
+        return MarkovSteadyState(
+            p_idle=p_idle,
+            p_standby=p_standby,
+            p_powerup=p_powerup,
+            utilization=utilization,
+            mean_jobs=mean_jobs,
+            mean_latency=mean_latency,
+        )
+
+    def solve_paper_form(self) -> MarkovSteadyState:
+        """Evaluate the equations exactly as printed (eqs. 11–22).
+
+        Overflows for ``λT ≳ 700``; exists so tests can confirm the stable
+        arrangement is algebraically identical where both are finite.
+        """
+        p = self.params
+        lam = p.arrival_rate
+        rho = p.utilization
+        T, D = p.power_down_threshold, p.power_up_delay
+
+        e_lt = math.exp(lam * T)
+        e_nld = math.exp(-lam * D)
+        denom = e_lt + (1.0 - rho) * (1.0 - e_nld) + rho * lam * D  # eq. 17
+
+        p_standby = (1.0 - rho) / denom
+        p_idle = (e_lt - 1.0) * p_standby  # eq. 12
+        p_powerup = (1.0 - rho) * (1.0 - e_nld) / denom  # eq. 18
+        utilization = rho * (e_lt + lam * D) / denom  # eq. 19
+        mean_jobs = (
+            rho
+            / (1.0 - rho)
+            * (e_lt + 0.5 * (1.0 - rho) * (lam * D) ** 2 + (2.0 - rho) * lam * D)
+            / denom
+        )  # eq. 21
+        return MarkovSteadyState(
+            p_idle=p_idle,
+            p_standby=p_standby,
+            p_powerup=p_powerup,
+            utilization=utilization,
+            mean_jobs=mean_jobs,
+            mean_latency=mean_jobs / lam,  # eq. 22
+        )
+
+    # ------------------------------------------------------------------ #
+    def total_running_time(self, n_jobs: float) -> float:
+        """Paper eq. 23: ``T_total = (N + L(1)^2) / λ``."""
+        if n_jobs < 0:
+            raise ValueError("n_jobs must be >= 0")
+        st = self.solve()
+        return (n_jobs + st.mean_jobs**2) / self.params.arrival_rate
+
+    def total_energy_joules(self, n_jobs: float) -> float:
+        """Paper eq. 24: average power times eq. 23's running time.
+
+        Power rates are milliwatts, so the product is divided by 1000 to
+        return Joules.
+        """
+        st = self.solve()
+        avg_mw = self.params.profile.average_power_mw(st.fractions())
+        return avg_mw * self.total_running_time(n_jobs) / 1000.0

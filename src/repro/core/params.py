@@ -1,0 +1,225 @@
+"""Model parameters, power profiles, and the shared result type.
+
+Everything the paper's three models consume lives here:
+
+- :class:`PowerProfile` — per-state power draw (the paper's Table 3, Intel
+  PXA271 numbers from Jung et al.),
+- :class:`CPUModelParams` — arrival/service rates and the two deterministic
+  delays (the paper's Table 2 plus the swept Power Down Threshold / Power
+  Up Delay),
+- :class:`StateFractions` — one steady-state answer: the fraction of time
+  spent in each of the four CPU power states (Figure 4's y-axis, divided
+  by 100).
+
+Note on Table 2
+---------------
+The paper lists "Service Rate .1 per sec" next to "Arrival Rate 1 per sec".
+Taken literally that gives utilisation ``rho = 10`` — an unstable queue —
+while the paper's own Figure 4 shows the Active percentage flat at ~10 %,
+which is exactly ``rho = 0.1``.  We therefore read the entry as *mean
+service time 0.1 s*, i.e. a service **rate** of 10 jobs/s, and record the
+interpretation here and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable
+
+__all__ = [
+    "PowerProfile",
+    "PXA271",
+    "CPUModelParams",
+    "StateFractions",
+    "STATE_NAMES",
+]
+
+#: Canonical order of CPU power states used throughout the library.
+STATE_NAMES = ("idle", "standby", "powerup", "active")
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Per-state power consumption in milliwatts.
+
+    The defaults mirror the paper's Table 3 (Intel PXA271): standby 17 mW,
+    idle 88 mW, powering up 192.442 mW, active 193 mW.
+    """
+
+    name: str
+    standby_mw: float
+    idle_mw: float
+    powerup_mw: float
+    active_mw: float
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("standby_mw", self.standby_mw),
+            ("idle_mw", self.idle_mw),
+            ("powerup_mw", self.powerup_mw),
+            ("active_mw", self.active_mw),
+        ):
+            if value < 0.0 or not math.isfinite(value):
+                raise ValueError(f"{label} must be finite and >= 0, got {value}")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Power per state keyed by the canonical state names."""
+        return {
+            "idle": self.idle_mw,
+            "standby": self.standby_mw,
+            "powerup": self.powerup_mw,
+            "active": self.active_mw,
+        }
+
+    def average_power_mw(self, fractions: "StateFractions") -> float:
+        """Occupancy-weighted mean power (the bracket of the paper's eq. 25)."""
+        return (
+            fractions.idle * self.idle_mw
+            + fractions.standby * self.standby_mw
+            + fractions.powerup * self.powerup_mw
+            + fractions.active * self.active_mw
+        )
+
+
+#: The paper's Table 3 — Intel PXA271 power rates.
+PXA271 = PowerProfile(
+    name="PXA271",
+    standby_mw=17.0,
+    idle_mw=88.0,
+    powerup_mw=192.442,
+    active_mw=193.0,
+)
+
+
+@dataclass(frozen=True)
+class StateFractions:
+    """Steady-state fraction of time in each CPU power state.
+
+    All four fields are in ``[0, 1]`` and (for a consistent model) sum to 1.
+    """
+
+    idle: float
+    standby: float
+    powerup: float
+    active: float
+
+    def __post_init__(self) -> None:
+        for name in STATE_NAMES:
+            v = getattr(self, name)
+            if not math.isfinite(v):
+                raise ValueError(f"{name} fraction is not finite: {v}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in STATE_NAMES}
+
+    def as_percent_dict(self) -> Dict[str, float]:
+        """Percent units — what the paper's Figure 4 plots."""
+        return {name: 100.0 * getattr(self, name) for name in STATE_NAMES}
+
+    def total(self) -> float:
+        return self.idle + self.standby + self.powerup + self.active
+
+    def l1_distance(self, other: "StateFractions") -> float:
+        """Sum over states of |difference| (in *fraction* units).
+
+        Multiplied by 100 this is the per-threshold quantity averaged in the
+        paper's Table 4.
+        """
+        return sum(
+            abs(getattr(self, n) - getattr(other, n)) for n in STATE_NAMES
+        )
+
+    @staticmethod
+    def mean(items: Iterable["StateFractions"]) -> "StateFractions":
+        """Pointwise average (across replications)."""
+        items = list(items)
+        if not items:
+            raise ValueError("need at least one StateFractions")
+        n = len(items)
+        return StateFractions(
+            idle=sum(f.idle for f in items) / n,
+            standby=sum(f.standby for f in items) / n,
+            powerup=sum(f.powerup for f in items) / n,
+            active=sum(f.active for f in items) / n,
+        )
+
+
+@dataclass(frozen=True)
+class CPUModelParams:
+    """Full parameterisation of the CPU power-management model.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Poisson job arrival rate λ (jobs/s).  Paper Table 2: 1.0.
+    service_rate:
+        Exponential service rate μ (jobs/s).  Paper Table 2 (interpreted,
+        see module docstring): 10.0.
+    power_down_threshold:
+        Constant idle time T (s) after which the CPU drops to standby —
+        the swept variable of Figures 4–5.
+    power_up_delay:
+        Constant wake-up time D (s) — 0.001 / 0.3 / 10.0 in Tables 4–5.
+    profile:
+        Per-state power draw, defaults to the PXA271.
+    """
+
+    arrival_rate: float = 1.0
+    service_rate: float = 10.0
+    power_down_threshold: float = 0.1
+    power_up_delay: float = 0.001
+    profile: PowerProfile = field(default=PXA271)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0.0 or not math.isfinite(self.arrival_rate):
+            raise ValueError(f"arrival_rate must be > 0, got {self.arrival_rate}")
+        if self.service_rate <= 0.0 or not math.isfinite(self.service_rate):
+            raise ValueError(f"service_rate must be > 0, got {self.service_rate}")
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"unstable system: rho = {self.utilization:.4g} >= 1 "
+                "(arrival_rate must be < service_rate)"
+            )
+        if self.power_down_threshold < 0.0 or not math.isfinite(
+            self.power_down_threshold
+        ):
+            raise ValueError("power_down_threshold must be finite and >= 0")
+        if self.power_up_delay < 0.0 or not math.isfinite(self.power_up_delay):
+            raise ValueError("power_up_delay must be finite and >= 0")
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lambda / mu``."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_service_time(self) -> float:
+        return 1.0 / self.service_rate
+
+    @property
+    def mean_interarrival_time(self) -> float:
+        return 1.0 / self.arrival_rate
+
+    def with_threshold(self, T: float) -> "CPUModelParams":
+        """Copy with a new Power Down Threshold (sweep helper)."""
+        return replace(self, power_down_threshold=T)
+
+    def with_powerup_delay(self, D: float) -> "CPUModelParams":
+        """Copy with a new Power Up Delay (sweep helper)."""
+        return replace(self, power_up_delay=D)
+
+    @classmethod
+    def paper_defaults(cls, T: float = 0.1, D: float = 0.001) -> "CPUModelParams":
+        """Table 2 parameters: λ = 1/s, mean service 0.1 s (μ = 10/s)."""
+        return cls(
+            arrival_rate=1.0,
+            service_rate=10.0,
+            power_down_threshold=T,
+            power_up_delay=D,
+            profile=PXA271,
+        )
+
+
+#: The paper's Table 2 total simulated time (seconds).
+PAPER_TOTAL_SIMULATED_TIME = 1000.0

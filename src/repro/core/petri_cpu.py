@@ -1,0 +1,251 @@
+"""The paper's Petri net CPU model (Figure 3, Table 1).
+
+Net structure, reconstructed from the paper's Figure 3 and the nine-step
+walk-through in Section 4.2:
+
+========  =========================================================
+Place     Role
+========  =========================================================
+P0        arrival generator ready (1 token initially)
+P1        freshly generated job, awaiting dispatch by T1
+CPU_Buffer queued jobs
+P6        "a job arrived" notification used to wake the CPU
+Stand_By  CPU asleep (1 token initially)
+Power_Up  CPU waking up (the text's "P7")
+CPU_ON    CPU powered on (idle or busy)
+Idle      server free (1 token initially; a lock, not the idle state)
+Active    job in service
+========  =========================================================
+
+Transitions follow Table 1 exactly:
+
+==========  =============  ========  ========================================
+Transition  Distribution   Priority  Arcs
+==========  =============  ========  ========================================
+AR          exp(λ)         —         P0 → AR → P1
+T1          immediate      4         P1 → T1 → {P0, P6, CPU_Buffer}
+T6          immediate      3         {Stand_By, P6} → T6 → {Power_Up, P6}
+T5          immediate      2         {P6, CPU_ON} → T5 → CPU_ON
+T2          immediate      1         {CPU_Buffer, CPU_ON, Idle} → T2 →
+                                     {Active, CPU_ON}
+PUT         det(D)         —         {Power_Up, P6} → PUT → CPU_ON
+SR          exp(μ)         —        Active → SR → Idle
+PDT         det(T)         —         CPU_ON → PDT → Stand_By,
+                                     inhibitors from Active and CPU_Buffer
+==========  =============  ========  ========================================
+
+The two deterministic transitions use the RESAMPLE memory policy: PDT's
+idle clock restarts whenever a job interrupts it — the paper's "if the time
+between jobs exceeds the Power Down Threshold" semantics.
+
+Structural invariants (asserted in the test suite):
+``Stand_By + Power_Up + CPU_ON = 1`` and ``Idle + Active = 1`` in every
+reachable marking, so time-averaged token counts of ``Stand_By``,
+``Power_Up`` and ``Active`` *are* the paper's steady-state percentages, and
+the idle percentage is the time average of "CPU_ON with no Active token".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.params import CPUModelParams, StateFractions
+from repro.des.distributions import Deterministic, Exponential
+from repro.des.random_streams import StreamManager
+from repro.petri.net import PetriNet
+from repro.petri.simulator import PetriNetSimulator, SimulationResult
+from repro.petri.transitions import MemoryPolicy
+
+__all__ = [
+    "build_cpu_net",
+    "describe_transitions",
+    "PetriCPUResult",
+    "PetriCPUModel",
+]
+
+#: Degenerate deterministic delays are replaced by this tiny positive value;
+#: the paper sweeps T from exactly 0, where a zero-delay timed transition
+#: would be an immediate transition in disguise.
+_MIN_DELAY = 1e-9
+
+
+@dataclass(frozen=True)
+class PetriCPUResult:
+    """State fractions measured from the net plus raw token statistics."""
+
+    fractions: StateFractions
+    raw: SimulationResult
+
+    @property
+    def jobs_in_system(self) -> float:
+        """Mean jobs in the system: queued plus in service."""
+        return self.raw.mean_tokens("CPU_Buffer") + self.raw.mean_tokens("Active")
+
+    @property
+    def throughput(self) -> float:
+        """Served jobs per unit time (Service_Rate firings)."""
+        return self.raw.throughput("SR")
+
+
+def build_cpu_net(params: CPUModelParams) -> PetriNet:
+    """Construct the Figure 3 EDSPN for the given parameters."""
+    T = max(params.power_down_threshold, _MIN_DELAY)
+    D = max(params.power_up_delay, _MIN_DELAY)
+
+    net = PetriNet("cpu_fig3")
+    net.add_place("P0", initial=1)
+    net.add_place("P1")
+    net.add_place("CPU_Buffer")
+    net.add_place("P6")
+    net.add_place("Stand_By", initial=1)
+    net.add_place("Power_Up")
+    net.add_place("CPU_ON")
+    net.add_place("Idle", initial=1)
+    net.add_place("Active")
+
+    # workload generator (open workload: T1 immediately re-arms AR via P0)
+    net.add_timed_transition("AR", Exponential(params.arrival_rate))
+    net.add_input_arc("P0", "AR")
+    net.add_output_arc("AR", "P1")
+
+    net.add_immediate_transition("T1", priority=4)
+    net.add_input_arc("P1", "T1")
+    net.add_output_arc("T1", "P0")
+    net.add_output_arc("T1", "P6")
+    net.add_output_arc("T1", "CPU_Buffer")
+
+    # wake-up path
+    net.add_immediate_transition("T6", priority=3)
+    net.add_input_arc("Stand_By", "T6")
+    net.add_input_arc("P6", "T6")
+    net.add_output_arc("T6", "Power_Up")
+    net.add_output_arc("T6", "P6")
+
+    net.add_timed_transition(
+        "PUT", Deterministic(D), memory_policy=MemoryPolicy.RESAMPLE
+    )
+    net.add_input_arc("Power_Up", "PUT")
+    net.add_input_arc("P6", "PUT")
+    net.add_output_arc("PUT", "CPU_ON")
+
+    # notification disposal while the CPU is already on
+    net.add_immediate_transition("T5", priority=2)
+    net.add_input_arc("P6", "T5")
+    net.add_input_arc("CPU_ON", "T5")
+    net.add_output_arc("T5", "CPU_ON")
+
+    # service path
+    net.add_immediate_transition("T2", priority=1)
+    net.add_input_arc("CPU_Buffer", "T2")
+    net.add_input_arc("CPU_ON", "T2")
+    net.add_input_arc("Idle", "T2")
+    net.add_output_arc("T2", "Active")
+    net.add_output_arc("T2", "CPU_ON")
+
+    net.add_timed_transition("SR", Exponential(params.service_rate))
+    net.add_input_arc("Active", "SR")
+    net.add_output_arc("SR", "Idle")
+
+    # power-down with the paper's inverse-logic (inhibitor) arcs
+    net.add_timed_transition(
+        "PDT", Deterministic(T), memory_policy=MemoryPolicy.RESAMPLE
+    )
+    net.add_input_arc("CPU_ON", "PDT")
+    net.add_inhibitor_arc("Active", "PDT")
+    net.add_inhibitor_arc("CPU_Buffer", "PDT")
+    net.add_output_arc("PDT", "Stand_By")
+
+    return net
+
+
+def describe_transitions(params: Optional[CPUModelParams] = None) -> List[Dict[str, str]]:
+    """The paper's Table 1 as structured rows (used by the table1 experiment)."""
+    if params is None:
+        params = CPUModelParams.paper_defaults()
+    return [
+        {"transition": "AR", "firing_distribution": "Exponential",
+         "delay": f"Arrivals (rate {params.arrival_rate:g}/s)", "priority": "NA"},
+        {"transition": "T1", "firing_distribution": "Instantaneous",
+         "delay": "-", "priority": "4"},
+        {"transition": "T2", "firing_distribution": "Instantaneous",
+         "delay": "-", "priority": "1"},
+        {"transition": "SR", "firing_distribution": "Exponential",
+         "delay": f"ServiceRate (rate {params.service_rate:g}/s)", "priority": "NA"},
+        {"transition": "PDT", "firing_distribution": "Deterministic",
+         "delay": f"PDD = {params.power_down_threshold:g} s", "priority": "NA"},
+        {"transition": "T5", "firing_distribution": "Instantaneous",
+         "delay": "-", "priority": "2"},
+        {"transition": "T6", "firing_distribution": "Instantaneous",
+         "delay": "-", "priority": "3"},
+        {"transition": "PUT", "firing_distribution": "Deterministic",
+         "delay": f"PUD = {params.power_up_delay:g} s", "priority": "NA"},
+    ]
+
+
+class PetriCPUModel:
+    """Runs the Figure 3 net and extracts the paper's statistics.
+
+    The paper: "computing the average number of tokens in places during the
+    simulation time results in the steady state percentage of time the CPU
+    spends in the corresponding state".  Concretely:
+
+    - standby  = mean tokens in ``Stand_By``
+    - powerup  = mean tokens in ``Power_Up``
+    - active   = mean tokens in ``Active``
+    - idle     = mean of the indicator "``CPU_ON`` marked and ``Active``
+      empty" (equivalently ``mean(CPU_ON) - mean(Active)`` by the
+      ``Idle + Active = 1`` invariant)
+    """
+
+    def __init__(
+        self,
+        params: CPUModelParams,
+        streams: Optional[StreamManager] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.params = params
+        self.net = build_cpu_net(params)
+        self.streams = streams if streams is not None else StreamManager(seed)
+
+    def _make_simulator(self) -> PetriNetSimulator:
+        sim = PetriNetSimulator(self.net, streams=self.streams)
+        compiled = self.net.compile()
+        i_on = compiled.place_names.index("CPU_ON")
+        i_active = compiled.place_names.index("Active")
+        sim.watch(
+            "idle_state",
+            lambda m, _on=i_on, _act=i_active: 1.0 if m[_on] >= 1 and m[_act] == 0 else 0.0,
+        )
+        return sim
+
+    def run(self, horizon: float, warmup: float = 0.0) -> PetriCPUResult:
+        """One simulation run of the net."""
+        raw = self._make_simulator().run(horizon=horizon, warmup=warmup)
+        fractions = StateFractions(
+            idle=raw.watcher("idle_state"),
+            standby=raw.mean_tokens("Stand_By"),
+            powerup=raw.mean_tokens("Power_Up"),
+            active=raw.mean_tokens("Active"),
+        )
+        return PetriCPUResult(fractions=fractions, raw=raw)
+
+    def run_replicated(
+        self, horizon: float, n_replications: int, warmup: float = 0.0
+    ) -> PetriCPUResult:
+        """Average fractions over independent replications.
+
+        Replication *i* uses streams derived from ``(seed, i)`` via
+        :meth:`StreamManager.for_replication`, so results are reproducible
+        and order-independent.
+        """
+        if n_replications < 1:
+            raise ValueError("n_replications must be >= 1")
+        base = self.streams
+        results = []
+        for i in range(n_replications):
+            self.streams = base.for_replication(i)
+            results.append(self.run(horizon=horizon, warmup=warmup))
+        self.streams = base
+        fractions = StateFractions.mean(r.fractions for r in results)
+        return PetriCPUResult(fractions=fractions, raw=results[-1].raw)

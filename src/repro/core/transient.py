@@ -1,0 +1,260 @@
+"""Transient analysis: energy and battery depletion over finite horizons.
+
+The paper analyses only the steady state.  A deployed node, however, starts
+from a known state (fresh battery, CPU asleep) and its *finite-horizon*
+energy differs from `steady-state power x time` while the initial transient
+decays.  This module answers the transient questions:
+
+- expected state occupancy over ``[0, t]`` starting from standby
+  (phase-type CTMC + uniformization),
+- expected energy consumed by time ``t`` (accumulated reward),
+- battery depletion curves and time-to-empty, including the crossover
+  time after which the steady-state approximation is accurate.
+
+Everything is analytical — the same phase-type chain used by
+:mod:`repro.core.phase_type`, evaluated transiently — so these curves are
+noise-free and fast enough to embed in design-space sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import expm_multiply
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.params import CPUModelParams, StateFractions
+from repro.core.phase_type import PhaseTypeModel
+
+__all__ = ["TransientCurve", "TransientEnergyModel"]
+
+
+@dataclass(frozen=True)
+class TransientCurve:
+    """Expected occupancy and cumulative energy at a grid of times."""
+
+    times: np.ndarray
+    occupancy: Dict[str, np.ndarray]  # state -> fraction at each time
+    cumulative_energy_joules: np.ndarray
+    steady_state_power_mw: float
+
+    def occupancy_at(self, index: int) -> StateFractions:
+        return StateFractions(
+            idle=float(self.occupancy["idle"][index]),
+            standby=float(self.occupancy["standby"][index]),
+            powerup=float(self.occupancy["powerup"][index]),
+            active=float(self.occupancy["active"][index]),
+        )
+
+    def relative_transient_error(self) -> np.ndarray:
+        """|E(t) - steady_rate * t| / (steady_rate * t) at each grid time.
+
+        Shows how quickly `power x time` becomes a valid approximation.
+        """
+        steady = self.steady_state_power_mw * self.times / 1000.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.abs(self.cumulative_energy_joules - steady) / steady
+        rel[self.times == 0.0] = 0.0
+        return rel
+
+
+class TransientEnergyModel:
+    """Finite-horizon analysis of the power-managed CPU.
+
+    Parameters
+    ----------
+    params:
+        CPU parameters.
+    stages:
+        Erlang stages for the two constant delays (accuracy knob, as in
+        :class:`~repro.core.phase_type.PhaseTypeModel`).
+    """
+
+    def __init__(self, params: CPUModelParams, stages: int = 16) -> None:
+        self.params = params
+        self.model = PhaseTypeModel(params, stages=stages)
+        self._states, self._index = self.model._build_states()
+        self._Q = self._build_generator()
+        self._power_vector = self._build_power_vector()
+
+    # ------------------------------------------------------------------ #
+    def _build_generator(self) -> sparse.csr_matrix:
+        """Reassemble the phase-type generator (sparse, reused per query)."""
+        # reuse PhaseTypeModel's construction logic by rebuilding the COO
+        # triplets; duplicated intentionally to keep the solver's internals
+        # private
+        p = self.params
+        lam, mu = p.arrival_rate, p.service_rate
+        T, D = p.power_down_threshold, p.power_up_delay
+        has_pu = D > 0.0
+        has_idle = T > 0.0
+        k_d, k_t = self.model.k_d, self.model.k_t
+        rate_d = k_d / D if has_pu else 0.0
+        rate_t = k_t / T if has_idle else 0.0
+        n_max = self.model.n_max
+        index = self._index
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+
+        def add(src, dst, rate: float) -> None:
+            rows.append(index[src])
+            cols.append(index[dst])
+            vals.append(rate)
+
+        first: Tuple = ("powerup", 1, 1) if has_pu else ("busy", 1)
+        add(("standby",), first, lam)
+        if has_pu:
+            for j in range(1, k_d + 1):
+                for n in range(1, n_max + 1):
+                    if n < n_max:
+                        add(("powerup", j, n), ("powerup", j, n + 1), lam)
+                    if j < k_d:
+                        add(("powerup", j, n), ("powerup", j + 1, n), rate_d)
+                    else:
+                        add(("powerup", j, n), ("busy", n), rate_d)
+        for n in range(1, n_max + 1):
+            if n < n_max:
+                add(("busy", n), ("busy", n + 1), lam)
+            if n >= 2:
+                add(("busy", n), ("busy", n - 1), mu)
+            else:
+                add(("busy", 1), ("idle", 1) if has_idle else ("standby",), mu)
+        if has_idle:
+            for i in range(1, k_t + 1):
+                add(("idle", i), ("busy", 1), lam)
+                if i < k_t:
+                    add(("idle", i), ("idle", i + 1), rate_t)
+                else:
+                    add(("idle", i), ("standby",), rate_t)
+
+        n_states = len(self._states)
+        Q = sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(n_states, n_states)
+        ).tocsr()
+        out = np.asarray(Q.sum(axis=1)).ravel()
+        return (Q - sparse.diags(out)).tocsr()
+
+    def _build_power_vector(self) -> np.ndarray:
+        profile = self.params.profile
+        power = np.empty(len(self._states))
+        for i, s in enumerate(self._states):
+            kind = s[0]
+            if kind == "standby":
+                power[i] = profile.standby_mw
+            elif kind == "powerup":
+                power[i] = profile.powerup_mw
+            elif kind == "busy":
+                power[i] = profile.active_mw
+            else:
+                power[i] = profile.idle_mw
+        return power
+
+    def _initial_distribution(self) -> np.ndarray:
+        p0 = np.zeros(len(self._states))
+        p0[self._index[("standby",)]] = 1.0
+        return p0
+
+    # ------------------------------------------------------------------ #
+    def occupancy_at(self, t: float) -> StateFractions:
+        """Expected state fractions at time *t* starting from standby."""
+        if t < 0.0:
+            raise ValueError("t must be >= 0")
+        p0 = self._initial_distribution()
+        if t == 0.0:
+            pt = p0
+        else:
+            pt = expm_multiply((self._Q.T * t).tocsc(), p0)
+            pt = np.clip(pt, 0.0, None)
+        return self._collapse(pt)
+
+    def _collapse(self, pt: np.ndarray) -> StateFractions:
+        acc = {"idle": 0.0, "standby": 0.0, "powerup": 0.0, "active": 0.0}
+        for i, s in enumerate(self._states):
+            kind = s[0]
+            if kind == "busy":
+                acc["active"] += pt[i]
+            elif kind == "powerup":
+                acc["powerup"] += pt[i]
+            elif kind == "standby":
+                acc["standby"] += pt[i]
+            else:
+                acc["idle"] += pt[i]
+        total = sum(acc.values())
+        return StateFractions(**{k: v / total for k, v in acc.items()})
+
+    def curve(self, horizon: float, n_points: int = 50) -> TransientCurve:
+        """Occupancy and cumulative energy on an evenly spaced grid.
+
+        Cumulative energy integrates the instantaneous expected power with
+        the trapezoid rule on the same grid (the integrand is smooth).
+        """
+        if horizon <= 0.0:
+            raise ValueError("horizon must be > 0")
+        if n_points < 2:
+            raise ValueError("n_points must be >= 2")
+        times = np.linspace(0.0, horizon, n_points)
+        p0 = self._initial_distribution()
+        # expm_multiply evaluates the action of exp(Q^T t) on p0 over the grid
+        trajectory = expm_multiply(
+            self._Q.T, p0, start=0.0, stop=horizon, num=n_points
+        )
+        occupancy = {
+            k: np.zeros(n_points) for k in ("idle", "standby", "powerup", "active")
+        }
+        power_t = np.zeros(n_points)
+        for row in range(n_points):
+            pt = np.clip(trajectory[row], 0.0, None)
+            pt = pt / pt.sum()
+            f = self._collapse(pt)
+            occupancy["idle"][row] = f.idle
+            occupancy["standby"][row] = f.standby
+            occupancy["powerup"][row] = f.powerup
+            occupancy["active"][row] = f.active
+            power_t[row] = float(pt @ self._power_vector)
+        cumulative = np.concatenate(
+            ([0.0], np.cumsum(np.diff(times) * 0.5 * (power_t[1:] + power_t[:-1])))
+        ) / 1000.0
+        steady_mw = ExactRenewalModel(self.params).energy_rate_mw()
+        return TransientCurve(
+            times=times,
+            occupancy=occupancy,
+            cumulative_energy_joules=cumulative,
+            steady_state_power_mw=steady_mw,
+        )
+
+    # ------------------------------------------------------------------ #
+    def time_to_empty(
+        self,
+        battery_joules: float,
+        tolerance: float = 1e-3,
+    ) -> float:
+        """Expected time until *battery_joules* have been consumed.
+
+        Uses the steady-state rate with a transient correction: solves
+        ``E(t) = battery`` on the transient curve when the budget empties
+        inside the transient window, otherwise extrapolates at the exact
+        steady-state rate (valid because the transient bias decays).
+        """
+        if battery_joules <= 0.0:
+            raise ValueError("battery capacity must be > 0")
+        steady_w = ExactRenewalModel(self.params).energy_rate_mw() / 1000.0
+        rough = battery_joules / steady_w
+        # transient window: several regeneration cycles
+        window = min(
+            rough,
+            10.0 * ExactRenewalModel(self.params).solve().mean_cycle_length,
+        )
+        curve = self.curve(max(window, 1e-6), n_points=64)
+        consumed = curve.cumulative_energy_joules
+        if consumed[-1] >= battery_joules:
+            # empties inside the window: invert the curve by interpolation
+            return float(
+                np.interp(battery_joules, consumed, curve.times)
+            )
+        remaining = battery_joules - float(consumed[-1])
+        return float(curve.times[-1]) + remaining / steady_w

@@ -1,0 +1,91 @@
+"""Discrete-event simulation kernel.
+
+This package is the simulation substrate for the whole library.  It provides
+
+- an event-driven simulation :class:`~repro.des.engine.Simulator` (event heap
+  plus a monotonically advancing clock),
+- reproducible, independently seedable random-number streams
+  (:mod:`repro.des.random_streams`),
+- distribution objects shared by the workload generators and the Petri net
+  engine (:mod:`repro.des.distributions`),
+- statistics collectors for terminating and steady-state simulation:
+  time-weighted averages, Welford tallies, batch means, confidence
+  intervals and MSER warm-up truncation (:mod:`repro.des.statistics`),
+- state-occupancy monitors and trace recorders (:mod:`repro.des.monitors`),
+- a replication runner with optional multiprocessing fan-out
+  (:mod:`repro.des.replication`).
+
+The kernel is deliberately callback-based (schedule a callable at an absolute
+or relative time) rather than coroutine-based: callback scheduling keeps the
+hot loop free of generator overhead, which matters because the Petri net
+token game schedules and cancels events at a high rate.
+"""
+
+from repro.des.distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+from repro.des.engine import Simulator, SimulationError
+from repro.des.events import Event, EventQueue
+from repro.des.monitors import StateOccupancyMonitor, TraceRecorder
+from repro.des.precision import PrecisionResult, run_until_precise
+from repro.des.process import ProcessEnvironment, Process, Resource, Timeout
+from repro.des.random_streams import StreamManager
+from repro.des.replication import (
+    ReplicationResult,
+    ReplicationSummary,
+    run_replications,
+)
+from repro.des.statistics import (
+    BatchMeans,
+    TallyStatistic,
+    TimeWeightedStatistic,
+    confidence_interval,
+    mser_truncation_point,
+)
+
+__all__ = [
+    "BatchMeans",
+    "Deterministic",
+    "Distribution",
+    "Empirical",
+    "Erlang",
+    "Event",
+    "EventQueue",
+    "Exponential",
+    "Gamma",
+    "HyperExponential",
+    "LogNormal",
+    "Pareto",
+    "PrecisionResult",
+    "Process",
+    "ProcessEnvironment",
+    "ReplicationResult",
+    "ReplicationSummary",
+    "Resource",
+    "Simulator",
+    "SimulationError",
+    "StateOccupancyMonitor",
+    "StreamManager",
+    "TallyStatistic",
+    "TimeWeightedStatistic",
+    "Timeout",
+    "TraceRecorder",
+    "TruncatedNormal",
+    "Uniform",
+    "Weibull",
+    "confidence_interval",
+    "mser_truncation_point",
+    "run_replications",
+    "run_until_precise",
+]

@@ -1,0 +1,196 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns a clock and an :class:`~repro.des.events.EventQueue`
+and advances by repeatedly popping the earliest event and running its action.
+Actions may schedule further events (at or after the current time) and may
+stop the run.  The engine enforces the fundamental DES invariant — time never
+goes backwards — and exposes hooks for tracing.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def arrival():
+        ...                       # mutate model state
+        sim.schedule(rng.exponential(1.0), arrival)
+
+    sim.schedule(0.0, arrival)
+    sim.run_until(1000.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.des.events import Event, EventQueue
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine detects an inconsistent schedule.
+
+    Examples: scheduling into the past, NaN delays, or exceeding the
+    configured event budget (a runaway-model guard).
+    """
+
+
+class Simulator:
+    """Event-driven simulator with a monotonic clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value (default ``0.0``).
+    max_events:
+        Hard cap on the number of events executed in one :meth:`run_until` /
+        :meth:`run` call; protects against accidental infinite immediate
+        loops in user models.  ``None`` disables the cap.
+    trace_hook:
+        Optional callable ``(time, event) -> None`` invoked just before each
+        event action runs.
+    """
+
+    __slots__ = (
+        "now",
+        "queue",
+        "max_events",
+        "trace_hook",
+        "events_executed",
+        "_stopped",
+        "_compact_interval",
+    )
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        max_events: Optional[int] = None,
+        trace_hook: Optional[Callable[[float, Event], None]] = None,
+    ) -> None:
+        self.now = float(start_time)
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.trace_hook = trace_hook
+        self.events_executed = 0
+        self._stopped = False
+        self._compact_interval = 4096
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: Any = None,
+    ) -> Event:
+        """Schedule *action* to run ``delay`` time units from now.
+
+        Returns the :class:`Event`, whose :meth:`~Event.cancel` method (or
+        :meth:`Simulator.cancel`) descheduling it.
+        """
+        if delay < 0.0 or delay != delay:
+            raise SimulationError(f"invalid delay {delay!r} at t={self.now}")
+        return self.queue.push(Event(self.now + delay, action, priority, tag))
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: Any = None,
+    ) -> Event:
+        """Schedule *action* at absolute simulation time *time*."""
+        if time < self.now or time != time:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}; clock is already at {self.now}"
+            )
+        return self.queue.push(Event(time, action, priority, tag))
+
+    def cancel(self, event: Event) -> None:
+        """Deschedule a previously scheduled event (lazy O(1))."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Request that the current run loop exit after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute exactly one event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event at t={event.time} popped while clock at {self.now}"
+            )
+        self.now = event.time
+        if self.trace_hook is not None:
+            self.trace_hook(self.now, event)
+        event.action()
+        self.events_executed += 1
+        if self.events_executed % self._compact_interval == 0:
+            self.queue.compact()
+        return True
+
+    def run(self) -> float:
+        """Run until the event queue empties or :meth:`stop` is called.
+
+        Returns the final clock value.
+        """
+        self._stopped = False
+        budget = self.max_events
+        while not self._stopped:
+            if budget is not None and self.events_executed >= budget:
+                raise SimulationError(
+                    f"event budget of {budget} exhausted at t={self.now}"
+                )
+            if not self.step():
+                break
+        return self.now
+
+    def run_until(self, end_time: float) -> float:
+        """Run events with time ``<= end_time``; leave the clock at *end_time*.
+
+        Events scheduled exactly at ``end_time`` are executed.  On return the
+        clock equals ``end_time`` even if the queue drained earlier, so
+        time-weighted statistics can be finalised at a well-defined horizon.
+        """
+        if end_time < self.now:
+            raise SimulationError(
+                f"run_until({end_time}) but clock already at {self.now}"
+            )
+        self._stopped = False
+        budget = self.max_events
+        while not self._stopped:
+            if budget is not None and self.events_executed >= budget:
+                raise SimulationError(
+                    f"event budget of {budget} exhausted at t={self.now}"
+                )
+            t_next = self.queue.peek_time()
+            if t_next is None or t_next > end_time:
+                break
+            self.step()
+        if self.now < end_time:
+            self.now = end_time
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def pending_count(self) -> int:
+        """Number of live scheduled events."""
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.6g}, pending={len(self.queue)}, "
+            f"executed={self.events_executed})"
+        )

@@ -1,0 +1,129 @@
+"""Monitors: turn raw simulation state changes into analysable series.
+
+:class:`StateOccupancyMonitor` tracks a categorical state variable (the
+CPU's power state) and reports the fraction of time spent in each state —
+precisely the "steady state percentage" quantity in the paper's Figure 4.
+
+:class:`TraceRecorder` captures a bounded event trace for debugging and for
+the trace-driven workload replays in :mod:`repro.workload.trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.des.statistics import TimeWeightedStatistic
+
+__all__ = ["StateOccupancyMonitor", "TraceRecorder"]
+
+
+class StateOccupancyMonitor:
+    """Fraction of time a categorical signal spends in each state.
+
+    Parameters
+    ----------
+    states:
+        The complete set of states that may occur.  Declaring them up front
+        means results always contain every state (with 0.0 occupancy when
+        never visited), which keeps downstream tables rectangular.
+    initial_state:
+        State at ``start_time``.
+    start_time:
+        Observation start (post-warm-up).
+    """
+
+    def __init__(
+        self,
+        states: Sequence[Hashable],
+        initial_state: Hashable,
+        start_time: float = 0.0,
+    ) -> None:
+        if initial_state not in states:
+            raise ValueError(f"initial state {initial_state!r} not in {states!r}")
+        self._indicators: Dict[Hashable, TimeWeightedStatistic] = {
+            s: TimeWeightedStatistic(
+                1.0 if s == initial_state else 0.0, start_time=start_time
+            )
+            for s in states
+        }
+        self._state = initial_state
+        self._transitions = 0
+
+    @property
+    def current_state(self) -> Hashable:
+        return self._state
+
+    @property
+    def transition_count(self) -> int:
+        return self._transitions
+
+    def transition(self, time: float, new_state: Hashable) -> None:
+        """Record a state change at *time* (self-transitions are allowed)."""
+        if new_state not in self._indicators:
+            raise KeyError(f"unknown state {new_state!r}")
+        if new_state == self._state:
+            return
+        self._indicators[self._state].update(time, 0.0)
+        self._indicators[new_state].update(time, 1.0)
+        self._state = new_state
+        self._transitions += 1
+
+    def occupancy(self, until: float) -> Dict[Hashable, float]:
+        """Fractions of time per state over ``[start_time, until]``.
+
+        The fractions sum to 1 (up to float rounding).
+        """
+        return {
+            s: ind.time_average(until) for s, ind in self._indicators.items()
+        }
+
+    def occupancy_percent(self, until: float) -> Dict[Hashable, float]:
+        """Occupancy scaled to percent — the paper's Figure 4 unit."""
+        return {s: 100.0 * f for s, f in self.occupancy(until).items()}
+
+
+class TraceRecorder:
+    """Bounded in-memory event trace.
+
+    Records ``(time, label, payload)`` triples.  When ``capacity`` is reached
+    the recorder stops appending (and remembers how many events were
+    dropped) instead of silently consuming unbounded memory during long
+    steady-state runs.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0 or None")
+        self.capacity = capacity
+        self._events: List[Tuple[float, str, Any]] = []
+        self.dropped = 0
+
+    def record(self, time: float, label: str, payload: Any = None) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append((time, label, payload))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[Tuple[float, str, Any]]:
+        return list(self._events)
+
+    def labels(self) -> List[str]:
+        return [label for _, label, _ in self._events]
+
+    def times(self) -> List[float]:
+        return [t for t, _, _ in self._events]
+
+    def filter(self, label: str) -> List[Tuple[float, str, Any]]:
+        """All events with the given label."""
+        return [e for e in self._events if e[1] == label]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

@@ -1,0 +1,202 @@
+"""Process-interaction API on top of the event kernel.
+
+The callback style of :class:`~repro.des.engine.Simulator` is fast but
+models with long sequential behaviours (think → submit → wait → think …)
+read better as *processes*: Python generators that ``yield`` the things
+they wait for.  This module provides that layer:
+
+- ``yield env.timeout(5.0)`` — wait 5 time units,
+- ``yield resource.request()`` … ``resource.release()`` — queue for a
+  server,
+- ``yield other_process`` — join another process.
+
+It is intentionally a small subset of the SimPy surface — enough for the
+examples and for users who prefer process-style modelling — executing on
+exactly the same engine, clock, and statistics as the rest of the library.
+
+Example::
+
+    env = ProcessEnvironment(seed=1)
+
+    def customer(env, server):
+        yield env.timeout(1.0)
+        req = server.request()
+        yield req
+        yield env.timeout(0.5)        # service
+        server.release()
+
+    env.spawn(customer(env, server))
+    env.run_until(100.0)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+from repro.des.engine import SimulationError, Simulator
+from repro.des.random_streams import StreamManager
+
+__all__ = ["ProcessEnvironment", "Process", "Resource", "Timeout"]
+
+ProcessGen = Generator[Any, Any, None]
+
+
+class Timeout:
+    """A delay a process can yield on."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0.0:
+            raise ValueError("timeout delay must be >= 0")
+        self.delay = float(delay)
+
+
+class _Request:
+    """Internal: one pending resource acquisition."""
+
+    __slots__ = ("resource", "process", "granted")
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+        self.process: Optional["Process"] = None
+        self.granted = False
+
+
+class Process:
+    """A running generator-based process."""
+
+    __slots__ = ("env", "generator", "finished", "_waiters", "name")
+
+    def __init__(self, env: "ProcessEnvironment", generator: ProcessGen,
+                 name: str = "process") -> None:
+        self.env = env
+        self.generator = generator
+        self.finished = False
+        self._waiters: List["Process"] = []
+        self.name = name
+
+    def _advance(self, value: Any = None) -> None:
+        """Resume the generator and interpret what it yields next."""
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration:
+            self.finished = True
+            for waiter in self._waiters:
+                self.env._schedule_resume(waiter)
+            self._waiters.clear()
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        env = self.env
+        if isinstance(yielded, Timeout):
+            env.sim.schedule(yielded.delay, lambda: self._advance())
+        elif isinstance(yielded, _Request):
+            yielded.process = self
+            yielded.resource._enqueue(yielded)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                env._schedule_resume(self)
+            else:
+                yielded._waiters.append(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}; "
+                "yield a Timeout, a resource request, or a Process"
+            )
+
+
+class Resource:
+    """A counted resource with FIFO queueing.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of concurrent holders.
+    """
+
+    def __init__(self, env: "ProcessEnvironment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = int(capacity)
+        self.in_use = 0
+        self._queue: Deque[_Request] = deque()
+        self.total_requests = 0
+        self.total_waits = 0  # requests that had to queue
+
+    def request(self) -> _Request:
+        """Create a request to yield on."""
+        return _Request(self)
+
+    def _enqueue(self, req: _Request) -> None:
+        self.total_requests += 1
+        if self.in_use < self.capacity and not self._queue:
+            self.in_use += 1
+            req.granted = True
+            self.env._schedule_resume(req.process)
+        else:
+            self.total_waits += 1
+            self._queue.append(req)
+
+    def release(self) -> None:
+        """Release one unit; wakes the longest-waiting requester."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching grant")
+        if self._queue:
+            req = self._queue.popleft()
+            req.granted = True
+            self.env._schedule_resume(req.process)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class ProcessEnvironment:
+    """Owns the engine and the process bookkeeping."""
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        streams: Optional[StreamManager] = None,
+    ) -> None:
+        self.sim = Simulator()
+        self.streams = streams if streams is not None else StreamManager(seed)
+        self._spawned = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def spawn(self, generator: ProcessGen, name: Optional[str] = None) -> Process:
+        """Start a process; it begins executing at the current time."""
+        self._spawned += 1
+        proc = Process(self, generator, name or f"process-{self._spawned}")
+        self._schedule_resume(proc)
+        return proc
+
+    def resource(self, capacity: int = 1) -> Resource:
+        return Resource(self, capacity)
+
+    def _schedule_resume(self, proc: Process, value: Any = None) -> None:
+        self.sim.schedule(0.0, lambda: proc._advance(value))
+
+    # ------------------------------------------------------------------ #
+    def run_until(self, horizon: float) -> float:
+        """Run all processes until *horizon*."""
+        return self.sim.run_until(horizon)
+
+    def run(self) -> float:
+        """Run until no process has pending work."""
+        return self.sim.run()

@@ -1,0 +1,36 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+See :mod:`repro.experiments.paper_experiments` for the per-artifact entry
+points and :mod:`repro.experiments.cli` for the command line
+(``repro-experiments run fig4`` / ``python -m repro run fig4``).
+"""
+
+from repro.experiments.paper_experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    ExperimentResult,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.reporting import ascii_plot, format_table, write_csv
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ascii_plot",
+    "format_table",
+    "run_figure4",
+    "run_figure5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "write_csv",
+]

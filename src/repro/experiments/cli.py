@@ -1,0 +1,100 @@
+"""Command-line interface for the experiment harness.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig4
+    repro-experiments run table4 --full --csv-dir results/
+    repro-experiments run all --csv-dir results/
+    python -m repro run fig5
+
+Fast mode (default) finishes in seconds; ``--full`` reproduces the paper's
+0.1-step threshold grid with long runs (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.paper_experiments import EXPERIMENTS, ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Energy Modeling of "
+            "Processors in Wireless Sensor Networks based on Petri Nets' "
+            "(Shareef & Zhu, 2008)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="list available experiments")
+    list_p.set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full-fidelity grid and horizons (slow; paper-quality)",
+    )
+    run_p.add_argument(
+        "--seed", type=int, default=20080901, help="master random seed"
+    )
+    run_p.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write <experiment>.csv files into this directory",
+    )
+    run_p.set_defaults(func=_cmd_run)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name:8s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(fast=not args.full, seed=args.seed)
+    names: List[str] = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"\n[{name} finished in {elapsed:.2f} s]")
+        if args.csv_dir is not None:
+            path = result.write_csv(args.csv_dir)
+            print(f"[wrote {path}]")
+        if len(names) > 1:
+            print("\n" + "#" * 78 + "\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (console script and ``python -m repro``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,435 @@
+"""The paper's evaluation artifacts, regenerated.
+
+One entry point per table/figure of Shareef & Zhu (2008):
+
+=========  =======================================================
+``fig4``   steady-state percentages vs Power Down Threshold
+           (D = 0.001 s) for simulation / Markov / Petri net
+``fig5``   eq.-25 energy vs Power Down Threshold, same models
+``table4`` avg Δ steady-state percentage for D ∈ {0.001, 0.3, 10}
+``table5`` avg Δ energy (J) for the same grid
+``table1`` the Petri net transition parameters (structure echo)
+``table2`` simulation parameters (with the documented service-rate
+           interpretation)
+``table3`` PXA271 power rates
+=========  =======================================================
+
+Every experiment accepts an :class:`ExperimentConfig`; ``fast=True`` (the
+default) uses a coarse grid and short runs suitable for CI, ``fast=False``
+reproduces the paper's full grid with long runs.  Results render as ASCII
+(tables/plots) and export CSV rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.comparison import (
+    SweepConfig,
+    SweepResult,
+    delta_table,
+    energy_delta_table,
+    run_threshold_sweep,
+)
+from repro.core.params import (
+    PAPER_TOTAL_SIMULATED_TIME,
+    PXA271,
+    CPUModelParams,
+    STATE_NAMES,
+)
+from repro.core.petri_cpu import describe_transitions
+from repro.experiments.reporting import ascii_plot, format_table, write_csv
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_figure4",
+    "run_figure5",
+    "run_table4",
+    "run_table5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "EXPERIMENTS",
+]
+
+#: Power Up Delays swept by Tables 4 and 5.
+PAPER_POWER_UP_DELAYS = (0.001, 0.3, 10.0)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Cost/accuracy configuration shared by all experiments.
+
+    ``fast`` keeps CI runtimes in seconds; the full configuration uses the
+    paper's 0.1-step threshold grid with much longer runs.
+    """
+
+    fast: bool = True
+    seed: int = 20080901
+    models: Tuple[str, ...] = ("simulation", "markov", "petri", "exact")
+
+    def thresholds(self) -> Tuple[float, ...]:
+        if self.fast:
+            return (0.0, 0.25, 0.5, 0.75, 1.0)
+        return tuple(round(0.1 * i, 1) for i in range(11))
+
+    def sweep_config(self) -> SweepConfig:
+        if self.fast:
+            return SweepConfig(
+                sim_horizon=2_000.0,
+                sim_warmup=100.0,
+                sim_replications=3,
+                petri_horizon=2_000.0,
+                petri_warmup=100.0,
+                petri_replications=2,
+                phase_stages=16,
+                seed=self.seed,
+            )
+        return SweepConfig(
+            sim_horizon=20_000.0,
+            sim_warmup=500.0,
+            sim_replications=10,
+            petri_horizon=20_000.0,
+            petri_warmup=500.0,
+            petri_replications=5,
+            phase_stages=64,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text plus CSV-ready rows for one artifact."""
+
+    name: str
+    text: str
+    csv_headers: List[str]
+    csv_rows: List[List[object]]
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return self.text
+
+    def write_csv(self, directory: Path) -> Path:
+        return write_csv(
+            Path(directory) / f"{self.name}.csv", self.csv_headers, self.csv_rows
+        )
+
+
+# ---------------------------------------------------------------------- #
+# shared sweeps (cached per config so table4+table5 pay once)
+# ---------------------------------------------------------------------- #
+@lru_cache(maxsize=8)
+def _sweep_for_delay(config: ExperimentConfig, delay: float) -> SweepResult:
+    params = CPUModelParams.paper_defaults(D=delay)
+    return run_threshold_sweep(
+        params,
+        thresholds=config.thresholds(),
+        models=config.models,
+        config=config.sweep_config(),
+    )
+
+
+def _sweeps_for_table(config: ExperimentConfig) -> Dict[float, SweepResult]:
+    return {d: _sweep_for_delay(config, d) for d in PAPER_POWER_UP_DELAYS}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4
+# ---------------------------------------------------------------------- #
+def run_figure4(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Figure 4: state percentages vs threshold at D = 0.001 s."""
+    sweep = _sweep_for_delay(config, 0.001)
+    thresholds = np.asarray(sweep.thresholds)
+
+    sections: List[str] = [
+        "Figure 4 — steady-state percentage of time vs Power Down Threshold "
+        "(Power Up Delay = 0.001 s)",
+        "",
+    ]
+    # one plot per state, all models overlaid (the paper overlays states;
+    # per-state panels read better in ASCII)
+    for state in STATE_NAMES:
+        series = {
+            model: sweep.series_percent(model, state)
+            for model in sweep.models()
+        }
+        sections.append(
+            ascii_plot(
+                thresholds,
+                series,
+                title=f"[{state}] percentage of time (%)",
+                x_label="Power Down Threshold (s)",
+                width=60,
+                height=12,
+            )
+        )
+        sections.append("")
+
+    headers = ["threshold_s"] + [
+        f"{model}_{state}_pct"
+        for model in sweep.models()
+        for state in STATE_NAMES
+    ]
+    rows: List[List[object]] = []
+    for i, t in enumerate(sweep.thresholds):
+        row: List[object] = [t]
+        for model in sweep.models():
+            f = sweep.fractions[model][i]
+            row.extend(100.0 * getattr(f, s) for s in STATE_NAMES)
+        rows.append(row)
+
+    table_rows = []
+    for i, t in enumerate(sweep.thresholds):
+        for model in sweep.models():
+            f = sweep.fractions[model][i].as_percent_dict()
+            table_rows.append(
+                [t, model] + [f[s] for s in STATE_NAMES]
+            )
+    sections.append(
+        format_table(
+            ["T (s)", "model", "idle %", "standby %", "powerup %", "active %"],
+            table_rows,
+            title="Figure 4 data",
+        )
+    )
+    return ExperimentResult(
+        name="figure4",
+        text="\n".join(sections),
+        csv_headers=headers,
+        csv_rows=rows,
+        extra={"sweep": sweep},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5
+# ---------------------------------------------------------------------- #
+def run_figure5(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Figure 5: eq.-25 energy (J over 1000 s) vs threshold at D = 0.001 s."""
+    sweep = _sweep_for_delay(config, 0.001)
+    thresholds = np.asarray(sweep.thresholds)
+    duration = PAPER_TOTAL_SIMULATED_TIME
+
+    series = {
+        model: sweep.energies_joules(model, duration)
+        for model in sweep.models()
+    }
+    plot = ascii_plot(
+        thresholds,
+        series,
+        title=(
+            "Figure 5 — energy (J) over 1000 s vs Power Down Threshold "
+            "(Power Up Delay = 0.001 s)"
+        ),
+        x_label="Power Down Threshold (s)",
+        y_label="Joules",
+        width=60,
+        height=14,
+    )
+    headers = ["threshold_s"] + [f"{m}_energy_J" for m in sweep.models()]
+    rows: List[List[object]] = []
+    table_rows: List[List[object]] = []
+    for i, t in enumerate(sweep.thresholds):
+        row: List[object] = [t]
+        trow: List[object] = [t]
+        for model in sweep.models():
+            e = float(series[model][i])
+            row.append(e)
+            trow.append(e)
+        rows.append(row)
+        table_rows.append(trow)
+    table = format_table(
+        ["T (s)"] + [f"{m} (J)" for m in sweep.models()],
+        table_rows,
+        title="Figure 5 data",
+    )
+    return ExperimentResult(
+        name="figure5",
+        text=plot + "\n\n" + table,
+        csv_headers=headers,
+        csv_rows=rows,
+        extra={"sweep": sweep},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Tables 4 and 5
+# ---------------------------------------------------------------------- #
+_PAIRS = (
+    ("simulation", "markov"),
+    ("simulation", "petri"),
+    ("markov", "petri"),
+)
+
+
+def run_table4(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Table 4: avg Δ steady-state percentages for varying Power Up Delay."""
+    sweeps = _sweeps_for_table(config)
+    rows_raw = delta_table(sweeps, pairs=_PAIRS)
+    headers = ["power_up_delay_s"] + [f"avg_delta_{a}_{b}_pct" for a, b in _PAIRS]
+    rows = [
+        [r["power_up_delay"]] + [r[f"{a}-{b}"] for a, b in _PAIRS]
+        for r in rows_raw
+    ]
+    table = format_table(
+        ["Power Up Delay (s)", "Sim-Markov", "Sim-PN", "Markov-PN"],
+        rows,
+        title=(
+            "Table 4 — avg Δ steady-state percentages (%), summed over the "
+            "four states, averaged over the threshold sweep"
+        ),
+    )
+    note = (
+        "\nPaper reference values: D=0.001 -> 0.338 / 0.351 / 0.076;"
+        " D=0.3 -> 4.182 / 1.677 / 3.338; D=10 -> 116.788 / 16.046 / 103.077.\n"
+        "Expected shape: Sim-Markov grows explosively with D; Sim-PN stays small."
+    )
+    return ExperimentResult(
+        name="table4",
+        text=table + note,
+        csv_headers=headers,
+        csv_rows=rows,
+        extra={"sweeps": sweeps},
+    )
+
+
+def run_table5(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Table 5: avg Δ energy (J) for varying Power Up Delay."""
+    sweeps = _sweeps_for_table(config)
+    rows_raw = energy_delta_table(
+        sweeps, pairs=_PAIRS, duration_s=PAPER_TOTAL_SIMULATED_TIME
+    )
+    headers = ["power_up_delay_s"] + [f"avg_delta_{a}_{b}_J" for a, b in _PAIRS]
+    rows = [
+        [r["power_up_delay"]] + [r[f"{a}-{b}"] for a, b in _PAIRS]
+        for r in rows_raw
+    ]
+    table = format_table(
+        ["Power Up Delay (s)", "Sim-Markov", "Sim-PN", "Markov-PN"],
+        rows,
+        title=(
+            "Table 5 — avg Δ energy consumption (J) over 1000 s, averaged "
+            "over the threshold sweep"
+        ),
+    )
+    note = (
+        "\nPaper reference values: D=0.001 -> 0.154 / 0.166 / 0.037;"
+        " D=0.3 -> 1.558 / 0.298 / 1.401; D=10 -> 24.866 / 1.285 / 25.411.\n"
+        "Expected shape: Markov energy error grows with D; PN error does not."
+    )
+    return ExperimentResult(
+        name="table5",
+        text=table + note,
+        csv_headers=headers,
+        csv_rows=rows,
+        extra={"sweeps": sweeps},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Tables 1–3 (structural/config echoes, kept for completeness)
+# ---------------------------------------------------------------------- #
+def run_table1(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Table 1: the CPU Petri net's transition parameters."""
+    rows_dicts = describe_transitions(CPUModelParams.paper_defaults())
+    headers = ["transition", "firing_distribution", "delay", "priority"]
+    rows = [[r[h] for h in headers] for r in rows_dicts]
+    table = format_table(
+        ["Transition", "Firing Distribution", "Delay", "Priority"],
+        rows,
+        title="Table 1 — CPU Jobs Petri Net Transition Parameters",
+    )
+    return ExperimentResult(
+        name="table1", text=table, csv_headers=headers, csv_rows=rows
+    )
+
+
+def run_table2(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Table 2: simulation parameters (with interpretation note)."""
+    params = CPUModelParams.paper_defaults()
+    rows = [
+        ["Total Simulated Time", f"{PAPER_TOTAL_SIMULATED_TIME:g} sec"],
+        ["Arrival Rate", f"{params.arrival_rate:g} per sec"],
+        [
+            "Service Rate",
+            f"{params.service_rate:g} per sec (paper prints '.1 per sec', "
+            "read as mean service time 0.1 s; see DESIGN.md)",
+        ],
+    ]
+    table = format_table(
+        ["Parameter", "Value"], rows, title="Table 2 — Simulation Parameters"
+    )
+    return ExperimentResult(
+        name="table2",
+        text=table,
+        csv_headers=["parameter", "value"],
+        csv_rows=rows,
+    )
+
+
+def run_table3(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Table 3: PXA271 power rates."""
+    rows = [
+        ["Standby", PXA271.standby_mw],
+        ["Idle", PXA271.idle_mw],
+        ["Powering Up", PXA271.powerup_mw],
+        ["Active", PXA271.active_mw],
+    ]
+    table = format_table(
+        ["State", "Power Rate (mW)"],
+        rows,
+        title="Table 3 — Power Rate Parameters for the PXA271 CPU (mW)",
+    )
+    return ExperimentResult(
+        name="table3",
+        text=table,
+        csv_headers=["state", "power_mw"],
+        csv_rows=rows,
+    )
+
+
+def run_accuracy(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Cost-of-accuracy: wall-clock per model to 1pp error (Section 6)."""
+    from repro.experiments.accuracy import (
+        render_cost_of_accuracy,
+        run_cost_of_accuracy,
+    )
+
+    target = 1.0
+    rows = run_cost_of_accuracy(
+        delays=(0.001, 10.0), target_pct=target, seed=config.seed
+    )
+    text = render_cost_of_accuracy(rows, target)
+    return ExperimentResult(
+        name="accuracy",
+        text=text,
+        csv_headers=[
+            "power_up_delay_s", "model", "error_pp", "wall_clock_s",
+            "reached_target",
+        ],
+        csv_rows=[
+            [r.power_up_delay, r.model, r.achieved_error_pct,
+             r.wall_clock_s, r.reached_target]
+            for r in rows
+        ],
+    )
+
+
+#: Registry used by the CLI and the benchmark harness.
+EXPERIMENTS = {
+    "fig4": run_figure4,
+    "fig5": run_figure5,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "accuracy": run_accuracy,
+}

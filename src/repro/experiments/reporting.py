@@ -1,0 +1,140 @@
+"""Plain-text reporting: ASCII tables, ASCII line plots, CSV export.
+
+The benchmark harness is terminal-first (matplotlib is not a dependency):
+tables render with box-drawing-free ASCII so they diff cleanly, and the
+line plot is a dot-matrix renderer good enough to eyeball the Figure 4/5
+curve shapes.  Every experiment can also dump CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_plot", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float) or isinstance(cell, np.floating):
+            return float_fmt.format(float(cell))
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 68,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Dot-matrix line plot of one or more series over a shared x grid.
+
+    Each series gets a marker character; collisions show the later series.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = np.asarray(x, dtype=np.float64)
+    markers = "*o+x#@%&"
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    if any(np.asarray(v).shape != xs.shape for v in series.values()):
+        raise ValueError("every series must match the x grid length")
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        ys = np.asarray(values, dtype=np.float64)
+        for xv, yv in zip(xs, ys):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = 10
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:9.3g} "
+        elif r == height - 1:
+            label = f"{y_min:9.3g} "
+        elif r == height // 2 and y_label:
+            label = f"{y_label[:9]:>9s} "
+        else:
+            label = " " * label_w
+        lines.append(label + "|" + "".join(row_chars))
+    lines.append(" " * label_w + "+" + "-" * width)
+    x_axis = f"{x_min:<10.3g}{x_label:^{max(width - 20, 0)}}{x_max:>10.3g}"
+    lines.append(" " * (label_w + 1) + x_axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_w + 1) + "legend: " + legend)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows to *path* (parent directories created)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return out
+
+
+def csv_text(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV as a string (for reports embedded in docs)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()

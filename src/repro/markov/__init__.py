@@ -1,0 +1,47 @@
+"""Markov-model substrate: CTMC/DTMC numerics and queueing closed forms.
+
+This package supplies the analytical half of the paper's comparison:
+
+- :mod:`repro.markov.ctmc` — continuous-time Markov chains: generator
+  matrices, steady-state solution, transient solution by uniformization,
+  mean-reward evaluation.
+- :mod:`repro.markov.dtmc` — discrete-time chains (used for embedded-chain
+  analysis and by the reachability-graph exports).
+- :mod:`repro.markov.birth_death` — birth–death chains (the skeleton of the
+  paper's Figure 2) with both numerical and closed-form solutions.
+- :mod:`repro.markov.queueing` — textbook queueing formulas (M/M/1, M/M/1/K,
+  M/M/c, M/G/1, M/D/1, Little's law) used as ground truth in tests.
+- :mod:`repro.markov.supplementary` — Cox's method of supplementary
+  variables for a single deterministic transition grafted onto a Markov
+  chain; the generic machinery behind the paper's Section 4.1 derivation.
+"""
+
+from repro.markov.birth_death import BirthDeathChain
+from repro.markov.ctmc import CTMC
+from repro.markov.dtmc import DTMC
+from repro.markov.queueing import (
+    MachineRepairQueue,
+    MD1Queue,
+    MG1Queue,
+    MM1Queue,
+    MM1KQueue,
+    MMcQueue,
+    little_l,
+    little_w,
+)
+from repro.markov.supplementary import SupplementaryVariableStage
+
+__all__ = [
+    "BirthDeathChain",
+    "CTMC",
+    "DTMC",
+    "MachineRepairQueue",
+    "MD1Queue",
+    "MG1Queue",
+    "MM1KQueue",
+    "MM1Queue",
+    "MMcQueue",
+    "SupplementaryVariableStage",
+    "little_l",
+    "little_w",
+]

@@ -1,0 +1,136 @@
+"""Birth–death chains — the skeleton of the paper's Figure 2.
+
+A birth–death process moves between adjacent integer states ``0..K`` with
+level-dependent birth rates ``lambda_n`` and death rates ``mu_n``.  The
+stationary distribution has the classical product form
+
+``pi_n = pi_0 * prod_{k=0}^{n-1} lambda_k / mu_{k+1}``
+
+which this module evaluates in log space so long chains with extreme rate
+ratios do not overflow.  A :meth:`BirthDeathChain.to_ctmc` export allows the
+closed form to be cross-checked against the generic linear-algebra solver —
+one of the library's internal consistency tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Union
+
+import numpy as np
+
+from repro.markov.ctmc import CTMC
+
+__all__ = ["BirthDeathChain"]
+
+RateSpec = Union[float, Sequence[float], Callable[[int], float]]
+
+
+def _rates_from_spec(spec: RateSpec, n: int, name: str) -> np.ndarray:
+    """Materialise a rate specification into an array of length *n*."""
+    if callable(spec):
+        rates = np.array([float(spec(i)) for i in range(n)])
+    elif np.isscalar(spec):
+        rates = np.full(n, float(spec))
+    else:
+        rates = np.asarray(spec, dtype=np.float64)
+        if rates.shape != (n,):
+            raise ValueError(f"{name} must have length {n}, got {rates.shape}")
+    if np.any(rates < 0.0) or not np.all(np.isfinite(rates)):
+        raise ValueError(f"{name} must be finite and >= 0")
+    return rates
+
+
+class BirthDeathChain:
+    """Finite birth–death chain on states ``0..capacity``.
+
+    Parameters
+    ----------
+    capacity:
+        Highest state index ``K`` (the chain has ``K+1`` states).
+    birth_rates:
+        ``lambda_n`` for ``n = 0..K-1`` — scalar, sequence, or callable.
+    death_rates:
+        ``mu_n`` for ``n = 1..K`` — scalar, sequence (indexed from state 1),
+        or callable receiving the state index.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        birth_rates: RateSpec,
+        death_rates: RateSpec,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        if callable(birth_rates):
+            self.birth = np.array(
+                [float(birth_rates(n)) for n in range(capacity)]
+            )
+        else:
+            self.birth = _rates_from_spec(birth_rates, capacity, "birth_rates")
+        if callable(death_rates):
+            self.death = np.array(
+                [float(death_rates(n)) for n in range(1, capacity + 1)]
+            )
+        else:
+            self.death = _rates_from_spec(death_rates, capacity, "death_rates")
+        if np.any(self.death <= 0.0):
+            raise ValueError("death rates must be > 0 for states 1..K")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_states(self) -> int:
+        return self.capacity + 1
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Product-form stationary distribution, evaluated in log space."""
+        with np.errstate(divide="ignore"):
+            log_ratio = np.log(self.birth) - np.log(self.death)
+        # cumulative log products; state 0 has log weight 0
+        log_w = np.concatenate(([0.0], np.cumsum(log_ratio)))
+        log_w -= log_w.max()  # scale for numerical safety
+        w = np.exp(log_w)
+        return w / w.sum()
+
+    def mean_population(self) -> float:
+        """Steady-state mean state index (mean number in system)."""
+        pi = self.stationary_distribution()
+        return float(np.arange(self.n_states) @ pi)
+
+    def blocking_probability(self) -> float:
+        """Probability of being in the top state (Erlang-B-style blocking)."""
+        return float(self.stationary_distribution()[-1])
+
+    def throughput(self) -> float:
+        """Steady-state accepted birth rate ``sum_n pi_n lambda_n``."""
+        pi = self.stationary_distribution()
+        return float(pi[:-1] @ self.birth)
+
+    def to_ctmc(self) -> CTMC:
+        """Export as a generic CTMC (for cross-validation)."""
+        n = self.n_states
+        Q = np.zeros((n, n))
+        for i in range(self.capacity):
+            Q[i, i + 1] = self.birth[i]
+        for i in range(1, n):
+            Q[i, i - 1] = self.death[i - 1]
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        return CTMC(Q, labels=list(range(n)))
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def truncation_for_mm1(rho: float, tail_mass: float = 1e-12) -> int:
+        """Capacity needed so the truncated M/M/1 misses < *tail_mass*.
+
+        For M/M/1 the stationary tail is ``rho^{K+1}``; solve for K.
+        """
+        if not (0.0 < rho < 1.0):
+            raise ValueError("rho must be in (0, 1)")
+        if not (0.0 < tail_mass < 1.0):
+            raise ValueError("tail_mass must be in (0, 1)")
+        return max(1, int(math.ceil(math.log(tail_mass) / math.log(rho))) + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BirthDeathChain(capacity={self.capacity})"

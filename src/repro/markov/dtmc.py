@@ -1,0 +1,154 @@
+"""Discrete-time Markov chains.
+
+Used for embedded-jump-chain analysis of CTMCs, for the vanishing-marking
+elimination step of the Petri net reachability analysis, and directly by
+users who want continuous-free chain models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DTMC"]
+
+
+class DTMC:
+    """A finite discrete-time Markov chain with stochastic matrix ``P``."""
+
+    def __init__(
+        self,
+        transition_matrix: np.ndarray,
+        labels: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        P = np.asarray(transition_matrix, dtype=np.float64)
+        if P.ndim != 2 or P.shape[0] != P.shape[1]:
+            raise ValueError(f"transition matrix must be square, got {P.shape}")
+        if np.any(P < -1e-12):
+            raise ValueError("transition probabilities must be >= 0")
+        rows = P.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-8):
+            raise ValueError("rows of a stochastic matrix must sum to 1")
+        self.P = np.clip(P, 0.0, None)
+        # exact renormalisation so powers of P stay stochastic
+        self.P /= self.P.sum(axis=1, keepdims=True)
+        self.n = P.shape[0]
+        if labels is None:
+            labels = list(range(self.n))
+        if len(labels) != self.n:
+            raise ValueError("labels length must match matrix size")
+        self.labels: List[Hashable] = list(labels)
+        self._index: Dict[Hashable, int] = {s: i for i, s in enumerate(self.labels)}
+        if len(self._index) != self.n:
+            raise ValueError("labels must be unique")
+
+    @classmethod
+    def from_probabilities(
+        cls,
+        probs: Mapping[Tuple[Hashable, Hashable], float],
+        labels: Optional[Sequence[Hashable]] = None,
+    ) -> "DTMC":
+        """Build from ``{(src, dst): probability}`` (rows must sum to 1)."""
+        if labels is None:
+            seen = {s for pair in probs for s in pair}
+            labels = sorted(seen, key=repr)
+        index = {s: i for i, s in enumerate(labels)}
+        n = len(labels)
+        P = np.zeros((n, n))
+        for (src, dst), p in probs.items():
+            P[index[src], index[dst]] += p
+        return cls(P, labels)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Solve ``pi P = pi`` with ``sum(pi) = 1``."""
+        A = (self.P.T - np.eye(self.n)).copy()
+        A[-1, :] = 1.0
+        b = np.zeros(self.n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(f"singular chain: {exc}") from exc
+        pi = np.where(np.abs(pi) < 1e-13, 0.0, pi)
+        if np.any(pi < -1e-9):
+            raise ValueError("negative stationary probabilities (reducible chain?)")
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def stationary_dict(self) -> Dict[Hashable, float]:
+        pi = self.stationary_distribution()
+        return {s: float(pi[i]) for i, s in enumerate(self.labels)}
+
+    def step(self, p0: np.ndarray, k: int = 1) -> np.ndarray:
+        """Distribution after *k* steps from *p0*."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        vec = np.asarray(p0, dtype=np.float64)
+        if vec.shape != (self.n,):
+            raise ValueError(f"p0 must have shape ({self.n},)")
+        for _ in range(k):
+            vec = vec @ self.P
+        return vec
+
+    def absorption_probabilities(
+        self, absorbing: Sequence[Hashable]
+    ) -> Dict[Hashable, Dict[Hashable, float]]:
+        """Probability of absorbing in each target state from each transient state.
+
+        Standard fundamental-matrix computation: with transient block ``Q``
+        and transient→absorbing block ``R``, the absorption matrix is
+        ``B = (I - Q)^{-1} R``.
+
+        Used by the Petri net analysis to redistribute probability mass of
+        *vanishing* markings (immediate-transition states) onto the tangible
+        markings they eventually reach.
+        """
+        absorbing_idx = [self._index[s] for s in absorbing]
+        absorbing_set = set(absorbing_idx)
+        transient_idx = [i for i in range(self.n) if i not in absorbing_set]
+        if not transient_idx:
+            return {}
+        Q = self.P[np.ix_(transient_idx, transient_idx)]
+        R = self.P[np.ix_(transient_idx, absorbing_idx)]
+        try:
+            B = np.linalg.solve(np.eye(len(transient_idx)) - Q, R)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(
+                f"transient block is singular (immediate-transition loop?): {exc}"
+            ) from exc
+        result: Dict[Hashable, Dict[Hashable, float]] = {}
+        for row, ti in enumerate(transient_idx):
+            result[self.labels[ti]] = {
+                self.labels[aj]: float(B[row, col])
+                for col, aj in enumerate(absorbing_idx)
+            }
+        return result
+
+    def expected_hitting_time(self, targets: Sequence[Hashable]) -> Dict[Hashable, float]:
+        """Expected number of steps to reach the target set from each state."""
+        target_idx = {self._index[s] for s in targets}
+        other = [i for i in range(self.n) if i not in target_idx]
+        result = {self.labels[i]: 0.0 for i in target_idx}
+        if not other:
+            return result
+        Q = self.P[np.ix_(other, other)]
+        ones = np.ones(len(other))
+        try:
+            h = np.linalg.solve(np.eye(len(other)) - Q, ones)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(f"target set unreachable from some state: {exc}") from exc
+        for row, i in enumerate(other):
+            result[self.labels[i]] = float(h[row])
+        return result
+
+    def is_stochastic(self, atol: float = 1e-9) -> bool:
+        """Check the matrix is (still) row-stochastic."""
+        return bool(
+            np.all(self.P >= -atol)
+            and np.allclose(self.P.sum(axis=1), 1.0, atol=atol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTMC(n={self.n})"

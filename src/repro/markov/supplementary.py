@@ -1,0 +1,140 @@
+"""Cox's method of supplementary variables — reusable primitives.
+
+A Markov chain cannot directly contain a transition that fires a *constant*
+time after its state is entered (the sojourn is not memoryless).  Cox (1955)
+augments the state with an *age variable* ``x`` recording how long the
+deterministic transition has been enabled; the stationary age densities then
+satisfy first-order ODEs.  For a deterministic stage of duration ``tau``
+whose occupants are removed by an independent Poisson stream of rate ``lam``
+(the paper's *idle* stage: an arrival re-activates the CPU before the
+power-down timer expires), the density is
+
+``P(x) = P(0) * exp(-lam * x),  0 <= x <= tau``        (paper eqs. 2, 6)
+
+This module packages the quantities that fall out of that density so that
+model-level code (``repro.core.markov_supplementary``) reads like the
+paper's derivation instead of a wall of ``exp`` calls.  It also covers the
+*non-interruptible* flavour (the paper's power-up stage, which always runs
+to completion while arrivals accumulate) via the Poisson-count helpers used
+in the paper's equations (8)–(9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = ["SupplementaryVariableStage"]
+
+
+class SupplementaryVariableStage:
+    """A deterministic stage of length ``duration`` observed by a Poisson(λ) stream.
+
+    Parameters
+    ----------
+    duration:
+        The deterministic delay ``tau`` (the paper's ``T`` or ``D``).
+    hazard_rate:
+        Rate ``lam`` of the exponential events competing with (idle stage) or
+        accumulating during (power-up stage) the deterministic delay.
+    """
+
+    __slots__ = ("duration", "hazard_rate")
+
+    def __init__(self, duration: float, hazard_rate: float) -> None:
+        if duration < 0.0 or not math.isfinite(duration):
+            raise ValueError(f"duration must be finite and >= 0, got {duration}")
+        if hazard_rate <= 0.0 or not math.isfinite(hazard_rate):
+            raise ValueError(
+                f"hazard rate must be finite and > 0, got {hazard_rate}"
+            )
+        self.duration = float(duration)
+        self.hazard_rate = float(hazard_rate)
+
+    # ------------------------------------------------------------------ #
+    # interruptible stage (paper's idle state)
+    # ------------------------------------------------------------------ #
+    def completion_probability(self) -> float:
+        """P(no hazard event during the stage) = ``exp(-lam * tau)``.
+
+        For the idle stage this is the probability the CPU actually powers
+        down rather than being re-activated by an arrival.
+        """
+        return math.exp(-self.hazard_rate * self.duration)
+
+    def interruption_probability(self) -> float:
+        """P(a hazard event cuts the stage short)."""
+        return -math.expm1(-self.hazard_rate * self.duration)
+
+    def expected_sojourn_interruptible(self) -> float:
+        """E[min(Exp(lam), tau)] = ``(1 - exp(-lam tau)) / lam``.
+
+        Expected time spent in the stage when a hazard event terminates it
+        early; integrates the age density.
+        """
+        return self.interruption_probability() / self.hazard_rate
+
+    def stationary_mass_interruptible(self, entry_rate: float) -> float:
+        """Stationary probability mass of the stage (renewal reward).
+
+        ``mass = entry_rate * E[sojourn]`` — with ``entry_rate`` the rate at
+        which the stage is entered per unit time.  Integrating the paper's
+        age density (eq. 1) gives the same expression.
+        """
+        if entry_rate < 0.0:
+            raise ValueError("entry rate must be >= 0")
+        return entry_rate * self.expected_sojourn_interruptible()
+
+    def age_density(self, x: float, density_at_zero: float) -> float:
+        """The stationary age density ``P(x) = P(0) exp(-lam x)`` on [0, tau]."""
+        if not (0.0 <= x <= self.duration):
+            raise ValueError(f"age x={x} outside [0, {self.duration}]")
+        return density_at_zero * math.exp(-self.hazard_rate * x)
+
+    # ------------------------------------------------------------------ #
+    # non-interruptible stage (paper's power-up state)
+    # ------------------------------------------------------------------ #
+    def expected_sojourn_full(self) -> float:
+        """The stage always completes: expected sojourn is just ``tau``."""
+        return self.duration
+
+    def stationary_mass_full(self, entry_rate: float) -> float:
+        """Stationary mass of a stage that always runs to completion."""
+        if entry_rate < 0.0:
+            raise ValueError("entry rate must be >= 0")
+        return entry_rate * self.duration
+
+    def poisson_count_pmf(self, n: int) -> float:
+        """P(exactly *n* hazard arrivals during the full stage).
+
+        ``exp(-lam tau) (lam tau)^n / n!`` — the weights with which the
+        paper's equations (8)–(9) seed the busy states after power-up.
+        Evaluated in log space for large ``lam * tau``.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        x = self.hazard_rate * self.duration
+        if x == 0.0:
+            return 1.0 if n == 0 else 0.0
+        log_p = -x + n * math.log(x) - math.lgamma(n + 1)
+        return math.exp(log_p)
+
+    def poisson_count_pmf_vector(self, n_max: int) -> List[float]:
+        """PMF values for ``n = 0..n_max`` (iterative, no cancellation)."""
+        if n_max < 0:
+            raise ValueError("n_max must be >= 0")
+        x = self.hazard_rate * self.duration
+        out = [math.exp(-x)]
+        for n in range(1, n_max + 1):
+            out.append(out[-1] * x / n)
+        return out
+
+    def expected_arrivals(self) -> float:
+        """Mean hazard arrivals over the full stage: ``lam * tau``."""
+        return self.hazard_rate * self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SupplementaryVariableStage(duration={self.duration!r}, "
+            f"hazard_rate={self.hazard_rate!r})"
+        )

@@ -1,0 +1,98 @@
+"""Extended Deterministic and Stochastic Petri Net (EDSPN) engine.
+
+This package is the library's stand-in for TimeNET 4.0, the closed-source
+tool the paper used to build and simulate its CPU model.  It implements the
+subset of EDSPN semantics the paper relies on — and enough more to be a
+generally useful modelling tool:
+
+- **places** with initial tokens and optional capacity,
+- **immediate transitions** with priorities and weights (vanishing markings
+  are fired in zero time, highest priority first, weighted-random among
+  equal priorities),
+- **timed transitions** with exponential, deterministic, or general firing
+  distributions and per-transition *memory policies* (resample / age /
+  identical-repeat) governing what happens to a timer when the transition is
+  disabled before firing,
+- **input, output and inhibitor arcs** with integer multiplicities (the
+  paper's Figure 3 uses inhibitor arcs — "the small circle at the ends of
+  the arcs" — to detect an empty buffer),
+- optional marking-dependent **guards**,
+- an event-driven **token-game simulator** with time-averaged token
+  statistics (the paper's "average number of tokens in a place" = steady
+  state percentage),
+- **reachability analysis** with vanishing-marking elimination, structural
+  diagnostics, and **CTMC export** for exponential-only nets so small GSPNs
+  can be solved exactly and used to validate the simulator.
+
+Quick example (the paper's Figure 1 — two places, one transition)::
+
+    from repro.petri import PetriNet
+    from repro.des import Exponential
+
+    net = PetriNet("figure1")
+    net.add_place("P0", initial=1)
+    net.add_place("P1")
+    net.add_timed_transition("T0", Exponential(rate=1.0))
+    net.add_input_arc("P0", "T0")
+    net.add_output_arc("T0", "P1")
+
+    from repro.petri import PetriNetSimulator
+    sim = PetriNetSimulator(net, seed=1)
+    result = sim.run(horizon=100.0)
+    result.mean_tokens("P1")   # -> approaches 1.0
+"""
+
+from repro.petri.arcs import Arc, ArcKind
+from repro.petri.marking import Marking
+from repro.petri.net import NetStructureError, PetriNet, Place
+from repro.petri.simulator import PetriNetSimulator, SimulationResult
+from repro.petri.transitions import (
+    ImmediateTransition,
+    MemoryPolicy,
+    TimedTransition,
+    Transition,
+)
+from repro.petri.analysis import (
+    ReachabilityGraph,
+    ReachabilityOptions,
+    explore_reachability,
+)
+from repro.petri.ctmc_export import ctmc_from_net
+from repro.petri.dot_export import to_dot
+from repro.petri.invariants import (
+    incidence_matrix,
+    invariant_report,
+    p_invariants,
+    t_invariants,
+    verify_p_invariant,
+)
+from repro.petri.pnml import from_pnml, load_pnml, save_pnml, to_pnml
+
+__all__ = [
+    "Arc",
+    "ArcKind",
+    "ImmediateTransition",
+    "Marking",
+    "MemoryPolicy",
+    "NetStructureError",
+    "PetriNet",
+    "PetriNetSimulator",
+    "Place",
+    "ReachabilityGraph",
+    "ReachabilityOptions",
+    "SimulationResult",
+    "TimedTransition",
+    "Transition",
+    "ctmc_from_net",
+    "explore_reachability",
+    "from_pnml",
+    "incidence_matrix",
+    "invariant_report",
+    "load_pnml",
+    "p_invariants",
+    "save_pnml",
+    "t_invariants",
+    "to_dot",
+    "to_pnml",
+    "verify_p_invariant",
+]

@@ -1,0 +1,258 @@
+"""Reachability analysis of EDSPNs.
+
+Builds the reachability graph by breadth-first exploration from the initial
+marking, classifying markings as *vanishing* (at least one immediate
+transition enabled — left in zero time) or *tangible* (only timed
+transitions, or dead).  The graph supports:
+
+- structural diagnostics: per-place token bounds, dead transitions, dead
+  (absorbing) markings, boundedness up to an exploration budget;
+- the tangible-to-tangible stochastic reduction used by
+  :mod:`repro.petri.ctmc_export` to turn exponential-only nets into CTMCs.
+
+Exploration is exact for bounded nets; for unbounded nets it stops at
+``max_markings`` and reports ``complete=False`` (this library does not
+implement coverability trees — the nets in the reproduction are 1-bounded
+by construction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.petri.marking import Marking
+from repro.petri.net import NetStructureError, PetriNet
+from repro.petri.transitions import ImmediateTransition
+
+__all__ = ["ReachabilityOptions", "Edge", "ReachabilityGraph", "explore_reachability"]
+
+
+@dataclass(frozen=True)
+class ReachabilityOptions:
+    """Exploration limits."""
+
+    max_markings: int = 100_000
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One reachability edge.
+
+    ``probability`` is set for edges out of vanishing markings (normalised
+    immediate weights within the maximal priority class); it is ``None``
+    for timed edges out of tangible markings.
+    """
+
+    source: int
+    target: int
+    transition_index: int
+    probability: Optional[float] = None
+
+
+@dataclass
+class ReachabilityGraph:
+    """The explored state space."""
+
+    net: PetriNet
+    markings: List[Marking]
+    tangible: List[bool]
+    edges_out: List[List[Edge]]
+    initial_index: int
+    complete: bool
+    transition_names: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_markings(self) -> int:
+        return len(self.markings)
+
+    def tangible_indices(self) -> List[int]:
+        return [i for i, t in enumerate(self.tangible) if t]
+
+    def vanishing_indices(self) -> List[int]:
+        return [i for i, t in enumerate(self.tangible) if not t]
+
+    def place_bound(self, place: str) -> int:
+        """Maximum token count observed in *place* across all markings."""
+        return max(m[place] for m in self.markings)
+
+    def is_k_bounded(self, k: int) -> bool:
+        """True when every place holds <= k tokens in every explored marking
+        (meaningful only when ``complete``)."""
+        return all(
+            int(m.counts.max(initial=0)) <= k for m in self.markings
+        )
+
+    def dead_markings(self) -> List[int]:
+        """Indices of markings with no enabled transitions (deadlocks)."""
+        return [i for i, es in enumerate(self.edges_out) if not es]
+
+    def dead_transitions(self) -> List[str]:
+        """Transitions never enabled anywhere in the explored space."""
+        fired = {e.transition_index for es in self.edges_out for e in es}
+        return [
+            name
+            for i, name in enumerate(self.transition_names)
+            if i not in fired
+        ]
+
+    def find(self, marking: Marking) -> Optional[int]:
+        """Index of *marking* in the graph, or None."""
+        try:
+            return self.markings.index(marking)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    def vanishing_absorption(self) -> Dict[int, Dict[int, float]]:
+        """For every vanishing marking, its distribution over the tangible
+        markings ultimately reached through zero-time firings.
+
+        Solves ``B = (I - V)^{-1} R`` over the vanishing block.  Raises
+        :class:`NetStructureError` when vanishing markings form a zero-time
+        trap (livelock) — the system would then be singular.
+        """
+        vanishing = self.vanishing_indices()
+        if not vanishing:
+            return {}
+        v_pos = {m: i for i, m in enumerate(vanishing)}
+        tangible = self.tangible_indices()
+        t_pos = {m: i for i, m in enumerate(tangible)}
+        nv, nt = len(vanishing), len(tangible)
+        V = np.zeros((nv, nv))
+        R = np.zeros((nv, nt))
+        for vi, m in enumerate(vanishing):
+            for e in self.edges_out[m]:
+                p = e.probability if e.probability is not None else 0.0
+                if self.tangible[e.target]:
+                    R[vi, t_pos[e.target]] += p
+                else:
+                    V[vi, v_pos[e.target]] += p
+        try:
+            B = np.linalg.solve(np.eye(nv) - V, R)
+        except np.linalg.LinAlgError as exc:
+            raise NetStructureError(
+                f"vanishing markings form a zero-time livelock: {exc}"
+            ) from exc
+        if np.any(B < -1e-9):
+            raise NetStructureError("negative absorption probability")
+        result: Dict[int, Dict[int, float]] = {}
+        for vi, m in enumerate(vanishing):
+            row = B[vi]
+            total = row.sum()
+            if not np.isclose(total, 1.0, atol=1e-8):
+                raise NetStructureError(
+                    f"vanishing marking {self.markings[m]!r} leaks probability "
+                    f"(sum={total:.6g}); likely a zero-time trap"
+                )
+            result[m] = {
+                tangible[tj]: float(row[tj]) for tj in range(nt) if row[tj] > 0.0
+            }
+        return result
+
+
+def explore_reachability(
+    net: PetriNet, options: ReachabilityOptions = ReachabilityOptions()
+) -> ReachabilityGraph:
+    """Breadth-first reachability exploration with vanishing classification."""
+    compiled = net.compile()
+    place_names = compiled.place_names
+    transitions = compiled.transitions
+
+    # immediates grouped by descending priority, mirroring the simulator
+    imm_sorted = sorted(
+        compiled.immediate_indices,
+        key=lambda i: -transitions[i].priority,  # type: ignore[attr-defined]
+    )
+
+    initial = compiled.initial_marking.copy()
+    init_marking = Marking(initial, place_names)
+    index: Dict[Marking, int] = {init_marking: 0}
+    markings: List[Marking] = [init_marking]
+    tangible: List[bool] = []
+    edges_out: List[List[Edge]] = []
+    queue: deque[int] = deque([0])
+    complete = True
+
+    while queue:
+        mi = queue.popleft()
+        m_vec = markings[mi].counts.copy()
+
+        # --- vanishing? find the maximal-priority enabled immediate set --- #
+        conflict: List[int] = []
+        best_priority: Optional[int] = None
+        for ti in imm_sorted:
+            prio = transitions[ti].priority  # type: ignore[attr-defined]
+            if best_priority is not None and prio < best_priority:
+                break
+            if compiled.enabled(ti, m_vec):
+                best_priority = prio
+                conflict.append(ti)
+
+        edges: List[Edge] = []
+        if conflict:
+            tangible.append(False)
+            weights = np.array(
+                [transitions[i].weight for i in conflict]  # type: ignore[attr-defined]
+            )
+            probs = weights / weights.sum()
+            for ti, p in zip(conflict, probs):
+                succ = compiled.successor(ti, m_vec)
+                target = _intern(succ, place_names, index, markings, queue)
+                edges.append(Edge(mi, target, ti, probability=float(p)))
+        else:
+            tangible.append(True)
+            for ti in compiled.timed_indices:
+                if compiled.enabled(ti, m_vec):
+                    succ = compiled.successor(ti, m_vec)
+                    target = _intern(succ, place_names, index, markings, queue)
+                    edges.append(Edge(mi, target, ti))
+        edges_out.append(edges)
+
+        if len(markings) > options.max_markings:
+            complete = False
+            # stop expanding; classify remaining queued markings lazily
+            while queue:
+                qi = queue.popleft()
+                while len(tangible) <= qi:
+                    tangible.append(True)
+                    edges_out.append([])
+            break
+
+    # pad classification arrays if exploration stopped early
+    while len(tangible) < len(markings):
+        tangible.append(True)
+        edges_out.append([])
+
+    return ReachabilityGraph(
+        net=net,
+        markings=markings,
+        tangible=tangible,
+        edges_out=edges_out,
+        initial_index=0,
+        complete=complete,
+        transition_names=[t.name for t in transitions],
+    )
+
+
+def _intern(
+    vec: np.ndarray,
+    place_names: Sequence[str],
+    index: Dict[Marking, int],
+    markings: List[Marking],
+    queue: deque,
+) -> int:
+    """Intern a marking vector, enqueueing it if new."""
+    m = Marking(vec, place_names)
+    found = index.get(m)
+    if found is not None:
+        return found
+    new_index = len(markings)
+    index[m] = new_index
+    markings.append(m)
+    queue.append(new_index)
+    return new_index

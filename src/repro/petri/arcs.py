@@ -1,0 +1,69 @@
+"""Arcs: the wiring between places and transitions.
+
+Three kinds, matching EDSPN practice:
+
+- ``INPUT``  (place → transition): the transition needs ``multiplicity``
+  tokens in the place to be enabled, and consumes them when firing.
+- ``OUTPUT`` (transition → place): firing deposits ``multiplicity`` tokens.
+- ``INHIBITOR`` (place ⊸ transition): the transition is enabled only while
+  the place holds *fewer than* ``multiplicity`` tokens; nothing is consumed.
+  With the default multiplicity 1 this is the classical zero-test the
+  paper's Figure 3 uses on ``Active`` and ``CPU_Buffer`` ("the small circle
+  at the ends of the arcs … specify this inverse logic").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ArcKind", "Arc"]
+
+
+class ArcKind(enum.Enum):
+    """The role an arc plays in the token game."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INHIBITOR = "inhibitor"
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A single arc.
+
+    Attributes
+    ----------
+    place:
+        Place name.
+    transition:
+        Transition name.
+    kind:
+        One of :class:`ArcKind`.
+    multiplicity:
+        Token weight; must be >= 1.
+    """
+
+    place: str
+    transition: str
+    kind: ArcKind
+    multiplicity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ValueError(
+                f"arc multiplicity must be >= 1, got {self.multiplicity} "
+                f"on {self.place!r}<->{self.transition!r}"
+            )
+        if not isinstance(self.kind, ArcKind):
+            raise TypeError(f"kind must be an ArcKind, got {self.kind!r}")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for diagnostics and dot export."""
+        symbol = {
+            ArcKind.INPUT: "->",
+            ArcKind.OUTPUT: "<-",
+            ArcKind.INHIBITOR: "-o",
+        }[self.kind]
+        mult = f" x{self.multiplicity}" if self.multiplicity != 1 else ""
+        return f"{self.place} {symbol} {self.transition}{mult}"

@@ -1,0 +1,159 @@
+"""Exact CTMC solution of exponential-only nets (GSPNs).
+
+A Petri net whose timed transitions are all exponential is a Generalized
+Stochastic Petri Net; its tangible reachability graph *is* a CTMC.  This
+module performs the classical reduction:
+
+1. explore the reachability graph (:mod:`repro.petri.analysis`),
+2. eliminate vanishing markings by redistributing each timed edge that
+   lands on a vanishing marking over the tangible markings it reaches in
+   zero time (absorption probabilities of the immediate jump chain),
+3. assemble the tangible-to-tangible rate matrix and wrap it in a
+   :class:`repro.markov.ctmc.CTMC`.
+
+This is how the library validates its own simulator: for any GSPN both the
+token game and the CTMC must agree on steady-state token averages, and for
+textbook nets (M/M/1/K, machine-repair) the CTMC must agree with queueing
+closed forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.markov.ctmc import CTMC
+from repro.petri.analysis import (
+    ReachabilityGraph,
+    ReachabilityOptions,
+    explore_reachability,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import NetStructureError, PetriNet
+from repro.petri.transitions import TimedTransition
+
+__all__ = ["GSPNSolution", "ctmc_from_net"]
+
+
+@dataclass
+class GSPNSolution:
+    """A solved GSPN: the CTMC plus marking bookkeeping."""
+
+    ctmc: CTMC
+    tangible_markings: List[Marking]
+    initial_distribution: np.ndarray
+    graph: ReachabilityGraph
+
+    def steady_state(self) -> Dict[Marking, float]:
+        """Stationary probability per tangible marking."""
+        pi = self.ctmc.steady_state()
+        return {m: float(pi[i]) for i, m in enumerate(self.tangible_markings)}
+
+    def mean_tokens(self, place: str) -> float:
+        """Steady-state expected token count in *place*.
+
+        This is the analytical counterpart of the simulator's time-averaged
+        token statistic.
+        """
+        pi = self.ctmc.steady_state()
+        counts = np.array([m[place] for m in self.tangible_markings], dtype=float)
+        return float(pi @ counts)
+
+    def probability_positive(self, place: str) -> float:
+        """Steady-state probability that *place* is non-empty."""
+        pi = self.ctmc.steady_state()
+        indicator = np.array(
+            [1.0 if m[place] >= 1 else 0.0 for m in self.tangible_markings]
+        )
+        return float(pi @ indicator)
+
+    def throughput(self, transition: str) -> float:
+        """Steady-state firing rate of an exponential transition."""
+        graph = self.graph
+        try:
+            ti = graph.transition_names.index(transition)
+        except ValueError:
+            raise KeyError(f"unknown transition {transition!r}") from None
+        trans = graph.net.compile().transitions[ti]
+        if not isinstance(trans, TimedTransition) or not trans.is_exponential:
+            raise ValueError(f"{transition!r} is not an exponential transition")
+        rate = trans.rate
+        pi = self.ctmc.steady_state()
+        compiled = graph.net.compile()
+        total = 0.0
+        for i, m in enumerate(self.tangible_markings):
+            if compiled.enabled(ti, m.counts):
+                total += float(pi[i]) * rate
+        return total
+
+
+def ctmc_from_net(
+    net: PetriNet, options: ReachabilityOptions = ReachabilityOptions()
+) -> GSPNSolution:
+    """Reduce an exponential-only net to a CTMC over tangible markings.
+
+    Raises
+    ------
+    NetStructureError
+        If any timed transition is non-exponential, the state space is not
+        finite within ``options.max_markings``, or vanishing markings form a
+        zero-time livelock.
+    """
+    compiled = net.compile()
+    for t in compiled.transitions:
+        if isinstance(t, TimedTransition) and not t.is_exponential:
+            raise NetStructureError(
+                f"transition {t.name!r} is {type(t.distribution).__name__}; "
+                "CTMC export needs all timed transitions exponential "
+                "(use the simulator, or the phase-type expansion in "
+                "repro.core.phase_type, for deterministic delays)"
+            )
+
+    graph = explore_reachability(net, options)
+    if not graph.complete:
+        raise NetStructureError(
+            f"state space exceeded {options.max_markings} markings; "
+            "the net appears unbounded"
+        )
+
+    tangible = graph.tangible_indices()
+    if not tangible:
+        raise NetStructureError("no tangible markings (pure zero-time net)")
+    t_pos = {m: i for i, m in enumerate(tangible)}
+    absorption = graph.vanishing_absorption()
+
+    n = len(tangible)
+    Q = np.zeros((n, n))
+    for row, mi in enumerate(tangible):
+        for e in graph.edges_out[mi]:
+            trans = compiled.transitions[e.transition_index]
+            assert isinstance(trans, TimedTransition)
+            rate = trans.rate
+            if graph.tangible[e.target]:
+                if e.target != mi:
+                    Q[row, t_pos[e.target]] += rate
+            else:
+                for tm, p in absorption[e.target].items():
+                    if tm != mi:
+                        Q[row, t_pos[tm]] += rate * p
+    np.fill_diagonal(Q, 0.0)
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+
+    markings = [graph.markings[i] for i in tangible]
+    ctmc = CTMC(Q, labels=markings)
+
+    init = np.zeros(n)
+    if graph.tangible[graph.initial_index]:
+        init[t_pos[graph.initial_index]] = 1.0
+    else:
+        for tm, p in absorption[graph.initial_index].items():
+            init[t_pos[tm]] += p
+
+    return GSPNSolution(
+        ctmc=ctmc,
+        tangible_markings=markings,
+        initial_distribution=init,
+        graph=graph,
+    )

@@ -1,0 +1,100 @@
+"""Graphviz DOT export for nets and reachability graphs.
+
+Purely textual — no graphviz dependency.  Paste the output into any DOT
+renderer to get diagrams in the style of the paper's Figures 1 and 3:
+places as circles (token count inside), immediate transitions as thin black
+bars, timed transitions as open rectangles, inhibitor arcs with the ``odot``
+arrowhead (the paper's "small circle at the ends of the arcs").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.des.distributions import Deterministic, Exponential
+from repro.petri.arcs import ArcKind
+from repro.petri.net import PetriNet
+from repro.petri.transitions import TimedTransition
+
+__all__ = ["to_dot", "reachability_to_dot"]
+
+
+def _transition_label(t) -> str:
+    if t.is_immediate:
+        return f"{t.name}\\nprio {t.priority}"
+    dist = t.distribution
+    if isinstance(dist, Exponential):
+        return f"{t.name}\\nexp({dist.rate:g})"
+    if isinstance(dist, Deterministic):
+        return f"{t.name}\\ndet({dist.value:g})"
+    return f"{t.name}\\n{type(dist).__name__}"
+
+
+def to_dot(net: PetriNet, rankdir: str = "LR") -> str:
+    """Render *net* as a DOT digraph string."""
+    lines: List[str] = [
+        f'digraph "{net.name}" {{',
+        f"  rankdir={rankdir};",
+        "  node [fontsize=10];",
+    ]
+    for place in net.places:
+        label = place.name if place.initial == 0 else f"{place.name}\\n({place.initial})"
+        lines.append(
+            f'  "{place.name}" [shape=circle, label="{label}", width=0.6];'
+        )
+    for t in net.transitions:
+        if t.is_immediate:
+            lines.append(
+                f'  "{t.name}" [shape=box, style=filled, fillcolor=black, '
+                f'fontcolor=white, height=0.12, label="{_transition_label(t)}"];'
+            )
+        else:
+            lines.append(
+                f'  "{t.name}" [shape=box, label="{_transition_label(t)}"];'
+            )
+    for arc in net.arcs:
+        mult = f' [label="{arc.multiplicity}"]' if arc.multiplicity != 1 else ""
+        if arc.kind is ArcKind.INPUT:
+            lines.append(f'  "{arc.place}" -> "{arc.transition}"{mult};')
+        elif arc.kind is ArcKind.OUTPUT:
+            lines.append(f'  "{arc.transition}" -> "{arc.place}"{mult};')
+        else:
+            style = ' [arrowhead=odot'
+            if arc.multiplicity != 1:
+                style += f', label="{arc.multiplicity}"'
+            style += "]"
+            lines.append(f'  "{arc.place}" -> "{arc.transition}"{style};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reachability_to_dot(graph, max_nodes: int = 200) -> str:
+    """Render a reachability graph (tangible = ellipse, vanishing = dashed)."""
+    lines: List[str] = [
+        f'digraph "reachability_{graph.net.name}" {{',
+        "  rankdir=LR;",
+        "  node [fontsize=9];",
+    ]
+    n = min(graph.n_markings, max_nodes)
+    for i in range(n):
+        m = graph.markings[i]
+        label = ",".join(
+            f"{name}:{c}" for name, c in m.as_dict(skip_zero=True).items()
+        ) or "empty"
+        style = "solid" if graph.tangible[i] else "dashed"
+        lines.append(f'  m{i} [label="{label}", style={style}];')
+    for i in range(n):
+        for e in graph.edges_out[i]:
+            if e.target >= n:
+                continue
+            t_name = graph.transition_names[e.transition_index]
+            label = t_name
+            if e.probability is not None:
+                label += f" ({e.probability:.3g})"
+            lines.append(f'  m{e.source} -> m{e.target} [label="{label}"];')
+    if graph.n_markings > max_nodes:
+        lines.append(
+            f'  truncated [shape=plaintext, label="… {graph.n_markings - max_nodes} more"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

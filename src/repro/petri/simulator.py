@@ -1,0 +1,374 @@
+"""Event-driven token-game simulation of EDSPNs.
+
+Semantics implemented (the TimeNET-compatible subset the paper relies on):
+
+1. **Vanishing markings** — whenever any immediate transition is enabled the
+   marking is vanishing: immediates fire in zero time until none is enabled.
+   Within an instant, only the *highest-priority* enabled immediates compete;
+   ties are resolved by weighted random choice.  A configurable chain limit
+   guards against zero-time livelocks.
+2. **Timed races** — every enabled timed transition holds a timer; the
+   earliest timer fires.  Timer lifecycles follow the transition's
+   :class:`~repro.petri.transitions.MemoryPolicy`:
+
+   - a transition that remains enabled across someone else's firing keeps
+     its timer (clock continuity),
+   - a transition disabled before firing loses (RESAMPLE), freezes (AGE), or
+     re-uses (IDENTICAL) its timer,
+   - a transition that fires always draws a fresh timer for its next
+     enabling cycle.
+
+   Enabledness is compared *between tangible markings*: zero-time excursions
+   through vanishing markings do not reset timers (TimeNET behaviour).
+3. **Statistics** — time-averaged token counts per place (the paper's
+   "average number of tokens … determines the steady state probability"),
+   transition firing counts/throughputs, and arbitrary user-defined
+   marking *watchers* (e.g. "CPU_ON and not Active" for the idle
+   percentage), all supporting warm-up truncation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.des.engine import SimulationError, Simulator
+from repro.des.events import Event
+from repro.des.random_streams import StreamManager
+from repro.petri.marking import Marking
+from repro.petri.net import CompiledNet, PetriNet
+from repro.petri.transitions import MemoryPolicy, TimedTransition
+
+__all__ = ["PetriNetSimulator", "SimulationResult"]
+
+Watcher = Callable[[np.ndarray], float]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Token and watcher averages are time-weighted means over
+    ``[warmup, horizon]``.
+    """
+
+    net_name: str
+    horizon: float
+    warmup: float
+    observed_time: float
+    place_names: List[str]
+    mean_tokens_vector: np.ndarray
+    firing_counts: Dict[str, int]
+    watcher_means: Dict[str, float] = field(default_factory=dict)
+    final_marking: Optional[Marking] = None
+    events_executed: int = 0
+    immediate_firings: int = 0
+
+    def mean_tokens(self, place: str) -> float:
+        """Time-averaged token count of *place* — the paper's steady-state
+        probability estimator when the place is 1-bounded."""
+        try:
+            i = self.place_names.index(place)
+        except ValueError:
+            raise KeyError(f"unknown place {place!r}") from None
+        return float(self.mean_tokens_vector[i])
+
+    def mean_tokens_dict(self) -> Dict[str, float]:
+        return {
+            name: float(v)
+            for name, v in zip(self.place_names, self.mean_tokens_vector)
+        }
+
+    def throughput(self, transition: str) -> float:
+        """Firings per unit time over the observed window."""
+        if transition not in self.firing_counts:
+            raise KeyError(f"unknown transition {transition!r}")
+        if self.observed_time <= 0.0:
+            return 0.0
+        return self.firing_counts[transition] / self.observed_time
+
+    def watcher(self, name: str) -> float:
+        return self.watcher_means[name]
+
+
+class PetriNetSimulator:
+    """Simulates a :class:`~repro.petri.net.PetriNet`.
+
+    Parameters
+    ----------
+    net:
+        The net to simulate (compiled lazily; the net must not be mutated
+        while a simulator holds it).
+    seed:
+        Convenience master seed; ignored when *streams* is given.
+    streams:
+        Pre-built :class:`~repro.des.random_streams.StreamManager`, e.g. a
+        per-replication child.
+    max_immediate_chain:
+        Zero-time livelock guard: maximum immediate firings at one instant.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        seed: Optional[int] = None,
+        streams: Optional[StreamManager] = None,
+        max_immediate_chain: int = 100_000,
+    ) -> None:
+        net.check()
+        self.net = net
+        self.compiled: CompiledNet = net.compile()
+        self.streams = streams if streams is not None else StreamManager(seed)
+        self.max_immediate_chain = int(max_immediate_chain)
+        self._watchers: Dict[str, Watcher] = {}
+        # per-transition RNG streams, resolved once
+        c = self.compiled
+        self._conflict_rng = self.streams.get(f"petri/{net.name}/conflicts")
+        self._t_rng = [
+            self.streams.get(f"petri/{net.name}/t/{t.name}")
+            for t in c.transitions
+        ]
+        # immediates sorted by descending priority for the cascade scan
+        self._immediates_by_priority = sorted(
+            c.immediate_indices,
+            key=lambda i: -c.transitions[i].priority,  # type: ignore[attr-defined]
+        )
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def watch(self, name: str, fn: Watcher) -> "PetriNetSimulator":
+        """Register a marking watcher.
+
+        *fn* receives the raw token vector and returns a float; its
+        time-weighted mean over the observation window is reported in
+        :attr:`SimulationResult.watcher_means`.
+        """
+        self._watchers[name] = fn
+        return self
+
+    def watch_place_positive(self, name: str, place: str) -> "PetriNetSimulator":
+        """Watch the indicator ``tokens(place) >= 1``."""
+        idx = self.compiled.place_names.index(place)
+        return self.watch(name, lambda m, _i=idx: 1.0 if m[_i] >= 1 else 0.0)
+
+    # ------------------------------------------------------------------ #
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        horizon: float,
+        warmup: float = 0.0,
+        max_firings: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate on ``[0, horizon]``, collecting statistics after *warmup*."""
+        if horizon <= 0.0 or not math.isfinite(horizon):
+            raise ValueError(f"horizon must be finite and > 0, got {horizon}")
+        if not (0.0 <= warmup < horizon):
+            raise ValueError(f"need 0 <= warmup < horizon, got warmup={warmup}")
+
+        c = self.compiled
+        n_places = len(c.place_names)
+        n_trans = len(c.transitions)
+
+        engine = Simulator()
+        marking = c.initial_marking.copy()
+        pending: Dict[int, Event] = {}
+        age_remaining: Dict[int, float] = {}
+        identical_sample: Dict[int, float] = {}
+        firing_counts = np.zeros(n_trans, dtype=np.int64)
+        immediate_firings = 0
+
+        # --- statistics state ------------------------------------------ #
+        area = np.zeros(n_places)
+        watcher_names = list(self._watchers)
+        watcher_fns = [self._watchers[w] for w in watcher_names]
+        watcher_area = np.zeros(len(watcher_fns))
+        watcher_values = np.zeros(len(watcher_fns))
+        last_time = 0.0
+        stats_started = warmup == 0.0
+
+        def recompute_watchers() -> None:
+            for i, fn in enumerate(watcher_fns):
+                watcher_values[i] = fn(marking)
+
+        def accumulate(now: float) -> None:
+            nonlocal last_time
+            dt = now - last_time
+            if dt > 0.0:
+                area[:] += marking * dt
+                if watcher_fns:
+                    watcher_area[:] += watcher_values * dt
+            last_time = now
+
+        # --- vanishing-marking cascade ---------------------------------- #
+        transitions = c.transitions
+        imm_sorted = self._immediates_by_priority
+
+        def stabilize() -> None:
+            nonlocal immediate_firings
+            chain = 0
+            while True:
+                best_priority: Optional[int] = None
+                conflict: List[int] = []
+                for ti in imm_sorted:
+                    prio = transitions[ti].priority  # type: ignore[attr-defined]
+                    if best_priority is not None and prio < best_priority:
+                        break
+                    if c.enabled(ti, marking):
+                        best_priority = prio
+                        conflict.append(ti)
+                if best_priority is None:
+                    return
+                if len(conflict) == 1:
+                    chosen = conflict[0]
+                else:
+                    weights = np.array(
+                        [transitions[i].weight for i in conflict]  # type: ignore[attr-defined]
+                    )
+                    chosen = conflict[
+                        self._conflict_rng.choice(len(conflict), p=weights / weights.sum())
+                    ]
+                c.fire(chosen, marking)
+                firing_counts[chosen] += 1
+                immediate_firings += 1
+                chain += 1
+                if chain > self.max_immediate_chain:
+                    raise SimulationError(
+                        f"immediate-transition livelock: more than "
+                        f"{self.max_immediate_chain} zero-time firings at "
+                        f"t={engine.now:.6g} in net {self.net.name!r}"
+                    )
+
+        # --- timed-transition scheduling --------------------------------- #
+        def sample_delay(ti: int) -> float:
+            t = transitions[ti]
+            assert isinstance(t, TimedTransition)
+            policy = t.memory_policy
+            if policy is MemoryPolicy.AGE and ti in age_remaining:
+                return age_remaining.pop(ti)
+            if policy is MemoryPolicy.IDENTICAL:
+                if ti in identical_sample:
+                    return identical_sample[ti]
+                delay = float(t.distribution.sample(self._t_rng[ti]))
+                identical_sample[ti] = delay
+                return delay
+            return float(t.distribution.sample(self._t_rng[ti]))
+
+        def update_timed_schedule(fired: Optional[int]) -> None:
+            now = engine.now
+            for ti in c.timed_indices:
+                enabled = c.enabled(ti, marking)
+                ev = pending.get(ti)
+                if ev is not None:
+                    if enabled and ti != fired:
+                        continue  # clock keeps running
+                    # disabled (or it just fired elsewhere): withdraw timer
+                    engine.cancel(ev)
+                    del pending[ti]
+                    if not enabled:
+                        t = transitions[ti]
+                        assert isinstance(t, TimedTransition)
+                        if t.memory_policy is MemoryPolicy.AGE:
+                            age_remaining[ti] = max(ev.time - now, 0.0)
+                        # IDENTICAL keeps identical_sample as is; RESAMPLE drops
+                        continue
+                if enabled and ti not in pending:
+                    delay = sample_delay(ti)
+                    pending[ti] = engine.schedule(
+                        delay, _FireAction(self, ti), priority=1, tag=transitions[ti].name
+                    )
+
+        # --- firing a timed transition ----------------------------------- #
+        def fire_timed(ti: int) -> None:
+            accumulate(engine.now)
+            pending.pop(ti, None)
+            identical_sample.pop(ti, None)  # fired: sample consumed
+            c.fire(ti, marking)
+            firing_counts[ti] += 1
+            stabilize()
+            recompute_watchers()
+            update_timed_schedule(fired=ti)
+            if max_firings is not None and int(firing_counts.sum()) >= max_firings:
+                engine.stop()
+
+        self._fire_timed = fire_timed  # used by _FireAction
+
+        # --- run ---------------------------------------------------------- #
+        stabilize()
+        recompute_watchers()
+        update_timed_schedule(fired=None)
+
+        firing_offset = np.zeros(n_trans, dtype=np.int64)
+        if warmup > 0.0:
+            engine.run_until(warmup)
+            accumulate(warmup)
+            area[:] = 0.0
+            watcher_area[:] = 0.0
+            firing_offset[:] = firing_counts
+            stats_started = True
+        engine.run_until(horizon)
+        accumulate(engine.now)
+        # close the window exactly at the horizon even if the queue drained
+        if last_time < horizon:
+            accumulate(horizon)
+
+        observed = horizon - warmup
+        mean_tokens = area / observed if observed > 0 else area * 0.0
+        watcher_means = {
+            name: float(watcher_area[i] / observed)
+            for i, name in enumerate(watcher_names)
+        }
+        assert stats_started
+        return SimulationResult(
+            net_name=self.net.name,
+            horizon=horizon,
+            warmup=warmup,
+            observed_time=observed,
+            place_names=list(c.place_names),
+            mean_tokens_vector=mean_tokens,
+            firing_counts={
+                t.name: int(firing_counts[i] - firing_offset[i])
+                for i, t in enumerate(transitions)
+            },
+            watcher_means=watcher_means,
+            final_marking=Marking(marking, c.place_names),
+            events_executed=engine.events_executed,
+            immediate_firings=immediate_firings,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_batches(
+        self,
+        batch_length: float,
+        n_batches: int,
+        warmup: float = 0.0,
+    ) -> List[SimulationResult]:
+        """Run ``n_batches`` *independent* runs of length *batch_length*.
+
+        Independent replications (not batch means over one trajectory):
+        each run draws from the same underlying streams sequentially, so the
+        batches are independent but the whole sequence is reproducible.
+        """
+        if n_batches < 1:
+            raise ValueError("n_batches must be >= 1")
+        return [
+            self.run(horizon=batch_length + warmup, warmup=warmup)
+            for _ in range(n_batches)
+        ]
+
+
+class _FireAction:
+    """Picklable, allocation-light callable bound to one transition firing."""
+
+    __slots__ = ("sim", "ti")
+
+    def __init__(self, sim: PetriNetSimulator, ti: int) -> None:
+        self.sim = sim
+        self.ti = ti
+
+    def __call__(self) -> None:
+        self.sim._fire_timed(self.ti)

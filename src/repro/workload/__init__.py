@@ -1,0 +1,40 @@
+"""Workload generators.
+
+The paper (§4.1) distinguishes two workload families:
+
+- **open** — "tasks arrive independent of the state of the current task"
+  (interrupt-driven sensing, radio packets): :mod:`repro.workload.open_workload`
+  provides Poisson, general renewal, Markov-modulated Poisson (MMPP) and
+  batch arrival processes.
+- **closed** — "a new task will not arrive until the current task has been
+  completed" (fixed-interval duty cycles): :mod:`repro.workload.closed_workload`
+  models a finite population of clients with think times and couples it to
+  the power-managed CPU.
+
+:mod:`repro.workload.trace` replays and records concrete arrival traces so
+measured workloads can be fed through every model.
+"""
+
+from repro.workload.base import ArrivalProcess, RenewalProcess
+from repro.workload.closed_workload import (
+    ClosedCPUSimulator,
+    ClosedWorkload,
+)
+from repro.workload.open_workload import (
+    BatchPoissonProcess,
+    MMPPProcess,
+    PoissonProcess,
+)
+from repro.workload.trace import ArrivalTrace, TraceProcess
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalTrace",
+    "BatchPoissonProcess",
+    "ClosedCPUSimulator",
+    "ClosedWorkload",
+    "MMPPProcess",
+    "PoissonProcess",
+    "RenewalProcess",
+    "TraceProcess",
+]

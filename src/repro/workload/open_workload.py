@@ -1,0 +1,148 @@
+"""Open workload generators (§4.1: "tasks arrive independent of the state
+of the current task").
+
+- :class:`PoissonProcess` — the paper's workload (memoryless interrupts).
+- :class:`MMPPProcess` — Markov-modulated Poisson: the arrival rate
+  switches between regimes (e.g. quiescent monitoring vs event bursts in a
+  surveillance WSN), producing correlated, bursty traffic that no renewal
+  process can express.
+- :class:`BatchPoissonProcess` — Poisson-timed batches of geometrically
+  distributed size (a sensor flushing a buffer of readings at once).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.des.distributions import Exponential
+from repro.workload.base import ArrivalProcess, RenewalProcess
+
+__all__ = ["PoissonProcess", "MMPPProcess", "BatchPoissonProcess"]
+
+
+class PoissonProcess(RenewalProcess):
+    """Poisson arrivals with the given rate (exponential gaps)."""
+
+    def __init__(self, rate: float) -> None:
+        super().__init__(Exponential(rate))
+        self.rate = float(rate)
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(rate={self.rate!r})"
+
+
+class MMPPProcess(ArrivalProcess):
+    """Markov-modulated Poisson process.
+
+    A background CTMC with ``len(rates)`` phases modulates the instantaneous
+    Poisson rate: while in phase *i* arrivals occur at ``rates[i]`` and the
+    phase switches away at ``switch_rates[i]`` (uniformly to another phase
+    when more than two are defined).
+
+    The process is *not* renewal — the phase persists between arrivals —
+    so the class carries internal state; call :meth:`reset` between
+    replications.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float],
+        switch_rates: Sequence[float],
+        start_phase: int = 0,
+    ) -> None:
+        self.rates = np.asarray(rates, dtype=np.float64)
+        self.switch = np.asarray(switch_rates, dtype=np.float64)
+        if self.rates.ndim != 1 or self.rates.shape != self.switch.shape:
+            raise ValueError("rates and switch_rates must be equal-length 1-D")
+        if self.rates.size < 2:
+            raise ValueError("MMPP needs at least two phases")
+        if np.any(self.rates < 0.0) or np.any(self.switch <= 0.0):
+            raise ValueError("need rates >= 0 and switch_rates > 0")
+        if np.all(self.rates == 0.0):
+            raise ValueError("at least one phase must have a positive rate")
+        if not (0 <= start_phase < self.rates.size):
+            raise ValueError("start_phase out of range")
+        self.start_phase = int(start_phase)
+        self.phase = self.start_phase
+
+    def reset(self) -> None:
+        self.phase = self.start_phase
+
+    def stationary_phase_distribution(self) -> np.ndarray:
+        """Stationary distribution of the modulating chain.
+
+        With uniform switching, the chain's stationary weights are inversely
+        proportional to the exit rates.
+        """
+        w = 1.0 / self.switch
+        return w / w.sum()
+
+    def mean_rate(self) -> float:
+        """Phase-weighted mean arrival rate."""
+        return float(self.stationary_phase_distribution() @ self.rates)
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Competing-exponentials race between 'arrival' and 'phase switch'."""
+        elapsed = 0.0
+        n_phases = self.rates.size
+        while True:
+            lam = self.rates[self.phase]
+            sw = self.switch[self.phase]
+            total = lam + sw
+            step = rng.exponential(1.0 / total)
+            elapsed += step
+            if rng.random() < lam / total:
+                return elapsed
+            # phase switch: uniform over the other phases
+            if n_phases == 2:
+                self.phase = 1 - self.phase
+            else:
+                move = rng.integers(n_phases - 1)
+                self.phase = int(move if move < self.phase else move + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"MMPPProcess(rates={self.rates.tolist()!r}, "
+            f"switch={self.switch.tolist()!r})"
+        )
+
+
+class BatchPoissonProcess(ArrivalProcess):
+    """Poisson-timed batches with geometric batch sizes.
+
+    Batches arrive at ``batch_rate``; each batch holds ``Geometric(p)``
+    jobs (support 1, 2, …, mean ``1/p``).  Jobs within a batch arrive
+    back-to-back (zero gap), modelling a node flushing buffered readings.
+    """
+
+    def __init__(self, batch_rate: float, mean_batch_size: float) -> None:
+        if batch_rate <= 0.0:
+            raise ValueError("batch_rate must be > 0")
+        if mean_batch_size < 1.0:
+            raise ValueError("mean_batch_size must be >= 1")
+        self.batch_rate = float(batch_rate)
+        self.mean_batch_size = float(mean_batch_size)
+        self._p = 1.0 / self.mean_batch_size
+        self._remaining = 0
+
+    def reset(self) -> None:
+        self._remaining = 0
+
+    def mean_rate(self) -> float:
+        return self.batch_rate * self.mean_batch_size
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        if self._remaining > 0:
+            self._remaining -= 1
+            return 0.0
+        gap = rng.exponential(1.0 / self.batch_rate)
+        self._remaining = int(rng.geometric(self._p)) - 1
+        return float(gap)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchPoissonProcess(batch_rate={self.batch_rate!r}, "
+            f"mean_batch_size={self.mean_batch_size!r})"
+        )

@@ -1,0 +1,139 @@
+"""Trace-driven workloads: record, persist, and replay arrival instants.
+
+Lets a measured (or synthesised) arrival sequence drive any of the models:
+record a trace from one process, replay it through another simulator, and
+compare.  The on-disk format is one float timestamp per line with ``#``
+comments — trivially diffable and tool-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.workload.base import ArrivalProcess
+
+__all__ = ["ArrivalTrace", "TraceProcess"]
+
+
+class ArrivalTrace:
+    """An ordered sequence of arrival timestamps starting after t = 0."""
+
+    def __init__(self, times: np.ndarray) -> None:
+        arr = np.asarray(times, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("trace must be 1-D")
+        if arr.size and (arr[0] < 0.0 or np.any(np.diff(arr) < 0.0)):
+            raise ValueError("trace timestamps must be non-negative and sorted")
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise ValueError("trace timestamps must be finite")
+        self.times = arr
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_process(
+        cls,
+        process: ArrivalProcess,
+        rng: np.random.Generator,
+        horizon: Optional[float] = None,
+        n: Optional[int] = None,
+    ) -> "ArrivalTrace":
+        """Record a trace by sampling *process*."""
+        process.reset()
+        return cls(process.arrival_times(rng, horizon=horizon, n=n))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """Read a trace file (one timestamp per line, ``#`` comments)."""
+        values = []
+        for line in Path(path).read_text().splitlines():
+            text = line.split("#", 1)[0].strip()
+            if text:
+                values.append(float(text))
+        return cls(np.asarray(values))
+
+    def save(self, path: Union[str, Path], header: str = "") -> None:
+        """Write the trace with an optional comment header."""
+        lines = []
+        if header:
+            lines.extend(f"# {h}" for h in header.splitlines())
+        lines.extend(f"{t:.9f}" for t in self.times)
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def horizon(self) -> float:
+        return float(self.times[-1]) if self.times.size else 0.0
+
+    def interarrivals(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (first gap is from t = 0)."""
+        if not self.times.size:
+            return np.empty(0)
+        return np.diff(self.times, prepend=0.0)
+
+    def mean_rate(self) -> float:
+        """Empirical arrival rate."""
+        if self.times.size == 0 or self.horizon == 0.0:
+            return 0.0
+        return self.times.size / self.horizon
+
+    def interarrival_cv2(self) -> float:
+        """Squared coefficient of variation of the gaps (1 ≈ Poisson)."""
+        gaps = self.interarrivals()
+        if gaps.size < 2:
+            return float("nan")
+        m = gaps.mean()
+        if m == 0.0:
+            return float("inf")
+        return float(gaps.var() / (m * m))
+
+    def thin(self, keep_probability: float, rng: np.random.Generator) -> "ArrivalTrace":
+        """Random thinning (keep each arrival independently)."""
+        if not (0.0 < keep_probability <= 1.0):
+            raise ValueError("keep_probability must be in (0, 1]")
+        mask = rng.random(self.times.size) < keep_probability
+        return ArrivalTrace(self.times[mask])
+
+    def shifted(self, offset: float) -> "ArrivalTrace":
+        """Trace translated by *offset* (must keep times non-negative)."""
+        if self.times.size and self.times[0] + offset < 0.0:
+            raise ValueError("shift would create negative timestamps")
+        return ArrivalTrace(self.times + offset)
+
+
+class TraceProcess(ArrivalProcess):
+    """Replays an :class:`ArrivalTrace` as an arrival process.
+
+    After the trace is exhausted, :meth:`next_interarrival` returns
+    ``math.inf`` — simulators naturally stop seeing arrivals.
+    """
+
+    def __init__(self, trace: ArrivalTrace) -> None:
+        if len(trace) == 0:
+            raise ValueError("cannot replay an empty trace")
+        self.trace = trace
+        self._gaps = trace.interarrivals()
+        self._pos = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def mean_rate(self) -> float:
+        return self.trace.mean_rate()
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        if self._pos >= self._gaps.size:
+            return math.inf
+        gap = float(self._gaps[self._pos])
+        self._pos += 1
+        return gap
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._gaps.size

@@ -1,0 +1,44 @@
+"""Wireless-sensor-network context around the CPU energy models.
+
+The paper's motivation is node lifetime in battery-powered WSNs.  This
+package supplies the surrounding pieces so the CPU models can be exercised
+in that setting:
+
+- :mod:`repro.wsn.profiles` — power profiles of real WSN processors and
+  radios (the paper's PXA271 plus common motes),
+- :mod:`repro.wsn.battery` — battery capacity and lifetime arithmetic,
+- :mod:`repro.wsn.radio` — a duty-cycled radio energy model,
+- :mod:`repro.wsn.node` — a sensor node combining CPU, radio, sensing
+  workload and battery into a lifetime estimate,
+- :mod:`repro.wsn.network` — many-node aggregates (first-death lifetime,
+  relay-load asymmetry around a sink).
+"""
+
+from repro.wsn.battery import Battery
+from repro.wsn.network import NetworkLifetimeReport, SensorNetwork
+from repro.wsn.node import NodeEnergyReport, SensorNode
+from repro.wsn.profiles import (
+    ATMEGA128L,
+    CC2420,
+    MSP430,
+    PXA271_PROFILE,
+    RadioProfile,
+    processor_profiles,
+)
+from repro.wsn.radio import DutyCycledRadio, RadioEnergyBreakdown
+
+__all__ = [
+    "ATMEGA128L",
+    "Battery",
+    "CC2420",
+    "DutyCycledRadio",
+    "MSP430",
+    "NetworkLifetimeReport",
+    "NodeEnergyReport",
+    "PXA271_PROFILE",
+    "RadioEnergyBreakdown",
+    "RadioProfile",
+    "SensorNetwork",
+    "SensorNode",
+    "processor_profiles",
+]

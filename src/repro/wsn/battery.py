@@ -1,0 +1,82 @@
+"""Battery capacity and lifetime arithmetic.
+
+WSN batteries are quoted in milliamp-hours at a nominal voltage; energy
+models produce average power in milliwatts.  :class:`Battery` converts
+between the two and applies a usable-fraction derating (self-discharge,
+cutoff voltage, temperature — motes rarely extract the label capacity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Battery"]
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An ideal-source battery model with capacity derating.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Label capacity in milliamp-hours (2×AA ≈ 2500 mAh).
+    voltage_v:
+        Nominal supply voltage (2×AA ≈ 3.0 V).
+    usable_fraction:
+        Fraction of label capacity actually extractable (default 0.85).
+    """
+
+    capacity_mah: float
+    voltage_v: float = 3.0
+    usable_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0.0 or not math.isfinite(self.capacity_mah):
+            raise ValueError("capacity must be finite and > 0")
+        if self.voltage_v <= 0.0:
+            raise ValueError("voltage must be > 0")
+        if not (0.0 < self.usable_fraction <= 1.0):
+            raise ValueError("usable_fraction must be in (0, 1]")
+
+    @classmethod
+    def aa_pair(cls) -> "Battery":
+        """Two alkaline AA cells in series — the classic mote supply."""
+        return cls(capacity_mah=2500.0, voltage_v=3.0)
+
+    @classmethod
+    def coin_cell(cls) -> "Battery":
+        """CR2032 coin cell (225 mAh @ 3 V)."""
+        return cls(capacity_mah=225.0, voltage_v=3.0)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def energy_joules(self) -> float:
+        """Usable energy: ``mAh × 3.6 × V × usable_fraction``."""
+        return (
+            self.capacity_mah
+            * 3.6  # mAh -> coulombs (1 mAh = 3.6 C)
+            * self.voltage_v
+            * self.usable_fraction
+        )
+
+    def lifetime_seconds(self, average_power_mw: float) -> float:
+        """Lifetime under a constant average drain."""
+        if average_power_mw < 0.0:
+            raise ValueError("power must be >= 0")
+        if average_power_mw == 0.0:
+            return math.inf
+        return self.energy_joules / (average_power_mw / 1000.0)
+
+    def lifetime_days(self, average_power_mw: float) -> float:
+        return self.lifetime_seconds(average_power_mw) / _SECONDS_PER_DAY
+
+    def drain_fraction(self, average_power_mw: float, duration_s: float) -> float:
+        """Fraction of usable energy consumed over *duration_s* (can be > 1)."""
+        if duration_s < 0.0:
+            raise ValueError("duration must be >= 0")
+        return (average_power_mw / 1000.0) * duration_s / self.energy_joules

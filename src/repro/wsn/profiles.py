@@ -1,0 +1,109 @@
+"""Power profiles of WSN hardware.
+
+The processor profiles reuse :class:`repro.core.params.PowerProfile` (four
+CPU power states).  ``PXA271_PROFILE`` is the paper's Table 3 verbatim; the
+other processors carry representative values from mote datasheets and the
+WSN literature so examples can compare platforms.  They are deliberately
+round numbers — the point of the examples is relative behaviour, not
+datasheet fidelity.
+
+``RadioProfile`` adds the transceiver states (TX / RX / idle-listen /
+sleep) used by :mod:`repro.wsn.radio`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.params import PXA271, PowerProfile
+
+__all__ = [
+    "PXA271_PROFILE",
+    "MSP430",
+    "ATMEGA128L",
+    "RadioProfile",
+    "CC2420",
+    "processor_profiles",
+]
+
+#: The paper's Table 3 (Intel PXA271), re-exported under the wsn namespace.
+PXA271_PROFILE = PXA271
+
+#: TI MSP430-class (TelosB mote): ~3 µW deep sleep, ~3 mW active at 4 MHz.
+MSP430 = PowerProfile(
+    name="MSP430",
+    standby_mw=0.003,
+    idle_mw=0.4,
+    powerup_mw=2.0,
+    active_mw=3.0,
+)
+
+#: Atmel ATmega128L-class (Mica2 mote): ~75 µW sleep, ~33 mW active.
+ATMEGA128L = PowerProfile(
+    name="ATmega128L",
+    standby_mw=0.075,
+    idle_mw=9.6,
+    powerup_mw=20.0,
+    active_mw=33.0,
+)
+
+
+def processor_profiles() -> Dict[str, PowerProfile]:
+    """All bundled processor profiles keyed by name."""
+    return {p.name: p for p in (PXA271_PROFILE, MSP430, ATMEGA128L)}
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Transceiver power states plus the link bitrate.
+
+    Defaults for :data:`CC2420` follow the usual figures: TX ≈ 52.2 mW at
+    0 dBm, RX/listen ≈ 56.4 mW (receiving costs about as much as listening),
+    sleep ≈ 60 µW, 250 kbit/s.
+    """
+
+    name: str
+    tx_mw: float
+    rx_mw: float
+    listen_mw: float
+    sleep_mw: float
+    bitrate_bps: float
+
+    def __post_init__(self) -> None:
+        for label, v in (
+            ("tx_mw", self.tx_mw),
+            ("rx_mw", self.rx_mw),
+            ("listen_mw", self.listen_mw),
+            ("sleep_mw", self.sleep_mw),
+        ):
+            if v < 0.0 or not math.isfinite(v):
+                raise ValueError(f"{label} must be finite and >= 0, got {v}")
+        if self.bitrate_bps <= 0.0:
+            raise ValueError("bitrate must be > 0")
+
+    def packet_airtime_s(self, payload_bytes: int, overhead_bytes: int = 17) -> float:
+        """Seconds on air for one packet (payload + PHY/MAC overhead)."""
+        if payload_bytes < 0 or overhead_bytes < 0:
+            raise ValueError("byte counts must be >= 0")
+        return 8.0 * (payload_bytes + overhead_bytes) / self.bitrate_bps
+
+    def tx_energy_mj(self, payload_bytes: int, overhead_bytes: int = 17) -> float:
+        """Millijoules to transmit one packet."""
+        return self.tx_mw * self.packet_airtime_s(payload_bytes, overhead_bytes)
+
+    def rx_energy_mj(self, payload_bytes: int, overhead_bytes: int = 17) -> float:
+        """Millijoules to receive one packet."""
+        return self.rx_mw * self.packet_airtime_s(payload_bytes, overhead_bytes)
+
+
+#: TI/Chipcon CC2420 802.15.4 transceiver (TelosB / MicaZ class).
+CC2420 = RadioProfile(
+    name="CC2420",
+    tx_mw=52.2,
+    rx_mw=56.4,
+    listen_mw=56.4,
+    sleep_mw=0.06,
+    bitrate_bps=250_000.0,
+)

@@ -1,0 +1,143 @@
+"""Duty-cycled radio energy model.
+
+WSN MAC layers (B-MAC, X-MAC, 802.15.4 beacon mode, …) save energy by
+sleeping the radio and waking periodically to listen.  This module models
+that pattern at the level the paper's energy accounting needs: long-run
+average power as a function of traffic rates and the listen duty cycle,
+plus per-packet energy bookkeeping.
+
+The model intentionally parallels :class:`~repro.core.params.StateFractions`:
+a radio divides its time between TX, RX, idle-listen and sleep, and the
+average power is the occupancy-weighted sum — the radio analogue of the
+paper's eq. 25.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.wsn.profiles import RadioProfile
+
+__all__ = ["RadioEnergyBreakdown", "DutyCycledRadio"]
+
+
+@dataclass(frozen=True)
+class RadioEnergyBreakdown:
+    """Occupancy fractions and average power of a radio."""
+
+    tx: float
+    rx: float
+    listen: float
+    sleep: float
+    average_power_mw: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "tx": self.tx,
+            "rx": self.rx,
+            "listen": self.listen,
+            "sleep": self.sleep,
+        }
+
+    def total(self) -> float:
+        return self.tx + self.rx + self.listen + self.sleep
+
+
+class DutyCycledRadio:
+    """A radio that sleeps except for periodic listen windows and traffic.
+
+    Parameters
+    ----------
+    profile:
+        Transceiver power numbers and bitrate.
+    listen_duty_cycle:
+        Fraction of time spent in idle-listen when not transmitting or
+        receiving (e.g. 0.01 for a 1 % low-power-listening MAC).
+    payload_bytes / overhead_bytes:
+        Packet sizing used to convert packet rates into airtime.
+    """
+
+    def __init__(
+        self,
+        profile: RadioProfile,
+        listen_duty_cycle: float = 0.01,
+        payload_bytes: int = 36,
+        overhead_bytes: int = 17,
+    ) -> None:
+        if not (0.0 <= listen_duty_cycle <= 1.0):
+            raise ValueError("listen_duty_cycle must be in [0, 1]")
+        if payload_bytes < 0 or overhead_bytes < 0:
+            raise ValueError("byte counts must be >= 0")
+        self.profile = profile
+        self.listen_duty_cycle = float(listen_duty_cycle)
+        self.payload_bytes = int(payload_bytes)
+        self.overhead_bytes = int(overhead_bytes)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def packet_airtime_s(self) -> float:
+        return self.profile.packet_airtime_s(
+            self.payload_bytes, self.overhead_bytes
+        )
+
+    def occupancy(
+        self, tx_packets_per_s: float, rx_packets_per_s: float
+    ) -> RadioEnergyBreakdown:
+        """Long-run occupancy for given traffic rates.
+
+        TX/RX fractions are ``rate × airtime``; the listen duty cycle
+        applies to the remaining time; sleep absorbs the rest.  Raises when
+        the requested traffic exceeds the channel (fractions > 1).
+        """
+        if tx_packets_per_s < 0.0 or rx_packets_per_s < 0.0:
+            raise ValueError("packet rates must be >= 0")
+        air = self.packet_airtime_s
+        tx = tx_packets_per_s * air
+        rx = rx_packets_per_s * air
+        if tx + rx > 1.0:
+            raise ValueError(
+                f"offered traffic needs {tx + rx:.2f}× the channel capacity"
+            )
+        remaining = 1.0 - tx - rx
+        listen = remaining * self.listen_duty_cycle
+        sleep = remaining - listen
+        p = self.profile
+        avg = (
+            tx * p.tx_mw + rx * p.rx_mw + listen * p.listen_mw + sleep * p.sleep_mw
+        )
+        return RadioEnergyBreakdown(
+            tx=tx, rx=rx, listen=listen, sleep=sleep, average_power_mw=avg
+        )
+
+    def average_power_mw(
+        self, tx_packets_per_s: float, rx_packets_per_s: float
+    ) -> float:
+        return self.occupancy(tx_packets_per_s, rx_packets_per_s).average_power_mw
+
+    def energy_joules(
+        self,
+        tx_packets_per_s: float,
+        rx_packets_per_s: float,
+        duration_s: float,
+    ) -> float:
+        """Radio energy over *duration_s* seconds."""
+        if duration_s < 0.0:
+            raise ValueError("duration must be >= 0")
+        return (
+            self.average_power_mw(tx_packets_per_s, rx_packets_per_s)
+            * duration_s
+            / 1000.0
+        )
+
+    def max_packet_rate(self) -> float:
+        """Channel saturation rate (packets/s at 100 % airtime)."""
+        return 1.0 / self.packet_airtime_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DutyCycledRadio({self.profile.name}, "
+            f"duty={self.listen_duty_cycle:g}, "
+            f"payload={self.payload_bytes}B)"
+        )

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.des.random_streams import StreamManager
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A reproducible generator for statistical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> StreamManager:
+    """A reproducible stream manager."""
+    return StreamManager(seed=777)
+
+
+@pytest.fixture
+def paper_params() -> CPUModelParams:
+    """The paper's Table 2 parameters at T = 0.3 s, D = 0.001 s."""
+    return CPUModelParams.paper_defaults(T=0.3, D=0.001)

@@ -1,0 +1,114 @@
+"""Sweep machinery and the Table 4/5 delta statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import (
+    SweepConfig,
+    delta_energy,
+    delta_state_percent,
+    delta_table,
+    energy_delta_table,
+    run_threshold_sweep,
+)
+from repro.core.params import CPUModelParams
+
+FAST = SweepConfig(
+    sim_horizon=1_000.0,
+    sim_warmup=50.0,
+    sim_replications=2,
+    petri_horizon=1_000.0,
+    petri_warmup=50.0,
+    petri_replications=1,
+    phase_stages=8,
+    seed=1,
+)
+
+THRESHOLDS = (0.0, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    params = CPUModelParams.paper_defaults(D=0.001)
+    return run_threshold_sweep(
+        params,
+        thresholds=THRESHOLDS,
+        models=("markov", "exact", "phase_type", "simulation", "petri"),
+        config=FAST,
+    )
+
+
+class TestSweep:
+    def test_all_models_present(self, small_sweep):
+        assert set(small_sweep.models()) == {
+            "markov", "exact", "phase_type", "simulation", "petri",
+        }
+
+    def test_each_model_has_one_point_per_threshold(self, small_sweep):
+        for model in small_sweep.models():
+            assert len(small_sweep.fractions[model]) == len(THRESHOLDS)
+
+    def test_series_percent_shape(self, small_sweep):
+        s = small_sweep.series_percent("markov", "standby")
+        assert s.shape == (len(THRESHOLDS),)
+        assert np.all((0.0 <= s) & (s <= 100.0))
+
+    def test_energies_increase_with_threshold(self, small_sweep):
+        # Figure 5's shape: larger T keeps the CPU in costlier idle
+        e = small_sweep.energies_joules("exact")
+        assert np.all(np.diff(e) > 0)
+
+    def test_analytic_models_deterministic(self):
+        params = CPUModelParams.paper_defaults(D=0.001)
+        a = run_threshold_sweep(params, THRESHOLDS, ("markov",), FAST)
+        b = run_threshold_sweep(params, THRESHOLDS, ("markov",), FAST)
+        assert a.fractions["markov"][0].as_dict() == (
+            b.fractions["markov"][0].as_dict()
+        )
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            run_threshold_sweep(
+                CPUModelParams.paper_defaults(), [], ("markov",), FAST
+            )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            run_threshold_sweep(
+                CPUModelParams.paper_defaults(), THRESHOLDS, ("nope",), FAST
+            )
+
+
+class TestDeltas:
+    def test_delta_zero_against_self(self, small_sweep):
+        assert delta_state_percent(small_sweep, "markov", "markov") == 0.0
+        assert delta_energy(small_sweep, "exact", "exact") == 0.0
+
+    def test_delta_symmetric(self, small_sweep):
+        ab = delta_state_percent(small_sweep, "markov", "exact")
+        ba = delta_state_percent(small_sweep, "exact", "markov")
+        assert ab == pytest.approx(ba)
+
+    def test_markov_exact_tiny_at_small_d(self, small_sweep):
+        assert delta_state_percent(small_sweep, "markov", "exact") < 0.1
+
+    def test_stochastic_models_near_exact(self, small_sweep):
+        assert delta_state_percent(small_sweep, "simulation", "exact") < 5.0
+        assert delta_state_percent(small_sweep, "petri", "exact") < 5.0
+
+    def test_delta_tables_shape(self):
+        params = CPUModelParams.paper_defaults
+        sweeps = {
+            d: run_threshold_sweep(
+                params(D=d), THRESHOLDS, ("markov", "exact"), FAST
+            )
+            for d in (0.001, 10.0)
+        }
+        pairs = (("markov", "exact"),)
+        rows4 = delta_table(sweeps, pairs=pairs)
+        rows5 = energy_delta_table(sweeps, pairs=pairs)
+        assert [r["power_up_delay"] for r in rows4] == [0.001, 10.0]
+        assert len(rows5) == 2
+        # the paper's story: Markov collapses at D = 10
+        assert rows4[1]["markov-exact"] > 20.0 * rows4[0]["markov-exact"]
+        assert rows5[1]["markov-exact"] > rows5[0]["markov-exact"]

@@ -1,0 +1,75 @@
+"""Energy accounting (eq. 25) and battery lifetime."""
+
+import pytest
+
+from repro.core.energy import (
+    average_power_mw,
+    battery_lifetime_seconds,
+    energy_breakdown_joules,
+    energy_joules,
+)
+from repro.core.params import PXA271, StateFractions
+
+
+def quarter() -> StateFractions:
+    return StateFractions(idle=0.25, standby=0.25, powerup=0.25, active=0.25)
+
+
+class TestEnergy:
+    def test_pure_standby(self):
+        f = StateFractions(idle=0.0, standby=1.0, powerup=0.0, active=0.0)
+        # 17 mW for 1000 s = 17 J
+        assert energy_joules(f, PXA271, 1000.0) == pytest.approx(17.0)
+
+    def test_pure_active(self):
+        f = StateFractions(idle=0.0, standby=0.0, powerup=0.0, active=1.0)
+        assert energy_joules(f, PXA271, 1000.0) == pytest.approx(193.0)
+
+    def test_mixture_weighting(self):
+        e = energy_joules(quarter(), PXA271, 1000.0)
+        assert e == pytest.approx((17.0 + 88.0 + 192.442 + 193.0) / 4.0)
+
+    def test_linear_in_duration(self):
+        f = quarter()
+        assert energy_joules(f, PXA271, 500.0) == pytest.approx(
+            0.5 * energy_joules(f, PXA271, 1000.0)
+        )
+
+    def test_zero_duration(self):
+        assert energy_joules(quarter(), PXA271, 0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            energy_joules(quarter(), PXA271, -1.0)
+
+    def test_breakdown_sums_to_total(self):
+        f = StateFractions(idle=0.2, standby=0.6, powerup=0.05, active=0.15)
+        parts = energy_breakdown_joules(f, PXA271, 1000.0)
+        assert sum(parts.values()) == pytest.approx(
+            energy_joules(f, PXA271, 1000.0)
+        )
+        assert set(parts) == {"idle", "standby", "powerup", "active"}
+
+    def test_average_power_consistency(self):
+        f = quarter()
+        assert energy_joules(f, PXA271, 1000.0) == pytest.approx(
+            average_power_mw(f, PXA271)  # 1000 s cancels the /1000
+        )
+
+
+class TestBatteryLifetime:
+    def test_simple_division(self):
+        f = StateFractions(idle=0.0, standby=1.0, powerup=0.0, active=0.0)
+        # 17 mW drain on a 17 J battery -> 1000 s
+        assert battery_lifetime_seconds(f, PXA271, 17.0) == pytest.approx(1000.0)
+
+    def test_lower_power_lives_longer(self):
+        sleepy = StateFractions(idle=0.0, standby=0.9, powerup=0.0, active=0.1)
+        busy = StateFractions(idle=0.9, standby=0.0, powerup=0.0, active=0.1)
+        assert battery_lifetime_seconds(
+            sleepy, PXA271, 1000.0
+        ) > battery_lifetime_seconds(busy, PXA271, 1000.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            battery_lifetime_seconds(quarter(), PXA271, 0.0)

@@ -1,0 +1,136 @@
+"""Exact renewal-reward model: identities, limits, and Monte-Carlo truth."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.params import CPUModelParams
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("T", [0.0, 0.1, 0.5, 2.0])
+    @pytest.mark.parametrize("D", [0.0, 0.001, 0.3, 10.0])
+    def test_fractions_sum_to_one(self, T, D):
+        p = CPUModelParams.paper_defaults(T=T, D=D)
+        f = ExactRenewalModel(p).solve().fractions()
+        assert f.total() == pytest.approx(1.0, abs=1e-12)
+
+    def test_active_is_exactly_rho(self):
+        # work conservation: the exact model never violates it
+        for T, D in [(0.0, 10.0), (0.5, 0.3), (3.0, 0.0)]:
+            p = CPUModelParams.paper_defaults(T=T, D=D)
+            st = ExactRenewalModel(p).solve()
+            assert st.utilization == p.utilization
+
+    def test_closed_form_values(self):
+        lam, mu, T, D = 1.0, 10.0, 0.3, 0.5
+        p = CPUModelParams(arrival_rate=lam, service_rate=mu,
+                           power_down_threshold=T, power_up_delay=D)
+        st = ExactRenewalModel(p).solve()
+        rho = lam / mu
+        denom = lam * D + math.exp(lam * T)
+        assert st.p_standby == pytest.approx((1 - rho) / denom)
+        assert st.p_powerup == pytest.approx(lam * D * (1 - rho) / denom)
+        assert st.p_idle == pytest.approx(
+            (math.exp(lam * T) - 1) * (1 - rho) / denom
+        )
+
+    def test_cycle_length(self):
+        lam, mu, T, D = 1.0, 10.0, 0.3, 0.5
+        p = CPUModelParams(arrival_rate=lam, service_rate=mu,
+                           power_down_threshold=T, power_up_delay=D)
+        st = ExactRenewalModel(p).solve()
+        want = (lam * D + math.exp(lam * T)) / (lam * (1 - lam / mu))
+        assert st.mean_cycle_length == pytest.approx(want)
+        assert st.power_down_rate == pytest.approx(1.0 / want)
+        assert st.jobs_per_cycle == pytest.approx(lam * want)
+
+    def test_no_overflow_for_huge_threshold(self):
+        p = CPUModelParams.paper_defaults(T=10_000.0, D=1.0)
+        st = ExactRenewalModel(p).solve()
+        assert st.p_idle == pytest.approx(1.0 - p.utilization)
+        assert st.p_standby == pytest.approx(0.0, abs=1e-300)
+
+
+class TestLimits:
+    def test_t_zero_d_zero(self):
+        p = CPUModelParams.paper_defaults(T=0.0, D=0.0)
+        st = ExactRenewalModel(p).solve()
+        assert st.p_standby == pytest.approx(1.0 - p.utilization)
+        assert st.p_idle == 0.0
+        assert st.p_powerup == 0.0
+
+    def test_large_t_is_mm1(self):
+        p = CPUModelParams.paper_defaults(T=40.0, D=5.0)
+        st = ExactRenewalModel(p).solve()
+        assert st.p_idle == pytest.approx(1.0 - p.utilization, rel=1e-6)
+
+    def test_large_d_powerup_dominates(self):
+        p = CPUModelParams.paper_defaults(T=0.0, D=10.0)
+        st = ExactRenewalModel(p).solve()
+        # λD=10: powerup = 10(1-ρ)/11
+        assert st.p_powerup == pytest.approx(10.0 * 0.9 / 11.0)
+
+
+class TestMonteCarloCycle:
+    def test_cycle_simulation_matches_closed_form(self, rng):
+        """Simulate regeneration cycles directly (independent of the DES)."""
+        lam, mu, T, D = 1.0, 5.0, 0.4, 0.6
+        p = CPUModelParams(arrival_rate=lam, service_rate=mu,
+                           power_down_threshold=T, power_up_delay=D)
+        st = ExactRenewalModel(p).solve()
+
+        n_cycles = 4000
+        totals = {"standby": 0.0, "powerup": 0.0, "idle": 0.0, "active": 0.0}
+        for _ in range(n_cycles):
+            totals["standby"] += rng.exponential(1.0 / lam)
+            totals["powerup"] += D
+            n = 1 + rng.poisson(lam * D)
+            while True:
+                # busy period serving n jobs (arrivals during service join)
+                while n > 0:
+                    s = rng.exponential(1.0 / mu)
+                    totals["active"] += s
+                    n -= 1 - rng.poisson(lam * s)
+                gap = rng.exponential(1.0 / lam)
+                if gap > T:
+                    totals["idle"] += T
+                    break
+                totals["idle"] += gap
+                n = 1
+        total = sum(totals.values())
+        assert totals["standby"] / total == pytest.approx(st.p_standby, rel=0.05)
+        assert totals["powerup"] / total == pytest.approx(st.p_powerup, rel=0.05)
+        assert totals["idle"] / total == pytest.approx(st.p_idle, rel=0.05)
+        assert totals["active"] / total == pytest.approx(p.utilization, rel=0.05)
+
+
+class TestEnergyAndBias:
+    def test_energy_rate_bounds(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        rate = ExactRenewalModel(p).energy_rate_mw()
+        assert 17.0 < rate < 193.0
+
+    def test_energy_scales_linearly(self):
+        model = ExactRenewalModel(CPUModelParams.paper_defaults())
+        assert model.energy_joules(2000.0) == pytest.approx(
+            2.0 * model.energy_joules(1000.0)
+        )
+
+    def test_negative_duration_rejected(self):
+        model = ExactRenewalModel(CPUModelParams.paper_defaults())
+        with pytest.raises(ValueError):
+            model.energy_joules(-1.0)
+
+    def test_markov_bias_direction_large_d(self):
+        p = CPUModelParams.paper_defaults(T=0.0, D=10.0)
+        bias = ExactRenewalModel(p).markov_model_bias()
+        assert bias.active > 0.2  # Markov overestimates utilization
+        assert bias.powerup < -0.2  # and underestimates powerup
+
+    def test_markov_bias_negligible_small_d(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        bias = ExactRenewalModel(p).markov_model_bias()
+        assert abs(bias.active) < 1e-4

@@ -1,0 +1,148 @@
+"""The paper's closed forms: internal identities and limiting cases."""
+
+import math
+
+import pytest
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.markov_supplementary import MarkovSupplementaryModel
+from repro.core.params import CPUModelParams
+
+
+class TestInternalIdentities:
+    def test_fractions_sum_to_one(self):
+        for T in (0.0, 0.1, 0.5, 1.0, 5.0):
+            for D in (0.001, 0.3, 10.0):
+                p = CPUModelParams.paper_defaults(T=T, D=D)
+                f = MarkovSupplementaryModel(p).solve().fractions()
+                assert f.total() == pytest.approx(1.0, abs=1e-12)
+
+    def test_stable_form_matches_paper_form(self):
+        # where the literal equations don't overflow the two must agree
+        for T in (0.0, 0.3, 1.0, 20.0):
+            for D in (0.001, 0.3, 10.0):
+                p = CPUModelParams.paper_defaults(T=T, D=D)
+                model = MarkovSupplementaryModel(p)
+                a = model.solve()
+                b = model.solve_paper_form()
+                assert a.p_standby == pytest.approx(b.p_standby, rel=1e-12)
+                assert a.p_idle == pytest.approx(b.p_idle, rel=1e-12)
+                assert a.p_powerup == pytest.approx(b.p_powerup, rel=1e-12)
+                assert a.utilization == pytest.approx(b.utilization, rel=1e-12)
+                assert a.mean_jobs == pytest.approx(b.mean_jobs, rel=1e-12)
+
+    def test_eq12_idle_standby_relation(self):
+        # p_idle = (e^{λT} - 1) p_standby
+        p = CPUModelParams.paper_defaults(T=0.7, D=0.3)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.p_idle == pytest.approx(
+            (math.exp(p.arrival_rate * p.power_down_threshold) - 1.0)
+            * st.p_standby
+        )
+
+    def test_eq13_powerup_standby_relation(self):
+        # p_powerup = (1 - e^{-λD}) p_standby
+        p = CPUModelParams.paper_defaults(T=0.4, D=0.25)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.p_powerup == pytest.approx(
+            (1.0 - math.exp(-p.arrival_rate * p.power_up_delay)) * st.p_standby
+        )
+
+    def test_latency_is_littles_law(self):
+        p = CPUModelParams.paper_defaults(T=0.2, D=0.1)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.mean_latency == pytest.approx(st.mean_jobs / p.arrival_rate)
+
+    def test_no_overflow_for_huge_threshold(self):
+        # λT = 5000 overflows exp() in the printed equations
+        p = CPUModelParams.paper_defaults(T=5000.0, D=0.5)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.p_standby == pytest.approx(0.0, abs=1e-300)
+        assert st.p_idle + st.utilization == pytest.approx(1.0)
+
+
+class TestLimits:
+    def test_t_zero_d_zero_is_pure_sleep_mm1(self):
+        # instant power transitions: standby replaces idle entirely
+        p = CPUModelParams.paper_defaults(T=0.0, D=0.0)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.p_idle == 0.0
+        assert st.p_powerup == 0.0
+        assert st.p_standby == pytest.approx(1.0 - p.utilization)
+        assert st.utilization == pytest.approx(p.utilization)
+
+    def test_large_t_approaches_plain_mm1(self):
+        p = CPUModelParams.paper_defaults(T=50.0, D=0.3)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.p_idle == pytest.approx(1.0 - p.utilization, rel=1e-6)
+        assert st.utilization == pytest.approx(p.utilization, rel=1e-6)
+        assert st.p_standby < 1e-10
+
+    def test_mean_jobs_mm1_limit(self):
+        # T -> inf removes power management: L -> rho/(1-rho)
+        p = CPUModelParams.paper_defaults(T=50.0, D=0.001)
+        st = MarkovSupplementaryModel(p).solve()
+        rho = p.utilization
+        assert st.mean_jobs == pytest.approx(rho / (1.0 - rho), rel=1e-4)
+
+
+class TestApproximationQuality:
+    def test_agrees_with_exact_for_tiny_d(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=1e-4)
+        approx = MarkovSupplementaryModel(p).solve().fractions()
+        exact = ExactRenewalModel(p).solve().fractions()
+        assert approx.l1_distance(exact) < 1e-4
+
+    def test_first_order_agreement_in_lambda_d(self):
+        # error should shrink ~ quadratically as D -> 0
+        p_big = CPUModelParams.paper_defaults(T=0.3, D=0.02)
+        p_small = CPUModelParams.paper_defaults(T=0.3, D=0.002)
+        err_big = (
+            MarkovSupplementaryModel(p_big).solve().fractions().l1_distance(
+                ExactRenewalModel(p_big).solve().fractions()
+            )
+        )
+        err_small = (
+            MarkovSupplementaryModel(p_small)
+            .solve()
+            .fractions()
+            .l1_distance(ExactRenewalModel(p_small).solve().fractions())
+        )
+        assert err_small < err_big / 50.0  # ~quadratic: factor 100 expected
+
+    def test_utilization_bias_grows_with_d(self):
+        # the approximation overestimates utilization for large D
+        p = CPUModelParams.paper_defaults(T=0.0, D=10.0)
+        st = MarkovSupplementaryModel(p).solve()
+        assert st.utilization > 3.0 * p.utilization  # paper's collapse
+
+
+class TestEnergyEquations:
+    def test_eq23_total_running_time(self):
+        p = CPUModelParams.paper_defaults(T=0.2, D=0.001)
+        model = MarkovSupplementaryModel(p)
+        st = model.solve()
+        n = 1000.0
+        assert model.total_running_time(n) == pytest.approx(
+            (n + st.mean_jobs**2) / p.arrival_rate
+        )
+
+    def test_eq24_total_energy(self):
+        p = CPUModelParams.paper_defaults(T=0.2, D=0.001)
+        model = MarkovSupplementaryModel(p)
+        st = model.solve()
+        n = 1000.0
+        avg_mw = p.profile.average_power_mw(st.fractions())
+        want = avg_mw * model.total_running_time(n) / 1000.0
+        assert model.total_energy_joules(n) == pytest.approx(want)
+
+    def test_energy_in_plausible_range(self):
+        # for the paper's parameters energy over 1000s is tens of Joules
+        p = CPUModelParams.paper_defaults(T=0.5, D=0.001)
+        e = MarkovSupplementaryModel(p).total_energy_joules(1000.0)
+        assert 17.0 < e < 193.0
+
+    def test_negative_jobs_rejected(self):
+        p = CPUModelParams.paper_defaults()
+        with pytest.raises(ValueError):
+            MarkovSupplementaryModel(p).total_running_time(-1.0)

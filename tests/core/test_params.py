@@ -1,0 +1,104 @@
+"""Parameters, power profiles, state fractions."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    PAPER_TOTAL_SIMULATED_TIME,
+    PXA271,
+    CPUModelParams,
+    PowerProfile,
+    StateFractions,
+)
+
+
+class TestPowerProfile:
+    def test_paper_table3_values(self):
+        assert PXA271.standby_mw == 17.0
+        assert PXA271.idle_mw == 88.0
+        assert PXA271.powerup_mw == 192.442
+        assert PXA271.active_mw == 193.0
+
+    def test_average_power_weighting(self):
+        f = StateFractions(idle=0.25, standby=0.25, powerup=0.25, active=0.25)
+        want = (17.0 + 88.0 + 192.442 + 193.0) / 4.0
+        assert PXA271.average_power_mw(f) == pytest.approx(want)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerProfile("bad", -1.0, 1.0, 1.0, 1.0)
+
+    def test_as_dict_keys(self):
+        assert set(PXA271.as_dict()) == {"idle", "standby", "powerup", "active"}
+
+
+class TestParams:
+    def test_paper_defaults_table2(self):
+        p = CPUModelParams.paper_defaults()
+        assert p.arrival_rate == 1.0
+        assert p.service_rate == 10.0  # mean service time 0.1 s
+        assert p.utilization == pytest.approx(0.1)
+        assert PAPER_TOTAL_SIMULATED_TIME == 1000.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            CPUModelParams(arrival_rate=10.0, service_rate=1.0)
+
+    def test_boundary_rho_one_rejected(self):
+        with pytest.raises(ValueError):
+            CPUModelParams(arrival_rate=2.0, service_rate=2.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CPUModelParams(power_down_threshold=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            CPUModelParams(power_up_delay=-0.1)
+
+    def test_with_threshold_copies(self):
+        p = CPUModelParams.paper_defaults(T=0.1)
+        p2 = p.with_threshold(0.9)
+        assert p2.power_down_threshold == 0.9
+        assert p.power_down_threshold == 0.1
+        assert p2.arrival_rate == p.arrival_rate
+
+    def test_with_powerup_delay_copies(self):
+        p = CPUModelParams.paper_defaults(D=0.001)
+        assert p.with_powerup_delay(10.0).power_up_delay == 10.0
+
+    def test_derived_times(self):
+        p = CPUModelParams.paper_defaults()
+        assert p.mean_service_time == pytest.approx(0.1)
+        assert p.mean_interarrival_time == pytest.approx(1.0)
+
+
+class TestStateFractions:
+    def test_as_percent(self):
+        f = StateFractions(idle=0.2, standby=0.5, powerup=0.05, active=0.25)
+        pct = f.as_percent_dict()
+        assert pct["standby"] == pytest.approx(50.0)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_l1_distance_symmetric(self):
+        a = StateFractions(0.2, 0.5, 0.05, 0.25)
+        b = StateFractions(0.25, 0.45, 0.05, 0.25)
+        assert a.l1_distance(b) == pytest.approx(0.1)
+        assert a.l1_distance(b) == b.l1_distance(a)
+        assert a.l1_distance(a) == 0.0
+
+    def test_mean_pointwise(self):
+        a = StateFractions(0.0, 1.0, 0.0, 0.0)
+        b = StateFractions(1.0, 0.0, 0.0, 0.0)
+        m = StateFractions.mean([a, b])
+        assert m.idle == 0.5
+        assert m.standby == 0.5
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StateFractions.mean([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            StateFractions(math.nan, 0.0, 0.0, 0.0)

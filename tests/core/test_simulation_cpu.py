@@ -1,0 +1,149 @@
+"""CPU simulators vs the exact renewal ground truth, and vs each other."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.params import CPUModelParams
+from repro.core.simulation_cpu import (
+    CPUEventSimulator,
+    fractions_from_summary,
+    replicate_cpu_simulation,
+    simulate_job_scan,
+)
+from repro.des.distributions import Deterministic, Exponential
+from repro.des.random_streams import StreamManager
+from repro.workload.base import RenewalProcess
+
+
+class TestEventSimulatorVsExact:
+    @pytest.mark.parametrize(
+        "T,D",
+        [(0.1, 0.001), (0.3, 0.3), (0.0, 10.0), (1.0, 0.001)],
+        ids=["paper-small-D", "moderate", "huge-D", "large-T"],
+    )
+    def test_fractions_match_exact(self, T, D):
+        p = CPUModelParams.paper_defaults(T=T, D=D)
+        exact = ExactRenewalModel(p).solve().fractions()
+        res = CPUEventSimulator(p, seed=101).run(horizon=30_000.0, warmup=500.0)
+        assert res.fractions.l1_distance(exact) < 0.02
+
+    def test_fractions_sum_to_one(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+        res = CPUEventSimulator(p, seed=1).run(horizon=2_000.0)
+        assert res.fractions.total() == pytest.approx(1.0, abs=1e-9)
+
+    def test_throughput_equals_arrival_rate(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        res = CPUEventSimulator(p, seed=5).run(horizon=20_000.0, warmup=500.0)
+        rate = res.jobs_served / res.horizon
+        assert rate == pytest.approx(p.arrival_rate, rel=0.03)
+
+    def test_latency_above_service_time(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+        res = CPUEventSimulator(p, seed=5).run(horizon=10_000.0)
+        assert res.mean_latency > p.mean_service_time
+
+    def test_littles_law_holds_in_measurement(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+        res = CPUEventSimulator(p, seed=8).run(horizon=50_000.0, warmup=1_000.0)
+        assert res.mean_jobs_in_system == pytest.approx(
+            p.arrival_rate * res.mean_latency, rel=0.05
+        )
+
+    def test_reproducibility(self):
+        p = CPUModelParams.paper_defaults()
+        a = CPUEventSimulator(p, seed=3).run(horizon=1_000.0)
+        b = CPUEventSimulator(p, seed=3).run(horizon=1_000.0)
+        assert a.fractions.as_dict() == b.fractions.as_dict()
+        assert a.jobs_served == b.jobs_served
+
+    def test_warmup_window_accounting(self):
+        p = CPUModelParams.paper_defaults()
+        res = CPUEventSimulator(p, seed=4).run(horizon=2_000.0, warmup=500.0)
+        assert res.horizon == pytest.approx(1_500.0)
+
+    def test_invalid_args(self):
+        sim = CPUEventSimulator(CPUModelParams.paper_defaults(), seed=1)
+        with pytest.raises(ValueError):
+            sim.run(horizon=0.0)
+        with pytest.raises(ValueError):
+            sim.run(horizon=10.0, warmup=20.0)
+
+
+class TestJobScanVsEventSim:
+    @pytest.mark.parametrize("T,D", [(0.1, 0.001), (0.5, 0.3), (0.0, 10.0)])
+    def test_two_implementations_agree(self, T, D):
+        p = CPUModelParams.paper_defaults(T=T, D=D)
+        ev = CPUEventSimulator(p, seed=11).run(horizon=40_000.0, warmup=500.0)
+        js = simulate_job_scan(p, n_jobs=40_000, rng=np.random.default_rng(12))
+        assert ev.fractions.l1_distance(js.fractions) < 0.02
+
+    def test_job_scan_matches_exact(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+        exact = ExactRenewalModel(p).solve().fractions()
+        js = simulate_job_scan(p, n_jobs=100_000, rng=np.random.default_rng(0))
+        assert js.fractions.l1_distance(exact) < 0.01
+
+    def test_job_scan_serves_all_jobs(self):
+        p = CPUModelParams.paper_defaults()
+        js = simulate_job_scan(p, n_jobs=500, rng=np.random.default_rng(1))
+        assert js.jobs_served == 500
+        assert js.jobs_arrived == 500
+
+    def test_job_scan_latency_includes_powerup(self):
+        # with T=0 every lone arrival pays D: latency >= D + service
+        p = CPUModelParams.paper_defaults(T=0.0, D=0.5)
+        js = simulate_job_scan(p, n_jobs=20_000, rng=np.random.default_rng(2))
+        assert js.mean_latency > 0.5
+
+    def test_job_scan_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            simulate_job_scan(CPUModelParams.paper_defaults(), 0,
+                              np.random.default_rng(0))
+
+
+class TestReplication:
+    def test_summary_fields(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        s = replicate_cpu_simulation(p, horizon=1_000.0, n_replications=4, seed=7)
+        assert s.n == 4
+        f = fractions_from_summary(s)
+        assert f.total() == pytest.approx(1.0, abs=0.01)
+
+    def test_ci_narrows_with_horizon(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        short = replicate_cpu_simulation(p, horizon=500.0, n_replications=5, seed=1)
+        long = replicate_cpu_simulation(p, horizon=8_000.0, n_replications=5, seed=1)
+        assert long.half_width("standby") < short.half_width("standby")
+
+
+class TestGeneralWorkloads:
+    def test_renewal_deterministic_arrivals(self):
+        # deterministic gaps of 1s with T > gap: the CPU never powers down
+        p = CPUModelParams.paper_defaults(T=2.0, D=0.3)
+        process = RenewalProcess(Deterministic(1.0))
+        res = CPUEventSimulator(
+            p, seed=21, arrival_process=process
+        ).run(horizon=10_000.0, warmup=100.0)
+        assert res.fractions.standby == pytest.approx(0.0, abs=1e-6)
+        assert res.fractions.powerup < 1e-3  # only the initial wake-up
+        assert res.fractions.active == pytest.approx(0.1, abs=0.01)
+
+    def test_custom_service_distribution(self):
+        # deterministic service of 0.1s: active fraction still rho = 0.1
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        res = CPUEventSimulator(
+            p, seed=22, service_distribution=Deterministic(0.1)
+        ).run(horizon=20_000.0, warmup=200.0)
+        assert res.fractions.active == pytest.approx(0.1, abs=0.01)
+
+    def test_exponential_process_equals_default_in_mean(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        explicit = CPUEventSimulator(
+            p, seed=23, arrival_process=RenewalProcess(Exponential(1.0))
+        ).run(horizon=20_000.0, warmup=200.0)
+        default = CPUEventSimulator(p, seed=24).run(
+            horizon=20_000.0, warmup=200.0
+        )
+        assert explicit.fractions.l1_distance(default.fractions) < 0.03

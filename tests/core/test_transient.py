@@ -1,0 +1,116 @@
+"""Transient analysis: occupancy curves, cumulative energy, time-to-empty."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.params import CPUModelParams
+from repro.core.transient import TransientEnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransientEnergyModel(
+        CPUModelParams.paper_defaults(T=0.3, D=0.3), stages=8
+    )
+
+
+class TestOccupancy:
+    def test_starts_in_standby(self, model):
+        f = model.occupancy_at(0.0)
+        assert f.standby == pytest.approx(1.0)
+        assert f.active == 0.0
+
+    def test_converges_to_steady_state(self, model):
+        exact = ExactRenewalModel(model.params).solve().fractions()
+        late = model.occupancy_at(500.0)
+        assert late.l1_distance(exact) < 0.01
+
+    def test_fractions_always_sum_to_one(self, model):
+        curve = model.curve(horizon=20.0, n_points=10)
+        for i in range(10):
+            assert curve.occupancy_at(i).total() == pytest.approx(1.0, abs=1e-9)
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.occupancy_at(-1.0)
+
+
+class TestCumulativeEnergy:
+    def test_starts_at_zero_and_increases(self, model):
+        curve = model.curve(horizon=50.0, n_points=25)
+        e = curve.cumulative_energy_joules
+        assert e[0] == 0.0
+        assert np.all(np.diff(e) > 0.0)
+
+    def test_early_energy_below_steady_rate(self, model):
+        # the CPU starts asleep (17 mW), below the steady-state mix
+        curve = model.curve(horizon=2.0, n_points=10)
+        steady = curve.steady_state_power_mw * curve.times / 1000.0
+        assert curve.cumulative_energy_joules[-1] < steady[-1]
+
+    def test_long_run_energy_matches_steady_rate(self, model):
+        curve = model.curve(horizon=2_000.0, n_points=120)
+        rel = curve.relative_transient_error()
+        assert rel[-1] < 0.02  # transient bias washed out
+
+    def test_transient_error_decays(self, model):
+        curve = model.curve(horizon=2_000.0, n_points=120)
+        rel = curve.relative_transient_error()
+        assert rel[-1] < rel[3]
+
+    def test_argument_validation(self, model):
+        with pytest.raises(ValueError):
+            model.curve(horizon=0.0)
+        with pytest.raises(ValueError):
+            model.curve(horizon=10.0, n_points=1)
+
+
+class TestTimeToEmpty:
+    def test_matches_steady_rate_for_large_budget(self, model):
+        steady_w = ExactRenewalModel(model.params).energy_rate_mw() / 1000.0
+        budget = 500.0  # joules; empties way past the transient
+        t = model.time_to_empty(budget)
+        assert t == pytest.approx(budget / steady_w, rel=0.02)
+
+    def test_small_budget_empties_inside_transient(self, model):
+        # 20 ms of standby ~ 0.34 mJ; the budget below empties very early
+        t = model.time_to_empty(0.001)
+        assert 0.0 < t < 1.0
+
+    def test_monotone_in_budget(self, model):
+        assert model.time_to_empty(10.0) < model.time_to_empty(20.0)
+
+    def test_invalid_budget_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.time_to_empty(0.0)
+
+
+class TestAgainstSimulation:
+    def test_transient_occupancy_matches_monte_carlo(self):
+        """Expected occupancy at a fixed time vs many short simulations."""
+        from repro.core.simulation_cpu import CPUEventSimulator
+        from repro.des.random_streams import StreamManager
+
+        params = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+        model = TransientEnergyModel(params, stages=32)
+        t_check = 5.0
+        predicted = model.occupancy_at(t_check)
+
+        # Monte-Carlo: occupancy over [0, t] averaged over replications
+        # approximates the *time-average*, so integrate the prediction too.
+        curve = model.curve(horizon=t_check, n_points=40)
+        integral = {
+            k: float(np.trapezoid(curve.occupancy[k], curve.times)) / t_check
+            for k in curve.occupancy
+        }
+        base = StreamManager(99)
+        acc = {"idle": 0.0, "standby": 0.0, "powerup": 0.0, "active": 0.0}
+        n_rep = 400
+        for i in range(n_rep):
+            sim = CPUEventSimulator(params, streams=base.for_replication(i))
+            f = sim.run(horizon=t_check).fractions
+            for k in acc:
+                acc[k] += getattr(f, k) / n_rep
+        for k in acc:
+            assert acc[k] == pytest.approx(integral[k], abs=0.03), k

@@ -1,0 +1,231 @@
+"""Distributions: parameter validation, exact moments, sampled moments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.des.distributions import (
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTS = [
+    Deterministic(0.7),
+    Exponential(2.0),
+    Uniform(0.5, 1.5),
+    Erlang(4, 8.0),
+    Gamma(2.5, 0.4),
+    HyperExponential([0.3, 0.7], [1.0, 5.0]),
+    Pareto(4.0, 1.0),
+    Weibull(1.5, 2.0),
+    LogNormal(0.0, 0.5),
+    TruncatedNormal(1.0, 0.3),
+    Empirical([0.1, 0.2, 0.3, 0.4]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_samples_non_negative(self, dist, rng):
+        samples = dist.sample_array(rng, 2000)
+        assert np.all(samples >= 0.0)
+        assert np.all(np.isfinite(samples))
+
+    def test_scalar_and_array_agree_in_distribution(self, dist, rng):
+        scalars = np.array([dist.sample(rng) for _ in range(4000)])
+        array = dist.sample_array(np.random.default_rng(99), 4000)
+        # same distribution => close means (both estimate dist.mean())
+        tol = 6.0 * math.sqrt(max(dist.variance(), 1e-12) / 4000)
+        assert abs(scalars.mean() - dist.mean()) < tol + 1e-9
+        assert abs(array.mean() - dist.mean()) < tol + 1e-9
+
+    def test_sampled_mean_matches_theory(self, dist, rng):
+        n = 20000
+        samples = dist.sample_array(rng, n)
+        se = math.sqrt(max(dist.variance(), 1e-12) / n)
+        assert abs(samples.mean() - dist.mean()) < 5.0 * se + 1e-9
+
+    def test_sampled_variance_matches_theory(self, dist, rng):
+        n = 40000
+        samples = dist.sample_array(rng, n)
+        var = dist.variance()
+        assert samples.var() == pytest.approx(var, rel=0.15, abs=1e-9)
+
+    def test_cv2_consistent_with_moments(self, dist, rng):
+        if dist.mean() > 0:
+            assert dist.cv2() == pytest.approx(
+                dist.variance() / dist.mean() ** 2
+            )
+
+
+class TestDeterministic:
+    def test_constant(self, rng):
+        d = Deterministic(1.25)
+        assert d.sample(rng) == 1.25
+        assert np.all(d.sample_array(rng, 5) == 1.25)
+        assert d.variance() == 0.0
+
+    def test_zero_is_immediate(self):
+        assert Deterministic(0.0).is_immediate()
+        assert not Deterministic(0.1).is_immediate()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+    def test_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(math.inf)
+
+
+class TestExponential:
+    def test_mean_is_inverse_rate(self):
+        assert Exponential(4.0).mean() == 0.25
+
+    def test_memorylessness_statistical(self, rng):
+        # P(X > s + t | X > s) == P(X > t)
+        d = Exponential(1.0)
+        x = d.sample_array(rng, 200_000)
+        s, t = 0.5, 0.7
+        conditional = np.mean(x[x > s] > s + t)
+        unconditional = np.mean(x > t)
+        assert conditional == pytest.approx(unconditional, abs=0.01)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, math.inf])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError):
+            Exponential(rate)
+
+
+class TestErlang:
+    def test_with_mean_constructor(self):
+        d = Erlang.with_mean(5, 2.0)
+        assert d.mean() == pytest.approx(2.0)
+        assert d.k == 5
+
+    def test_variance_shrinks_with_stages(self):
+        # Erlang-k with fixed mean approaches a constant as k grows
+        v = [Erlang.with_mean(k, 1.0).variance() for k in (1, 4, 16, 64)]
+        assert v == sorted(v, reverse=True)
+        assert v[-1] == pytest.approx(1.0 / 64.0)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+        with pytest.raises(ValueError):
+            Erlang(1, 0.0)
+
+
+class TestHyperExponential:
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HyperExponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_cv2_above_one(self):
+        d = HyperExponential([0.9, 0.1], [10.0, 0.5])
+        assert d.cv2() > 1.0
+
+    def test_mean(self):
+        d = HyperExponential([0.5, 0.5], [1.0, 2.0])
+        assert d.mean() == pytest.approx(0.5 * 1.0 + 0.5 * 0.5)
+
+
+class TestLogNormal:
+    def test_with_mean_cv_roundtrip(self):
+        d = LogNormal.with_mean_cv(mean=3.0, cv=0.8)
+        assert d.mean() == pytest.approx(3.0)
+        assert math.sqrt(d.variance()) / d.mean() == pytest.approx(0.8)
+
+
+class TestTruncatedNormal:
+    def test_truncation_increases_mean_when_loc_near_zero(self):
+        d = TruncatedNormal(0.0, 1.0)
+        # half-normal mean = sqrt(2/pi)
+        assert d.mean() == pytest.approx(math.sqrt(2.0 / math.pi), rel=1e-6)
+
+    def test_sampling_respects_truncation(self, rng):
+        d = TruncatedNormal(-0.5, 1.0)
+        assert np.all(d.sample_array(rng, 10_000) >= 0.0)
+
+
+class TestEmpirical:
+    def test_resamples_only_observed_values(self, rng):
+        values = [0.5, 1.5, 2.5]
+        d = Empirical(values)
+        assert set(np.unique(d.sample_array(rng, 1000))) <= set(values)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([1.0, -0.1])
+
+
+class TestGamma:
+    def test_integer_shape_matches_erlang(self, rng):
+        g = Gamma(4.0, 0.125)
+        e = Erlang(4, 8.0)
+        assert g.mean() == pytest.approx(e.mean())
+        assert g.variance() == pytest.approx(e.variance())
+
+    def test_shape_below_one_is_bursty(self):
+        assert Gamma(0.5, 1.0).cv2() > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Gamma(1.0, -1.0)
+
+
+class TestPareto:
+    def test_samples_respect_minimum(self, rng):
+        d = Pareto(2.5, 3.0)
+        assert d.sample_array(rng, 10_000).min() >= 3.0
+
+    def test_mean_formula(self):
+        d = Pareto(3.0, 2.0)
+        assert d.mean() == pytest.approx(3.0)
+
+    def test_infinite_moments_raise(self):
+        with pytest.raises(ValueError, match="mean"):
+            Pareto(0.9, 1.0).mean()
+        with pytest.raises(ValueError, match="variance"):
+            Pareto(1.5, 1.0).variance()
+
+    def test_heavy_tail_statistical(self, rng):
+        # P(X > 10 m) = 10^-alpha for Pareto
+        d = Pareto(1.2, 1.0)
+        x = d.sample_array(rng, 200_000)
+        tail = float((x > 10.0).mean())
+        assert tail == pytest.approx(10.0 ** -1.2, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Pareto(1.0, 0.0)
+
+
+class TestUniform:
+    def test_bounds_respected(self, rng):
+        d = Uniform(0.2, 0.8)
+        x = d.sample_array(rng, 10_000)
+        assert x.min() >= 0.2
+        assert x.max() <= 0.8
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 0.5)
+        with pytest.raises(ValueError):
+            Uniform(-0.5, 1.0)

@@ -1,0 +1,134 @@
+"""Simulator engine: clock monotonicity, scheduling rules, stop conditions."""
+
+import pytest
+
+from repro.des.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_actions_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.schedule(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5, 4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_actions_can_schedule_followups(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n: int) -> None:
+            log.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunUntil:
+    def test_clock_lands_exactly_on_horizon(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+
+    def test_events_at_horizon_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run_until(5.0)
+        assert fired == [True]
+
+    def test_events_beyond_horizon_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0001, lambda: fired.append(True))
+        sim.run_until(5.0)
+        assert fired == []
+        assert sim.pending_count() == 1
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(7.0, lambda: log.append(7))
+        sim.run_until(5.0)
+        assert log == [1]
+        sim.run_until(10.0)
+        assert log == [1, 7]
+
+
+class TestStopAndBudget:
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: log.append(2))
+        sim.run()
+        assert log[0] == 1
+        assert 2 not in log
+
+    def test_event_budget_raises(self):
+        sim = Simulator(max_events=10)
+
+        def loop() -> None:
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run()
+
+    def test_cancel_prevents_action(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(True))
+        sim.cancel(ev)
+        sim.run()
+        assert fired == []
+
+    def test_trace_hook_sees_every_event(self):
+        seen = []
+        sim = Simulator(trace_hook=lambda t, ev: seen.append(t))
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5

@@ -1,0 +1,101 @@
+"""Monitors: occupancy bookkeeping and trace recording."""
+
+import pytest
+
+from repro.des.monitors import StateOccupancyMonitor, TraceRecorder
+
+
+class TestOccupancy:
+    def test_simple_two_state_split(self):
+        m = StateOccupancyMonitor(["on", "off"], "off")
+        m.transition(4.0, "on")
+        occ = m.occupancy(until=10.0)
+        assert occ["off"] == pytest.approx(0.4)
+        assert occ["on"] == pytest.approx(0.6)
+
+    def test_occupancies_sum_to_one(self):
+        m = StateOccupancyMonitor(["a", "b", "c"], "a")
+        m.transition(1.0, "b")
+        m.transition(2.5, "c")
+        m.transition(4.0, "a")
+        occ = m.occupancy(until=8.0)
+        assert sum(occ.values()) == pytest.approx(1.0)
+
+    def test_never_visited_state_is_zero(self):
+        m = StateOccupancyMonitor(["a", "b", "c"], "a")
+        m.transition(5.0, "b")
+        assert m.occupancy(until=10.0)["c"] == 0.0
+
+    def test_self_transition_is_noop(self):
+        m = StateOccupancyMonitor(["a", "b"], "a")
+        m.transition(1.0, "a")
+        assert m.transition_count == 0
+        assert m.occupancy(until=2.0)["a"] == pytest.approx(1.0)
+
+    def test_unknown_state_rejected(self):
+        m = StateOccupancyMonitor(["a"], "a")
+        with pytest.raises(KeyError):
+            m.transition(1.0, "zzz")
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            StateOccupancyMonitor(["a", "b"], "nope")
+
+    def test_percent_scaling(self):
+        m = StateOccupancyMonitor(["a", "b"], "a")
+        m.transition(5.0, "b")
+        pct = m.occupancy_percent(until=10.0)
+        assert pct["a"] == pytest.approx(50.0)
+
+    def test_start_time_offset(self):
+        m = StateOccupancyMonitor(["a", "b"], "a", start_time=100.0)
+        m.transition(150.0, "b")
+        occ = m.occupancy(until=200.0)
+        assert occ["a"] == pytest.approx(0.5)
+
+    def test_transition_counting(self):
+        m = StateOccupancyMonitor(["a", "b"], "a")
+        m.transition(1.0, "b")
+        m.transition(2.0, "a")
+        assert m.transition_count == 2
+        assert m.current_state == "a"
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x", {"v": 1})
+        tr.record(2.0, "y")
+        assert tr.labels() == ["x", "y"]
+        assert tr.times() == [1.0, 2.0]
+
+    def test_capacity_limits_and_counts_drops(self):
+        tr = TraceRecorder(capacity=2)
+        for i in range(5):
+            tr.record(float(i), "e")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_filter_by_label(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.record(2.0, "b")
+        tr.record(3.0, "a")
+        assert [t for t, _, _ in tr.filter("a")] == [1.0, 3.0]
+
+    def test_clear_resets(self):
+        tr = TraceRecorder(capacity=1)
+        tr.record(1.0, "a")
+        tr.record(2.0, "b")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.dropped == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=-1)
+
+    def test_iteration(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a", 42)
+        assert list(tr) == [(1.0, "a", 42)]

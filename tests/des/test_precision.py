@@ -1,0 +1,137 @@
+"""Precision-controlled sequential replication."""
+
+import pytest
+
+from repro.des.precision import run_until_precise
+from repro.des.random_streams import StreamManager
+
+
+def noisy_model(streams: StreamManager, loc: float = 10.0, spread: float = 1.0):
+    rng = streams.get("n")
+    return {"metric": loc + spread * float(rng.normal()),
+            "other": 5.0 + 0.1 * float(rng.normal())}
+
+
+def constant_model(streams: StreamManager):
+    streams.get("n").random()
+    return {"metric": 7.0}
+
+
+def zero_mean_model(streams: StreamManager):
+    rng = streams.get("n")
+    return {"metric": 0.001 * float(rng.normal())}
+
+
+class TestConvergence:
+    def test_converges_and_reports(self):
+        res = run_until_precise(
+            noisy_model, ["metric"], relative_half_width=0.05, seed=1
+        )
+        assert res.converged
+        assert res.relative_half_widths["metric"] <= 0.05
+        assert res.means["metric"] == pytest.approx(10.0, abs=1.0)
+        assert res.n_replications >= 5
+
+    def test_tighter_target_needs_more_replications(self):
+        loose = run_until_precise(
+            noisy_model, ["metric"], relative_half_width=0.10, seed=2
+        )
+        tight = run_until_precise(
+            noisy_model, ["metric"], relative_half_width=0.02, seed=2
+        )
+        assert tight.n_replications > loose.n_replications
+
+    def test_constant_model_converges_at_pilot(self):
+        res = run_until_precise(
+            constant_model, ["metric"], relative_half_width=0.01,
+            min_replications=5, seed=3,
+        )
+        assert res.converged
+        assert res.n_replications == 5
+        assert res.half_widths["metric"] == 0.0
+
+    def test_budget_exhaustion_reported_honestly(self):
+        res = run_until_precise(
+            noisy_model,
+            ["metric"],
+            relative_half_width=0.0001,
+            max_replications=20,
+            seed=4,
+        )
+        assert not res.converged
+        assert res.n_replications == 20
+        assert res.relative_half_widths["metric"] > 0.0001
+
+    def test_multiple_metrics_all_controlled(self):
+        res = run_until_precise(
+            noisy_model, ["metric", "other"], relative_half_width=0.05, seed=5
+        )
+        assert res.converged
+        assert all(v <= 0.05 for v in res.relative_half_widths.values())
+
+    def test_worst_metric_identified(self):
+        res = run_until_precise(
+            noisy_model, ["metric", "other"], relative_half_width=0.05, seed=6
+        )
+        worst = res.worst_metric()
+        assert res.relative_half_widths[worst] == max(
+            res.relative_half_widths.values()
+        )
+
+    def test_near_zero_mean_uses_absolute_width(self):
+        res = run_until_precise(
+            zero_mean_model,
+            ["metric"],
+            relative_half_width=0.01,
+            max_replications=50,
+            seed=7,
+        )
+        # must terminate (absolute criterion) rather than divide by ~0
+        assert res.n_replications <= 50
+
+
+class TestValidation:
+    def test_missing_metric_detected(self):
+        with pytest.raises(KeyError):
+            run_until_precise(constant_model, ["nope"], seed=1)
+
+    def test_empty_metric_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_until_precise(constant_model, [], seed=1)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            run_until_precise(constant_model, ["metric"], relative_half_width=1.5)
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            run_until_precise(constant_model, ["metric"], min_replications=1)
+        with pytest.raises(ValueError):
+            run_until_precise(
+                constant_model, ["metric"],
+                min_replications=10, max_replications=5,
+            )
+
+
+class TestWithCPUSimulation:
+    def test_cpu_standby_fraction_to_five_percent(self):
+        """End-to-end: drive the CPU simulator to 5 % relative precision."""
+        from repro.core.params import CPUModelParams
+        from repro.core.simulation_cpu import simulate_cpu_metrics
+
+        params = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        res = run_until_precise(
+            simulate_cpu_metrics,
+            ["standby", "idle"],
+            relative_half_width=0.05,
+            seed=11,
+            max_replications=100,
+            params=params,
+            horizon=500.0,
+            warmup=50.0,
+        )
+        assert res.converged
+        from repro.core.exact_renewal import ExactRenewalModel
+
+        exact = ExactRenewalModel(params).solve()
+        assert res.means["standby"] == pytest.approx(exact.p_standby, rel=0.1)

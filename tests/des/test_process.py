@@ -1,0 +1,201 @@
+"""Process-interaction API: timeouts, resources, joins, and an M/M/1
+built in process style validated against theory."""
+
+import pytest
+
+from repro.des.engine import SimulationError
+from repro.des.process import ProcessEnvironment
+from repro.markov.queueing import MM1Queue
+
+
+class TestTimeouts:
+    def test_sequential_timeouts(self):
+        env = ProcessEnvironment()
+        log = []
+
+        def proc():
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.spawn(proc())
+        env.run()
+        assert log == [1.0, 3.5]
+
+    def test_zero_timeout_allowed(self):
+        env = ProcessEnvironment()
+        log = []
+
+        def proc():
+            yield env.timeout(0.0)
+            log.append(env.now)
+
+        env.spawn(proc())
+        env.run()
+        assert log == [0.0]
+
+    def test_negative_timeout_rejected(self):
+        env = ProcessEnvironment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until_pauses_processes(self):
+        env = ProcessEnvironment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append("five")
+            yield env.timeout(5.0)
+            log.append("ten")
+
+        env.spawn(proc())
+        env.run_until(7.0)
+        assert log == ["five"]
+        env.run_until(12.0)
+        assert log == ["five", "ten"]
+
+    def test_bad_yield_raises(self):
+        env = ProcessEnvironment()
+
+        def proc():
+            yield "nonsense"
+
+        env.spawn(proc())
+        with pytest.raises(SimulationError, match="unsupported"):
+            env.run()
+
+
+class TestResources:
+    def test_mutual_exclusion(self):
+        env = ProcessEnvironment()
+        server = env.resource(capacity=1)
+        spans = []
+
+        def worker(name):
+            req = server.request()
+            yield req
+            start = env.now
+            yield env.timeout(1.0)
+            server.release()
+            spans.append((name, start, env.now))
+
+        for i in range(3):
+            env.spawn(worker(i))
+        env.run()
+        # with capacity 1 the spans must not overlap
+        spans.sort(key=lambda s: s[1])
+        for (_, _, end), (_, start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_capacity_two_parallelism(self):
+        env = ProcessEnvironment()
+        server = env.resource(capacity=2)
+        finished = []
+
+        def worker(i):
+            req = server.request()
+            yield req
+            yield env.timeout(1.0)
+            server.release()
+            finished.append((i, env.now))
+
+        for i in range(4):
+            env.spawn(worker(i))
+        env.run()
+        # 4 jobs, 2 at a time, 1s each -> makespan 2s
+        assert max(t for _, t in finished) == pytest.approx(2.0)
+
+    def test_release_without_grant_raises(self):
+        env = ProcessEnvironment()
+        server = env.resource()
+        with pytest.raises(SimulationError):
+            server.release()
+
+    def test_wait_statistics(self):
+        env = ProcessEnvironment()
+        server = env.resource(capacity=1)
+
+        def worker():
+            req = server.request()
+            yield req
+            yield env.timeout(1.0)
+            server.release()
+
+        env.spawn(worker())
+        env.spawn(worker())
+        env.run()
+        assert server.total_requests == 2
+        assert server.total_waits == 1
+
+    def test_invalid_capacity(self):
+        env = ProcessEnvironment()
+        with pytest.raises(ValueError):
+            env.resource(capacity=0)
+
+
+class TestJoin:
+    def test_yield_on_process_waits_for_completion(self):
+        env = ProcessEnvironment()
+        log = []
+
+        def child():
+            yield env.timeout(3.0)
+            log.append(("child", env.now))
+
+        def parent():
+            c = env.spawn(child())
+            yield c
+            log.append(("parent", env.now))
+
+        env.spawn(parent())
+        env.run()
+        assert log == [("child", 3.0), ("parent", 3.0)]
+
+    def test_join_finished_process_continues_immediately(self):
+        env = ProcessEnvironment()
+        log = []
+
+        def child():
+            yield env.timeout(1.0)
+
+        def parent(c):
+            yield env.timeout(5.0)
+            yield c  # already finished
+            log.append(env.now)
+
+        c = env.spawn(child())
+        env.spawn(parent(c))
+        env.run()
+        assert log == [5.0]
+
+
+class TestMM1InProcessStyle:
+    def test_matches_theory(self):
+        """An M/M/1 queue written as processes reproduces W = 1/(mu-lambda)."""
+        lam, mu = 1.0, 2.0
+        env = ProcessEnvironment(seed=42)
+        arr_rng = env.streams.get("arrivals")
+        svc_rng = env.streams.get("service")
+        server = env.resource(capacity=1)
+        latencies = []
+
+        def customer():
+            born = env.now
+            req = server.request()
+            yield req
+            yield env.timeout(svc_rng.exponential(1.0 / mu))
+            server.release()
+            latencies.append(env.now - born)
+
+        def source():
+            while True:
+                yield env.timeout(arr_rng.exponential(1.0 / lam))
+                env.spawn(customer())
+
+        env.spawn(source())
+        env.run_until(50_000.0)
+        theory = MM1Queue(lam, mu).mean_latency()
+        measured = sum(latencies) / len(latencies)
+        assert measured == pytest.approx(theory, rel=0.05)

@@ -1,0 +1,80 @@
+"""Stream manager: reproducibility and independence guarantees."""
+
+import numpy as np
+
+from repro.des.random_streams import StreamManager
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = StreamManager(42).get("arrivals").random(10)
+        b = StreamManager(42).get("arrivals").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = StreamManager(1).get("arrivals").random(10)
+        b = StreamManager(2).get("arrivals").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_get_returns_same_object(self):
+        m = StreamManager(7)
+        assert m.get("x") is m.get("x")
+
+    def test_reset_regenerates_identically(self):
+        m = StreamManager(7)
+        a = m.get("x").random(5)
+        m.reset()
+        b = m.get("x").random(5)
+        assert np.array_equal(a, b)
+
+
+class TestIndependence:
+    def test_named_streams_differ(self):
+        m = StreamManager(42)
+        a = m.get("arrivals").random(10)
+        b = m.get("service").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_order_of_creation_is_irrelevant(self):
+        m1 = StreamManager(42)
+        m1.get("a")
+        first_b = m1.get("b").random(10)
+
+        m2 = StreamManager(42)  # request b before a this time
+        second_b = m2.get("b").random(10)
+        m2.get("a")
+        assert np.array_equal(first_b, second_b)
+
+    def test_streams_uncorrelated(self):
+        m = StreamManager(3)
+        x = m.get("one").normal(size=20_000)
+        y = m.get("two").normal(size=20_000)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.02
+
+
+class TestReplications:
+    def test_replications_reproducible(self):
+        a = StreamManager(42).for_replication(3).get("arrivals").random(10)
+        b = StreamManager(42).for_replication(3).get("arrivals").random(10)
+        assert np.array_equal(a, b)
+
+    def test_replications_differ_from_each_other(self):
+        base = StreamManager(42)
+        a = base.for_replication(0).get("x").random(10)
+        b = base.for_replication(1).get("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_replication_independent_of_parent_usage(self):
+        m1 = StreamManager(42)
+        m1.get("noise").random(1000)  # consume parent entropy
+        a = m1.for_replication(5).get("x").random(10)
+
+        m2 = StreamManager(42)
+        b = m2.for_replication(5).get("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StreamManager(1).for_replication(-1)

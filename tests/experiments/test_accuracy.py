@@ -1,0 +1,67 @@
+"""Cost-of-accuracy experiment (Section 6 quantified)."""
+
+import pytest
+
+from repro.experiments.accuracy import (
+    AccuracyRow,
+    render_cost_of_accuracy,
+    run_cost_of_accuracy,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_cost_of_accuracy(
+        delays=(0.001, 10.0), target_pct=2.0, seed=5
+    )
+
+
+class TestCostOfAccuracy:
+    def test_all_models_present_per_delay(self, rows):
+        by_delay = {}
+        for r in rows:
+            by_delay.setdefault(r.power_up_delay, []).append(r.model)
+        for delay, models in by_delay.items():
+            assert len(models) == 4, delay
+
+    def test_markov_fast_and_valid_at_small_d(self, rows):
+        markov = next(
+            r for r in rows
+            if r.model.startswith("markov") and r.power_up_delay == 0.001
+        )
+        assert markov.reached_target
+        assert markov.wall_clock_s < 0.01  # analytical evaluation
+
+    def test_markov_cannot_meet_target_at_large_d(self, rows):
+        markov = next(
+            r for r in rows
+            if r.model.startswith("markov") and r.power_up_delay == 10.0
+        )
+        assert not markov.reached_target
+        assert markov.achieved_error_pct > 50.0
+
+    def test_stochastic_models_meet_target_everywhere(self, rows):
+        for r in rows:
+            if r.model in ("event simulation", "petri net"):
+                assert r.reached_target, (r.model, r.power_up_delay)
+
+    def test_phase_type_meets_target_everywhere(self, rows):
+        for r in rows:
+            if r.model.startswith("phase-type"):
+                assert r.reached_target
+
+    def test_markov_cheaper_than_simulation_where_valid(self, rows):
+        at_small = {r.model: r for r in rows if r.power_up_delay == 0.001}
+        assert (
+            at_small["markov (eqs. 17-19)"].wall_clock_s
+            < at_small["event simulation"].wall_clock_s / 10.0
+        )
+
+    def test_render_contains_all_rows(self, rows):
+        text = render_cost_of_accuracy(rows, 2.0)
+        assert "petri net" in text
+        assert "bias exceeds target" in text
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            run_cost_of_accuracy(target_pct=0.0)

@@ -1,0 +1,35 @@
+"""CLI: argument parsing and end-to-end runs of the cheap experiments."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4", "fig5", "table4", "table5"):
+            assert name in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "192.442" in out
+        assert "finished in" in out
+
+    def test_run_table1_with_csv(self, tmp_path, capsys):
+        assert main(["run", "table1", "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["run", "table2", "--seed", "99"]) == 0
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,143 @@
+"""Paper experiments: structure of every artifact and CI-speed shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+# extra-small config shared by the expensive experiments in this module
+TINY = ExperimentConfig(fast=True, seed=7, models=("markov", "exact", "petri"))
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_figure4(TINY)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_figure5(TINY)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig4", "fig5", "table1", "table2", "table3", "table4", "table5",
+            "accuracy",
+        }
+
+    def test_results_render_and_export(self, tmp_path):
+        res = run_table3(ExperimentConfig())
+        assert res.render()
+        path = res.write_csv(tmp_path)
+        assert path.exists()
+
+
+class TestFigure4(object):
+    def test_csv_columns_cover_models_and_states(self, fig4_result):
+        headers = fig4_result.csv_headers
+        assert headers[0] == "threshold_s"
+        for model in TINY.models:
+            for state in ("idle", "standby", "powerup", "active"):
+                assert f"{model}_{state}_pct" in headers
+
+    def test_row_per_threshold(self, fig4_result):
+        assert len(fig4_result.csv_rows) == len(TINY.thresholds())
+
+    def test_standby_falls_idle_rises(self, fig4_result):
+        sweep = fig4_result.extra["sweep"]
+        standby = sweep.series_percent("exact", "standby")
+        idle = sweep.series_percent("exact", "idle")
+        assert np.all(np.diff(standby) < 0)
+        assert np.all(np.diff(idle) > 0)
+
+    def test_active_flat_at_rho(self, fig4_result):
+        sweep = fig4_result.extra["sweep"]
+        active = sweep.series_percent("exact", "active")
+        assert np.allclose(active, 10.0, atol=0.01)
+
+    def test_renders_all_states(self, fig4_result):
+        text = fig4_result.render()
+        for state in ("idle", "standby", "powerup", "active"):
+            assert f"[{state}]" in text
+
+
+class TestFigure5:
+    def test_energy_monotone_increasing(self, fig5_result):
+        sweep = fig5_result.extra["sweep"]
+        for model in ("markov", "exact"):
+            e = sweep.energies_joules(model)
+            assert np.all(np.diff(e) > 0)
+
+    def test_energy_within_physical_bounds(self, fig5_result):
+        # 17 mW (pure standby) to 193 mW (pure active) over 1000 s
+        for row in fig5_result.csv_rows:
+            for e in row[1:]:
+                assert 17.0 <= e <= 193.0
+
+    def test_models_close_at_small_delay(self, fig5_result):
+        sweep = fig5_result.extra["sweep"]
+        markov = sweep.energies_joules("markov")
+        petri = sweep.energies_joules("petri")
+        assert np.max(np.abs(markov - petri)) < 5.0
+
+
+class TestStructuralTables:
+    def test_table1_lists_all_transitions(self):
+        res = run_table1(ExperimentConfig())
+        names = {row[0] for row in res.csv_rows}
+        assert names == {"AR", "T1", "T2", "SR", "PDT", "T5", "T6", "PUT"}
+
+    def test_table2_documents_interpretation(self):
+        res = run_table2(ExperimentConfig())
+        assert "0.1 s" in res.render() or ".1 per sec" in res.render()
+
+    def test_table3_paper_values(self):
+        res = run_table3(ExperimentConfig())
+        values = {row[0]: row[1] for row in res.csv_rows}
+        assert values["Standby"] == 17.0
+        assert values["Powering Up"] == 192.442
+
+
+class TestDeltaTables:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        config = ExperimentConfig(
+            fast=True, seed=3, models=("simulation", "markov", "petri")
+        )
+        return run_table4(config), run_table5(config)
+
+    def test_table4_shape_matches_paper(self, tables):
+        t4, _ = tables
+        rows = {r[0]: r for r in t4.csv_rows}
+        assert set(rows) == {0.001, 0.3, 10.0}
+        sim_markov = {d: rows[d][1] for d in rows}
+        sim_pn = {d: rows[d][2] for d in rows}
+        # the paper's headline: Markov error explodes with D, PN stays flat
+        assert sim_markov[10.0] > 50.0
+        assert sim_markov[10.0] > 10.0 * sim_markov[0.001]
+        assert sim_pn[10.0] < 20.0
+
+    def test_table5_shape_matches_paper(self, tables):
+        _, t5 = tables
+        rows = {r[0]: r for r in t5.csv_rows}
+        sim_markov = {d: rows[d][1] for d in rows}
+        sim_pn = {d: rows[d][2] for d in rows}
+        assert sim_markov[10.0] > 10.0
+        assert sim_pn[10.0] < 5.0
+        assert sim_markov[0.001] < 1.0
+
+    def test_tables_cite_paper_reference_values(self, tables):
+        t4, t5 = tables
+        assert "116.788" in t4.render()
+        assert "24.866" in t5.render()

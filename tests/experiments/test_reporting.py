@@ -1,0 +1,80 @@
+"""Reporting: tables, plots, CSV."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ascii_plot, csv_text, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1.0, 2.0], [3.0, 4.5]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "4.500" in text
+
+    def test_title_rendered(self):
+        text = format_table(["x"], [[1.0]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_mixed_types(self):
+        text = format_table(["name", "v"], [["markov", 0.123456]])
+        assert "markov" in text
+        assert "0.123" in text
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in text
+        assert "1.23" not in text
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        x = np.linspace(0, 1, 11)
+        text = ascii_plot(x, {"up": x, "down": 1 - x}, title="T")
+        assert "legend:" in text
+        assert "* up" in text
+        assert "o down" in text
+        assert text.startswith("T")
+
+    def test_axis_labels(self):
+        x = [0.0, 1.0]
+        text = ascii_plot(x, {"s": [0.0, 5.0]}, x_label="threshold")
+        assert "threshold" in text
+        assert "5" in text  # y max label
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([0.0, 1.0], {"flat": [2.0, 2.0]})
+        assert "flat" in text
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0.0, 1.0], {"bad": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0.0], {})
+
+
+class TestCSV:
+    def test_write_and_read_back(self, tmp_path):
+        path = write_csv(
+            tmp_path / "sub" / "out.csv",
+            ["a", "b"],
+            [[1, 2], [3, 4]],
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_csv_text(self):
+        text = csv_text(["x"], [[1.5]])
+        assert text.splitlines()[0] == "x"
+        assert "1.5" in text

@@ -1,0 +1,100 @@
+"""Cross-model integration: all five models agree on the same physics.
+
+These are the tests that make the reproduction trustworthy: five
+independently implemented models (closed-form exact, closed-form
+approximate, sparse CTMC, event-driven DES, Petri net token game) are
+evaluated on identical parameters and checked against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.markov_supplementary import MarkovSupplementaryModel
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import PetriCPUModel
+from repro.core.phase_type import PhaseTypeModel
+from repro.core.simulation_cpu import CPUEventSimulator, simulate_job_scan
+
+HORIZON = 25_000.0
+WARMUP = 500.0
+
+
+@pytest.mark.parametrize(
+    "T,D",
+    [(0.1, 0.001), (0.5, 0.3), (0.2, 2.0)],
+    ids=["paper-D0.001", "mid-D0.3", "large-D2"],
+)
+class TestFiveWayAgreement:
+    def test_all_models_within_tolerance_of_exact(self, T, D):
+        p = CPUModelParams.paper_defaults(T=T, D=D)
+        exact = ExactRenewalModel(p).solve().fractions()
+
+        phase = PhaseTypeModel(p, stages=64).solve().fractions
+        event = CPUEventSimulator(p, seed=77).run(HORIZON, WARMUP).fractions
+        petri = PetriCPUModel(p, seed=78).run(HORIZON, WARMUP).fractions
+        scan = simulate_job_scan(p, 25_000, np.random.default_rng(79)).fractions
+
+        assert phase.l1_distance(exact) < 5e-3, "phase-type vs exact"
+        assert event.l1_distance(exact) < 0.025, "event sim vs exact"
+        assert petri.l1_distance(exact) < 0.025, "petri vs exact"
+        assert scan.l1_distance(exact) < 0.025, "job scan vs exact"
+
+    def test_stochastic_models_agree_pairwise(self, T, D):
+        p = CPUModelParams.paper_defaults(T=T, D=D)
+        event = CPUEventSimulator(p, seed=101).run(HORIZON, WARMUP).fractions
+        petri = PetriCPUModel(p, seed=102).run(HORIZON, WARMUP).fractions
+        assert event.l1_distance(petri) < 0.04
+
+
+class TestPaperNarrative:
+    """The qualitative claims of the paper's Section 5, as assertions."""
+
+    def test_markov_fine_at_small_d(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        markov = MarkovSupplementaryModel(p).solve().fractions()
+        exact = ExactRenewalModel(p).solve().fractions()
+        assert 100.0 * markov.l1_distance(exact) < 0.1  # percentage points
+
+    def test_markov_degrades_at_moderate_d(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.3)
+        markov = MarkovSupplementaryModel(p).solve().fractions()
+        exact = ExactRenewalModel(p).solve().fractions()
+        delta = 100.0 * markov.l1_distance(exact)
+        assert 1.0 < delta < 20.0
+
+    def test_markov_collapses_at_large_d(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=10.0)
+        markov = MarkovSupplementaryModel(p).solve().fractions()
+        exact = ExactRenewalModel(p).solve().fractions()
+        assert 100.0 * markov.l1_distance(exact) > 50.0
+
+    def test_petri_does_not_collapse_at_large_d(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=10.0)
+        petri = PetriCPUModel(p, seed=5).run(HORIZON, WARMUP).fractions
+        exact = ExactRenewalModel(p).solve().fractions()
+        assert 100.0 * petri.l1_distance(exact) < 5.0
+
+    def test_energy_ordering_monotone_in_threshold(self):
+        # Figure 5: more idle time = more energy, for every model
+        from repro.core.energy import energy_joules
+
+        for model_fn in (
+            lambda p: MarkovSupplementaryModel(p).solve().fractions(),
+            lambda p: ExactRenewalModel(p).solve().fractions(),
+        ):
+            energies = []
+            for T in (0.0, 0.25, 0.5, 0.75, 1.0):
+                p = CPUModelParams.paper_defaults(T=T, D=0.001)
+                energies.append(energy_joules(model_fn(p), p.profile, 1000.0))
+            assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_phase_type_answers_paper_conclusion(self):
+        """'If an effective method of modeling constant delays in Markov
+        chains can be derived, the Markov model may very well become the
+        modeling method of choice' — Erlang-64 stages are that method."""
+        p = CPUModelParams.paper_defaults(T=0.3, D=10.0)
+        exact = ExactRenewalModel(p).solve().fractions()
+        supp = MarkovSupplementaryModel(p).solve().fractions()
+        phase = PhaseTypeModel(p, stages=64).solve().fractions
+        assert phase.l1_distance(exact) < supp.l1_distance(exact) / 100.0

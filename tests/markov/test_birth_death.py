@@ -1,0 +1,99 @@
+"""Birth-death chains: product form vs generic CTMC solve, M/M/1 truncation."""
+
+import numpy as np
+import pytest
+
+from repro.markov.birth_death import BirthDeathChain
+from repro.markov.queueing import MM1KQueue, MM1Queue
+
+
+class TestProductForm:
+    def test_matches_generic_ctmc_solver(self):
+        chain = BirthDeathChain(
+            capacity=8,
+            birth_rates=lambda n: 1.0 + 0.1 * n,
+            death_rates=lambda n: 2.0 + 0.05 * n,
+        )
+        pi_closed = chain.stationary_distribution()
+        pi_ctmc = chain.to_ctmc().steady_state()
+        assert np.allclose(pi_closed, pi_ctmc, atol=1e-10)
+
+    def test_mm1k_special_case(self):
+        lam, mu, K = 1.0, 2.0, 7
+        chain = BirthDeathChain(K, lam, mu)
+        q = MM1KQueue(lam, mu, K)
+        pi = chain.stationary_distribution()
+        for n in range(K + 1):
+            assert pi[n] == pytest.approx(q.p_n(n), rel=1e-10)
+
+    def test_mean_population_mm1k(self):
+        lam, mu, K = 1.5, 2.0, 12
+        chain = BirthDeathChain(K, lam, mu)
+        q = MM1KQueue(lam, mu, K)
+        assert chain.mean_population() == pytest.approx(
+            q.mean_number_in_system(), rel=1e-10
+        )
+
+    def test_large_chain_no_overflow(self):
+        # rho = 5: raw product form would overflow; log-space must survive
+        chain = BirthDeathChain(500, 5.0, 1.0)
+        pi = chain.stationary_distribution()
+        assert np.all(np.isfinite(pi))
+        assert pi.sum() == pytest.approx(1.0)
+        # mass concentrates at the top when rho > 1
+        assert pi[-1] > 0.5
+
+    def test_throughput_equals_effective_arrival(self):
+        lam, mu, K = 1.0, 2.0, 5
+        chain = BirthDeathChain(K, lam, mu)
+        q = MM1KQueue(lam, mu, K)
+        assert chain.throughput() == pytest.approx(
+            q.effective_arrival_rate(), rel=1e-10
+        )
+
+    def test_blocking_probability(self):
+        lam, mu, K = 1.0, 1.0, 4
+        chain = BirthDeathChain(K, lam, mu)
+        assert chain.blocking_probability() == pytest.approx(1.0 / (K + 1))
+
+
+class TestTruncation:
+    def test_truncated_mm1_approximates_infinite(self):
+        lam, mu = 1.0, 2.0
+        rho = lam / mu
+        K = BirthDeathChain.truncation_for_mm1(rho, tail_mass=1e-12)
+        chain = BirthDeathChain(K, lam, mu)
+        q = MM1Queue(lam, mu)
+        assert chain.mean_population() == pytest.approx(
+            q.mean_number_in_system(), rel=1e-6
+        )
+        assert chain.stationary_distribution()[0] == pytest.approx(
+            1.0 - rho, rel=1e-9
+        )
+
+    def test_truncation_level_monotone_in_tail(self):
+        k_loose = BirthDeathChain.truncation_for_mm1(0.5, 1e-6)
+        k_tight = BirthDeathChain.truncation_for_mm1(0.5, 1e-15)
+        assert k_tight > k_loose
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain.truncation_for_mm1(1.5)
+
+
+class TestValidation:
+    def test_rate_sequence_lengths_checked(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(3, [1.0, 1.0], [1.0, 1.0, 1.0])
+
+    def test_zero_death_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(2, 1.0, [1.0, 0.0])
+
+    def test_negative_birth_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(2, -1.0, 1.0)
+
+    def test_capacity_minimum(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain(0, 1.0, 1.0)

@@ -1,0 +1,159 @@
+"""CTMC: construction validation, steady state, transient, rewards."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import CTMC
+
+
+def two_state(a: float = 1.0, b: float = 2.0) -> CTMC:
+    """On/off chain: off -> on at rate a, on -> off at rate b."""
+    return CTMC.from_rates({("off", "on"): a, ("on", "off"): b})
+
+
+class TestConstruction:
+    def test_from_rates_builds_generator(self):
+        c = two_state(1.0, 2.0)
+        q = c.Q
+        i_off = c.labels.index("off")
+        i_on = c.labels.index("on")
+        assert q[i_off, i_on] == 1.0
+        assert q[i_off, i_off] == -1.0
+        assert q[i_on, i_on] == -2.0
+
+    def test_rows_must_sum_to_zero(self):
+        with pytest.raises(ValueError):
+            CTMC(np.array([[-1.0, 0.5], [1.0, -1.0]]))
+
+    def test_negative_offdiagonal_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC(np.array([[0.5, -0.5], [1.0, -1.0]]))
+
+    def test_self_loop_rejected_in_from_rates(self):
+        with pytest.raises(ValueError):
+            CTMC.from_rates({("a", "a"): 1.0, ("a", "b"): 1.0, ("b", "a"): 1.0})
+
+    def test_duplicate_labels_rejected(self):
+        Q = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            CTMC(Q, labels=["x", "x"])
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC(np.zeros((2, 3)))
+
+    def test_parallel_rates_accumulate(self):
+        c = CTMC.from_rates(
+            {("a", "b"): 1.0, ("b", "a"): 3.0}
+        )
+        assert c.holding_rate("a") == 1.0
+
+
+class TestSteadyState:
+    def test_two_state_balance(self):
+        c = two_state(1.0, 3.0)
+        pi = c.steady_state_dict()
+        # pi_on * b = pi_off * a => pi_on = a/(a+b)
+        assert pi["on"] == pytest.approx(0.25)
+        assert pi["off"] == pytest.approx(0.75)
+
+    def test_sums_to_one(self):
+        c = two_state(0.3, 0.7)
+        assert c.steady_state().sum() == pytest.approx(1.0)
+
+    def test_mm1_truncated_geometric(self):
+        lam, mu, K = 1.0, 2.0, 20
+        rates = {}
+        for n in range(K):
+            rates[(n, n + 1)] = lam
+            rates[(n + 1, n)] = mu
+        c = CTMC.from_rates(rates, labels=list(range(K + 1)))
+        pi = c.steady_state()
+        rho = lam / mu
+        expected0 = (1 - rho) / (1 - rho ** (K + 1))
+        assert pi[0] == pytest.approx(expected0, rel=1e-9)
+        # geometric decay
+        assert pi[5] / pi[4] == pytest.approx(rho, rel=1e-9)
+
+    def test_reward_rate(self):
+        c = two_state(1.0, 1.0)
+        r = c.expected_reward_rate({"on": 10.0, "off": 2.0})
+        assert r == pytest.approx(6.0)
+
+
+class TestTransient:
+    def test_t_zero_returns_initial(self):
+        c = two_state()
+        p0 = {"off": 1.0}
+        assert c.transient_dict(p0, 0.0)["off"] == 1.0
+
+    def test_two_state_analytic(self):
+        # p_on(t) = a/(a+b) (1 - exp(-(a+b) t)) starting from off
+        a, b = 1.5, 0.5
+        c = two_state(a, b)
+        for t in (0.1, 0.5, 2.0, 10.0):
+            got = c.transient_dict({"off": 1.0}, t)["on"]
+            want = a / (a + b) * (1.0 - np.exp(-(a + b) * t))
+            assert got == pytest.approx(want, abs=1e-9)
+
+    def test_converges_to_steady_state(self):
+        c = two_state(2.0, 1.0)
+        late = c.transient({"off": 1.0}, 200.0)
+        assert np.allclose(late, c.steady_state(), atol=1e-9)
+
+    def test_distribution_stays_normalised(self):
+        c = two_state()
+        for t in (0.01, 1.0, 37.5):
+            assert c.transient({"off": 1.0}, t).sum() == pytest.approx(1.0)
+
+    def test_matches_scipy_expm(self):
+        from scipy.linalg import expm
+
+        rng = np.random.default_rng(5)
+        n = 6
+        M = rng.random((n, n))
+        np.fill_diagonal(M, 0.0)
+        Q = M.copy()
+        np.fill_diagonal(Q, -M.sum(axis=1))
+        c = CTMC(Q)
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        t = 1.7
+        want = p0 @ expm(Q * t)
+        got = c.transient(p0, t)
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().transient({"off": 1.0}, -1.0)
+
+    def test_bad_initial_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().transient({"off": 0.5}, 1.0)
+
+
+class TestRewardsAndStructure:
+    def test_accumulated_reward_constant_chain(self):
+        # single recurrent state pair with equal rewards -> reward = r*t
+        c = two_state(1.0, 1.0)
+        acc = c.accumulated_reward({"off": 1.0}, {"on": 5.0, "off": 5.0}, 3.0)
+        assert acc == pytest.approx(15.0, rel=1e-6)
+
+    def test_accumulated_reward_transient_weighting(self):
+        a, b = 1.0, 1.0
+        c = two_state(a, b)
+        # starting off, reward only in on: integral of p_on(s) ds
+        t = 2.0
+        acc = c.accumulated_reward({"off": 1.0}, {"on": 1.0, "off": 0.0}, t, steps=512)
+        # p_on(s) = 0.5 (1 - e^{-2s}); integral = 0.5 t - 0.25 (1 - e^{-2t})
+        want = 0.5 * t - 0.25 * (1.0 - np.exp(-2.0 * t))
+        assert acc == pytest.approx(want, rel=1e-4)
+
+    def test_embedded_dtmc_rows_stochastic(self):
+        c = two_state(1.0, 4.0)
+        P = c.embedded_dtmc()
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_holding_rate(self):
+        c = two_state(1.0, 4.0)
+        assert c.holding_rate("on") == 4.0

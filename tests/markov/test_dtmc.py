@@ -1,0 +1,105 @@
+"""DTMC: stationary distributions, absorption, hitting times."""
+
+import numpy as np
+import pytest
+
+from repro.markov.dtmc import DTMC
+
+
+def weather_chain() -> DTMC:
+    """Classic 2-state chain: sunny/rainy."""
+    return DTMC(np.array([[0.9, 0.1], [0.5, 0.5]]), labels=["sunny", "rainy"])
+
+
+class TestConstruction:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            DTMC(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            DTMC(np.array([[1.1, -0.1], [0.5, 0.5]]))
+
+    def test_from_probabilities(self):
+        d = DTMC.from_probabilities(
+            {("a", "b"): 1.0, ("b", "a"): 0.25, ("b", "b"): 0.75}
+        )
+        assert d.n == 2
+        assert d.is_stochastic()
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DTMC(np.eye(2), labels=["x", "x"])
+
+
+class TestStationary:
+    def test_weather_chain_known_answer(self):
+        pi = weather_chain().stationary_dict()
+        # solve: pi_s = 0.9 pi_s + 0.5 pi_r -> pi_s / pi_r = 5
+        assert pi["sunny"] == pytest.approx(5.0 / 6.0)
+        assert pi["rainy"] == pytest.approx(1.0 / 6.0)
+
+    def test_stationary_is_fixed_point(self):
+        d = weather_chain()
+        pi = d.stationary_distribution()
+        assert np.allclose(pi @ d.P, pi)
+
+    def test_doubly_stochastic_is_uniform(self):
+        P = np.array([[0.2, 0.3, 0.5], [0.5, 0.2, 0.3], [0.3, 0.5, 0.2]])
+        pi = DTMC(P).stationary_distribution()
+        assert np.allclose(pi, 1.0 / 3.0)
+
+    def test_step_evolution(self):
+        d = weather_chain()
+        p0 = np.array([1.0, 0.0])
+        p1 = d.step(p0)
+        assert p1 == pytest.approx([0.9, 0.1])
+        p2 = d.step(p0, k=2)
+        assert p2 == pytest.approx(p1 @ d.P)
+
+
+class TestAbsorption:
+    def test_gamblers_ruin(self):
+        # states 0..3; 0 and 3 absorbing; fair coin
+        P = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.5, 0.0, 0.5, 0.0],
+                [0.0, 0.5, 0.0, 0.5],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        d = DTMC(P)
+        absorb = d.absorption_probabilities([0, 3])
+        # from state 1, P(hit 3) = 1/3
+        assert absorb[1][3] == pytest.approx(1.0 / 3.0)
+        assert absorb[1][0] == pytest.approx(2.0 / 3.0)
+        assert absorb[2][3] == pytest.approx(2.0 / 3.0)
+
+    def test_absorption_rows_sum_to_one(self):
+        P = np.array(
+            [[1.0, 0.0, 0.0], [0.3, 0.2, 0.5], [0.0, 0.0, 1.0]]
+        )
+        d = DTMC(P)
+        absorb = d.absorption_probabilities([0, 2])
+        assert sum(absorb[1].values()) == pytest.approx(1.0)
+
+    def test_no_transient_states(self):
+        d = DTMC(np.eye(2))
+        assert d.absorption_probabilities([0, 1]) == {}
+
+
+class TestHittingTimes:
+    def test_expected_steps_simple_walk(self):
+        # 0 -> 1 -> 2 deterministic: hitting 2 from 0 takes 2 steps
+        P = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]])
+        d = DTMC(P)
+        h = d.expected_hitting_time([2])
+        assert h[0] == pytest.approx(2.0)
+        assert h[1] == pytest.approx(1.0)
+        assert h[2] == 0.0
+
+    def test_geometric_return(self):
+        # from 'rainy', expected steps to 'sunny' = 1/0.5 = 2
+        h = weather_chain().expected_hitting_time(["sunny"])
+        assert h["rainy"] == pytest.approx(2.0)

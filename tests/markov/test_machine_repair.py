@@ -1,0 +1,84 @@
+"""Finite-source queue (M/M/1//N): closed forms vs chain solve vs the
+closed-workload simulator."""
+
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.des.distributions import Exponential
+from repro.markov.birth_death import BirthDeathChain
+from repro.markov.queueing import MachineRepairQueue
+from repro.workload.closed_workload import ClosedCPUSimulator, ClosedWorkload
+
+
+class TestClosedForms:
+    def test_probabilities_sum_to_one(self):
+        q = MachineRepairQueue(n_clients=5, think_rate=0.5, service_rate=2.0)
+        assert sum(q.state_probabilities()) == pytest.approx(1.0)
+
+    def test_matches_birth_death_chain(self):
+        n, think, mu = 6, 0.7, 3.0
+        q = MachineRepairQueue(n, think, mu)
+        chain = BirthDeathChain(
+            capacity=n,
+            birth_rates=lambda k: (n - k) * think,
+            death_rates=lambda k: mu,
+        )
+        probs = q.state_probabilities()
+        pi = chain.stationary_distribution()
+        for a, b in zip(probs, pi):
+            assert a == pytest.approx(b, rel=1e-10)
+
+    def test_single_client_known_answer(self):
+        # N=1: utilization = think / (think + mu) by alternating renewal
+        think, mu = 0.5, 2.0
+        q = MachineRepairQueue(1, think, mu)
+        cycle = 1.0 / think + 1.0 / mu
+        assert q.utilization() == pytest.approx((1.0 / mu) / cycle)
+        assert q.mean_response_time() == pytest.approx(1.0 / mu)
+
+    def test_throughput_bounded_by_both_resources(self):
+        q = MachineRepairQueue(10, 1.0, 2.0)
+        assert q.throughput() < 2.0  # server capacity
+        assert q.throughput() < 10.0 * 1.0  # population capacity
+
+    def test_response_time_grows_with_population(self):
+        r = [
+            MachineRepairQueue(n, 0.5, 2.0).mean_response_time()
+            for n in (1, 5, 20)
+        ]
+        assert r[0] < r[1] < r[2]
+
+    def test_large_population_saturates_server(self):
+        q = MachineRepairQueue(200, 0.5, 2.0)
+        assert q.utilization() == pytest.approx(1.0, abs=1e-6)
+        assert q.throughput() == pytest.approx(2.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineRepairQueue(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MachineRepairQueue(1, 0.0, 1.0)
+
+
+class TestAgainstClosedSimulator:
+    def test_simulator_without_power_management_matches(self):
+        """ClosedCPUSimulator with T -> inf and D = 0 *is* M/M/1//N."""
+        n, think, mu = 4, 0.8, 5.0
+        params = CPUModelParams(
+            arrival_rate=0.1,  # unused by the closed loop
+            service_rate=mu,
+            power_down_threshold=1e9,  # never powers down
+            power_up_delay=0.0,
+        )
+        workload = ClosedWorkload(n_clients=n, think_time=Exponential(think))
+        res = ClosedCPUSimulator(params, workload, seed=17).run(
+            horizon=30_000.0, warmup=500.0
+        )
+        q = MachineRepairQueue(n, think, mu)
+        assert res.fractions.active == pytest.approx(q.utilization(), rel=0.03)
+        assert res.effective_arrival_rate == pytest.approx(
+            q.throughput(), rel=0.03
+        )
+        assert res.mean_latency == pytest.approx(
+            q.mean_response_time(), rel=0.05
+        )

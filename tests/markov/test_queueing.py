@@ -1,0 +1,149 @@
+"""Queueing closed forms: textbook identities and cross-family limits."""
+
+import math
+
+import pytest
+
+from repro.markov.queueing import (
+    MD1Queue,
+    MG1Queue,
+    MM1KQueue,
+    MM1Queue,
+    MMcQueue,
+    little_l,
+    little_w,
+)
+
+
+class TestMM1:
+    def test_utilization(self):
+        assert MM1Queue(1.0, 4.0).utilization == 0.25
+
+    def test_mean_number_geometric(self):
+        q = MM1Queue(1.0, 2.0)
+        assert q.mean_number_in_system() == pytest.approx(1.0)
+        assert q.mean_number_in_queue() == pytest.approx(0.5)
+
+    def test_latency_and_little(self):
+        q = MM1Queue(2.0, 5.0)
+        assert q.mean_latency() == pytest.approx(1.0 / 3.0)
+        assert little_l(2.0, q.mean_latency()) == pytest.approx(
+            q.mean_number_in_system()
+        )
+        assert little_w(q.mean_number_in_system(), 2.0) == pytest.approx(
+            q.mean_latency()
+        )
+
+    def test_state_probabilities_sum(self):
+        q = MM1Queue(1.0, 3.0)
+        assert sum(q.p_n(n) for n in range(200)) == pytest.approx(1.0)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            MM1Queue(2.0, 2.0)
+
+    def test_p0_is_idle_probability(self):
+        q = MM1Queue(1.0, 4.0)
+        assert q.p_n(0) == pytest.approx(1.0 - q.utilization)
+
+
+class TestMM1K:
+    def test_limits_to_mm1_for_large_k(self):
+        lam, mu = 1.0, 2.0
+        finite = MM1KQueue(lam, mu, 80)
+        infinite = MM1Queue(lam, mu)
+        assert finite.mean_number_in_system() == pytest.approx(
+            infinite.mean_number_in_system(), rel=1e-6
+        )
+        assert finite.blocking_probability() < 1e-20
+
+    def test_rho_equal_one_uniform(self):
+        q = MM1KQueue(1.0, 1.0, 4)
+        assert q.p_n(2) == pytest.approx(0.2)
+        assert q.mean_number_in_system() == pytest.approx(2.0)
+
+    def test_probabilities_sum_to_one(self):
+        q = MM1KQueue(2.0, 1.0, 6)  # overloaded is fine for finite K
+        assert sum(q.p_n(n) for n in range(7)) == pytest.approx(1.0)
+
+    def test_effective_rate_below_offered(self):
+        q = MM1KQueue(3.0, 1.0, 3)
+        assert q.effective_arrival_rate() < 3.0
+
+    def test_latency_consistent_with_little(self):
+        q = MM1KQueue(1.0, 2.0, 5)
+        assert q.mean_latency() == pytest.approx(
+            q.mean_number_in_system() / q.effective_arrival_rate()
+        )
+
+    def test_out_of_range_n(self):
+        q = MM1KQueue(1.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            q.p_n(4)
+
+
+class TestMMc:
+    def test_c1_reduces_to_mm1(self):
+        lam, mu = 1.0, 3.0
+        mmc = MMcQueue(lam, mu, 1)
+        mm1 = MM1Queue(lam, mu)
+        assert mmc.erlang_c() == pytest.approx(mm1.utilization)
+        assert mmc.mean_number_in_system() == pytest.approx(
+            mm1.mean_number_in_system()
+        )
+        assert mmc.mean_latency() == pytest.approx(mm1.mean_latency())
+
+    def test_more_servers_less_waiting(self):
+        lam, mu = 3.0, 1.0
+        w4 = MMcQueue(lam, mu, 4).mean_waiting_time()
+        w8 = MMcQueue(lam, mu, 8).mean_waiting_time()
+        assert w8 < w4
+
+    def test_erlang_c_in_unit_interval(self):
+        q = MMcQueue(5.0, 1.0, 7)
+        assert 0.0 < q.erlang_c() < 1.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            MMcQueue(4.0, 1.0, 4)
+
+
+class TestMG1:
+    def test_exponential_service_recovers_mm1(self):
+        lam, mu = 1.0, 2.5
+        mg1 = MG1Queue(lam, 1.0 / mu, 1.0)  # cv^2 = 1
+        mm1 = MM1Queue(lam, mu)
+        assert mg1.mean_waiting_time() == pytest.approx(mm1.mean_waiting_time())
+        assert mg1.mean_number_in_system() == pytest.approx(
+            mm1.mean_number_in_system()
+        )
+
+    def test_md1_half_the_mm1_wait(self):
+        lam, mu = 1.0, 2.0
+        md1 = MD1Queue(lam, 1.0 / mu)
+        mm1 = MM1Queue(lam, mu)
+        assert md1.mean_waiting_time() == pytest.approx(
+            mm1.mean_waiting_time() / 2.0
+        )
+
+    def test_variability_hurts(self):
+        base = MG1Queue(1.0, 0.4, 0.0)
+        bursty = MG1Queue(1.0, 0.4, 4.0)
+        assert bursty.mean_waiting_time() > base.mean_waiting_time()
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            MG1Queue(2.0, 0.5, 1.0)
+
+    def test_negative_cv2_rejected(self):
+        with pytest.raises(ValueError):
+            MG1Queue(1.0, 0.5, -0.1)
+
+
+class TestLittlesLaw:
+    def test_roundtrip(self):
+        assert little_w(little_l(2.0, 3.0), 2.0) == pytest.approx(3.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            little_w(1.0, 0.0)

@@ -1,0 +1,111 @@
+"""Supplementary-variable stage primitives vs direct integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.markov.supplementary import SupplementaryVariableStage
+
+
+class TestInterruptibleStage:
+    def test_completion_probability(self):
+        st = SupplementaryVariableStage(duration=0.5, hazard_rate=2.0)
+        assert st.completion_probability() == pytest.approx(math.exp(-1.0))
+
+    def test_probabilities_complement(self):
+        st = SupplementaryVariableStage(0.7, 1.3)
+        assert st.completion_probability() + st.interruption_probability() == (
+            pytest.approx(1.0)
+        )
+
+    def test_expected_sojourn_is_integral_of_survival(self):
+        # E[min(X, tau)] = int_0^tau e^{-lam x} dx
+        lam, tau = 1.7, 0.9
+        st = SupplementaryVariableStage(tau, lam)
+        xs = np.linspace(0.0, tau, 100_001)
+        integral = np.trapezoid(np.exp(-lam * xs), xs)
+        assert st.expected_sojourn_interruptible() == pytest.approx(
+            integral, rel=1e-6
+        )
+
+    def test_sojourn_monte_carlo(self, rng):
+        lam, tau = 2.0, 0.4
+        st = SupplementaryVariableStage(tau, lam)
+        draws = np.minimum(rng.exponential(1.0 / lam, size=200_000), tau)
+        assert draws.mean() == pytest.approx(
+            st.expected_sojourn_interruptible(), rel=0.01
+        )
+
+    def test_stationary_mass_renewal_reward(self):
+        st = SupplementaryVariableStage(0.5, 1.0)
+        assert st.stationary_mass_interruptible(2.0) == pytest.approx(
+            2.0 * st.expected_sojourn_interruptible()
+        )
+
+    def test_age_density_shape(self):
+        st = SupplementaryVariableStage(1.0, 2.0)
+        p0 = 3.0
+        assert st.age_density(0.0, p0) == 3.0
+        assert st.age_density(0.5, p0) == pytest.approx(3.0 * math.exp(-1.0))
+
+    def test_age_outside_range_rejected(self):
+        st = SupplementaryVariableStage(1.0, 1.0)
+        with pytest.raises(ValueError):
+            st.age_density(1.5, 1.0)
+
+    def test_zero_duration_degenerates(self):
+        st = SupplementaryVariableStage(0.0, 1.0)
+        assert st.completion_probability() == 1.0
+        assert st.expected_sojourn_interruptible() == 0.0
+
+
+class TestFullStage:
+    def test_poisson_pmf_matches_scipy(self):
+        from scipy.stats import poisson
+
+        st = SupplementaryVariableStage(duration=2.5, hazard_rate=1.2)
+        x = 2.5 * 1.2
+        for n in range(10):
+            assert st.poisson_count_pmf(n) == pytest.approx(
+                poisson.pmf(n, x), rel=1e-10
+            )
+
+    def test_pmf_vector_matches_scalar(self):
+        st = SupplementaryVariableStage(1.0, 3.0)
+        vec = st.poisson_count_pmf_vector(8)
+        for n, v in enumerate(vec):
+            assert v == pytest.approx(st.poisson_count_pmf(n), rel=1e-12)
+
+    def test_pmf_sums_to_one(self):
+        st = SupplementaryVariableStage(0.8, 2.0)
+        assert sum(st.poisson_count_pmf_vector(60)) == pytest.approx(1.0)
+
+    def test_large_lambda_tau_no_overflow(self):
+        st = SupplementaryVariableStage(duration=100.0, hazard_rate=10.0)
+        # mode of Poisson(1000)
+        assert 0.0 < st.poisson_count_pmf(1000) < 1.0
+        assert st.poisson_count_pmf(0) == pytest.approx(0.0, abs=1e-300)
+
+    def test_expected_arrivals(self):
+        st = SupplementaryVariableStage(2.0, 1.5)
+        assert st.expected_arrivals() == 3.0
+
+    def test_full_mass(self):
+        st = SupplementaryVariableStage(2.0, 1.0)
+        assert st.stationary_mass_full(0.25) == 0.5
+
+
+class TestValidation:
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            SupplementaryVariableStage(-1.0, 1.0)
+
+    def test_nonpositive_hazard(self):
+        with pytest.raises(ValueError):
+            SupplementaryVariableStage(1.0, 0.0)
+
+    def test_negative_entry_rate(self):
+        st = SupplementaryVariableStage(1.0, 1.0)
+        with pytest.raises(ValueError):
+            st.stationary_mass_interruptible(-0.1)

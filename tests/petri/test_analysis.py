@@ -1,0 +1,161 @@
+"""Reachability analysis: graph structure, vanishing elimination, bounds."""
+
+import pytest
+
+from repro.des.distributions import Deterministic, Exponential
+from repro.petri.analysis import ReachabilityOptions, explore_reachability
+from repro.petri.net import NetStructureError, PetriNet
+
+
+def mm1k_net(K: int = 3) -> PetriNet:
+    net = PetriNet("mm1k")
+    net.add_place("free", initial=K)
+    net.add_place("queue")
+    net.add_timed_transition("arrive", Exponential(1.0))
+    net.add_input_arc("free", "arrive")
+    net.add_output_arc("arrive", "queue")
+    net.add_timed_transition("serve", Exponential(2.0))
+    net.add_input_arc("queue", "serve")
+    net.add_output_arc("serve", "free")
+    return net
+
+
+class TestExploration:
+    def test_mm1k_state_count(self):
+        g = explore_reachability(mm1k_net(3))
+        assert g.n_markings == 4  # queue = 0..3
+        assert g.complete
+        assert all(g.tangible)
+
+    def test_place_bounds(self):
+        g = explore_reachability(mm1k_net(3))
+        assert g.place_bound("queue") == 3
+        assert g.place_bound("free") == 3
+        assert g.is_k_bounded(3)
+        assert not g.is_k_bounded(2)
+
+    def test_edges_reference_transitions(self):
+        g = explore_reachability(mm1k_net(2))
+        names = set()
+        for edges in g.edges_out:
+            for e in edges:
+                names.add(g.transition_names[e.transition_index])
+        assert names == {"arrive", "serve"}
+
+    def test_dead_transitions_detected(self):
+        net = mm1k_net(2)
+        net.add_place("never", initial=0)
+        net.add_place("sink")
+        net.add_timed_transition("ghost", Exponential(1.0))
+        net.add_input_arc("never", "ghost")
+        net.add_output_arc("ghost", "sink")
+        g = explore_reachability(net)
+        assert g.dead_transitions() == ["ghost"]
+
+    def test_dead_marking_detected(self):
+        # one-shot net: after t fires nothing is enabled
+        net = PetriNet("oneshot")
+        net.add_place("a", initial=1)
+        net.add_place("b")
+        net.add_timed_transition("t", Exponential(1.0))
+        net.add_input_arc("a", "t")
+        net.add_output_arc("t", "b")
+        g = explore_reachability(net)
+        dead = g.dead_markings()
+        assert len(dead) == 1
+        assert g.markings[dead[0]]["b"] == 1
+
+    def test_unbounded_net_reports_incomplete(self):
+        net = PetriNet("unbounded")
+        net.add_place("gen", initial=1)
+        net.add_place("pile")
+        net.add_timed_transition("make", Exponential(1.0))
+        net.add_input_arc("gen", "make")
+        net.add_output_arc("make", "gen")
+        net.add_output_arc("make", "pile")
+        g = explore_reachability(net, ReachabilityOptions(max_markings=50))
+        assert not g.complete
+        assert g.n_markings >= 50
+
+    def test_find_marking(self):
+        g = explore_reachability(mm1k_net(2))
+        initial = g.markings[g.initial_index]
+        assert g.find(initial) == g.initial_index
+
+
+class TestVanishing:
+    @staticmethod
+    def _net_with_immediate() -> PetriNet:
+        # arrive puts a token in staging; an immediate routes it to the queue
+        net = PetriNet("staged")
+        net.add_place("gen", initial=1)
+        net.add_place("staging")
+        net.add_place("queue", capacity=5)
+        net.add_timed_transition("arrive", Exponential(1.0))
+        net.add_input_arc("gen", "arrive")
+        net.add_output_arc("arrive", "staging")
+        net.add_immediate_transition("route")
+        net.add_input_arc("staging", "route")
+        net.add_output_arc("route", "gen")
+        net.add_output_arc("route", "queue")
+        net.add_timed_transition("serve", Exponential(3.0))
+        net.add_input_arc("queue", "serve")
+        return net
+
+    def test_vanishing_markings_classified(self):
+        g = explore_reachability(self._net_with_immediate())
+        vanishing = g.vanishing_indices()
+        assert vanishing  # staging-marked states are vanishing
+        for v in vanishing:
+            assert g.markings[v]["staging"] >= 1
+
+    def test_vanishing_edges_carry_probabilities(self):
+        g = explore_reachability(self._net_with_immediate())
+        for v in g.vanishing_indices():
+            probs = [e.probability for e in g.edges_out[v]]
+            assert all(p is not None for p in probs)
+            assert sum(probs) == pytest.approx(1.0)
+
+    def test_absorption_reaches_tangible(self):
+        g = explore_reachability(self._net_with_immediate())
+        absorption = g.vanishing_absorption()
+        for v, dist in absorption.items():
+            assert sum(dist.values()) == pytest.approx(1.0)
+            for target in dist:
+                assert g.tangible[target]
+
+    def test_weighted_conflict_probabilities(self):
+        net = PetriNet("conflict")
+        net.add_place("src", initial=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_immediate_transition("to_a", weight=3.0)
+        net.add_input_arc("src", "to_a")
+        net.add_output_arc("to_a", "a")
+        net.add_immediate_transition("to_b", weight=1.0)
+        net.add_input_arc("src", "to_b")
+        net.add_output_arc("to_b", "b")
+        g = explore_reachability(net)
+        init_edges = g.edges_out[g.initial_index]
+        probs = {
+            g.transition_names[e.transition_index]: e.probability
+            for e in init_edges
+        }
+        assert probs["to_a"] == pytest.approx(0.75)
+        assert probs["to_b"] == pytest.approx(0.25)
+
+    def test_priority_excludes_lower_immediates(self):
+        net = PetriNet("prio")
+        net.add_place("src", initial=1)
+        net.add_place("hi")
+        net.add_place("lo")
+        net.add_immediate_transition("high", priority=2)
+        net.add_input_arc("src", "high")
+        net.add_output_arc("high", "hi")
+        net.add_immediate_transition("low", priority=1)
+        net.add_input_arc("src", "low")
+        net.add_output_arc("low", "lo")
+        g = explore_reachability(net)
+        init_edges = g.edges_out[g.initial_index]
+        assert len(init_edges) == 1
+        assert g.transition_names[init_edges[0].transition_index] == "high"

@@ -1,0 +1,153 @@
+"""GSPN -> CTMC reduction validated against queueing closed forms."""
+
+import pytest
+
+from repro.des.distributions import Deterministic, Exponential
+from repro.markov.queueing import MM1KQueue, MMcQueue
+from repro.petri.ctmc_export import ctmc_from_net
+from repro.petri.net import NetStructureError, PetriNet
+from repro.petri.simulator import PetriNetSimulator
+
+
+def mm1k_net(lam: float, mu: float, K: int) -> PetriNet:
+    net = PetriNet("mm1k")
+    net.add_place("free", initial=K)
+    net.add_place("queue")
+    net.add_timed_transition("arrive", Exponential(lam))
+    net.add_input_arc("free", "arrive")
+    net.add_output_arc("arrive", "queue")
+    net.add_timed_transition("serve", Exponential(mu))
+    net.add_input_arc("queue", "serve")
+    net.add_output_arc("serve", "free")
+    return net
+
+
+class TestAgainstTheory:
+    def test_mm1k_mean_queue(self):
+        lam, mu, K = 1.0, 2.0, 6
+        sol = ctmc_from_net(mm1k_net(lam, mu, K))
+        q = MM1KQueue(lam, mu, K)
+        assert sol.mean_tokens("queue") == pytest.approx(
+            q.mean_number_in_system(), rel=1e-9
+        )
+
+    def test_mm1k_utilization(self):
+        lam, mu, K = 1.0, 2.0, 6
+        sol = ctmc_from_net(mm1k_net(lam, mu, K))
+        q = MM1KQueue(lam, mu, K)
+        assert sol.probability_positive("queue") == pytest.approx(
+            q.utilization(), rel=1e-9
+        )
+
+    def test_mm1k_throughput(self):
+        lam, mu, K = 1.0, 2.0, 6
+        sol = ctmc_from_net(mm1k_net(lam, mu, K))
+        q = MM1KQueue(lam, mu, K)
+        assert sol.throughput("serve") == pytest.approx(
+            q.effective_arrival_rate(), rel=1e-9
+        )
+
+    def test_steady_state_sums_to_one(self):
+        sol = ctmc_from_net(mm1k_net(1.0, 1.5, 4))
+        assert sum(sol.steady_state().values()) == pytest.approx(1.0)
+
+    def test_simulator_agrees_with_ctmc(self):
+        net = mm1k_net(1.0, 2.0, 4)
+        sol = ctmc_from_net(net)
+        res = PetriNetSimulator(net, seed=13).run(horizon=30_000.0, warmup=500.0)
+        assert res.mean_tokens("queue") == pytest.approx(
+            sol.mean_tokens("queue"), rel=0.05
+        )
+
+
+class TestVanishingElimination:
+    def test_immediate_routing_preserves_rates(self):
+        # identical M/M/1/K but arrivals route through an immediate stage;
+        # the eliminated chain must match the direct one exactly
+        lam, mu, K = 1.3, 2.2, 5
+        direct = ctmc_from_net(mm1k_net(lam, mu, K))
+
+        staged = PetriNet("staged")
+        staged.add_place("free", initial=K)
+        staged.add_place("staging")
+        staged.add_place("queue")
+        staged.add_timed_transition("arrive", Exponential(lam))
+        staged.add_input_arc("free", "arrive")
+        staged.add_output_arc("arrive", "staging")
+        staged.add_immediate_transition("route")
+        staged.add_input_arc("staging", "route")
+        staged.add_output_arc("route", "queue")
+        staged.add_timed_transition("serve", Exponential(mu))
+        staged.add_input_arc("queue", "serve")
+        staged.add_output_arc("serve", "free")
+
+        sol = ctmc_from_net(staged)
+        assert sol.mean_tokens("queue") == pytest.approx(
+            direct.mean_tokens("queue"), rel=1e-9
+        )
+
+    def test_weighted_branch_split(self):
+        # arrivals split 3:1 between two queues by immediate weights
+        lam, mu = 1.0, 5.0
+        net = PetriNet("split")
+        net.add_place("gen", initial=1)
+        net.add_place("staging")
+        net.add_place("qa", capacity=30)
+        net.add_place("qb", capacity=30)
+        net.add_timed_transition("arrive", Exponential(lam))
+        net.add_input_arc("gen", "arrive")
+        net.add_output_arc("arrive", "staging")
+        # the routing immediates return the generator token, so the state
+        # space stays finite even in the (astronomically unlikely) corner
+        # where both queues are at capacity
+        net.add_immediate_transition("to_a", weight=3.0)
+        net.add_input_arc("staging", "to_a")
+        net.add_output_arc("to_a", "qa")
+        net.add_output_arc("to_a", "gen")
+        net.add_immediate_transition("to_b", weight=1.0)
+        net.add_input_arc("staging", "to_b")
+        net.add_output_arc("to_b", "qb")
+        net.add_output_arc("to_b", "gen")
+        net.add_timed_transition("serve_a", Exponential(mu))
+        net.add_input_arc("qa", "serve_a")
+        net.add_timed_transition("serve_b", Exponential(mu))
+        net.add_input_arc("qb", "serve_b")
+        sol = ctmc_from_net(net)
+        # each branch is an M/M/1 with thinned Poisson arrivals
+        rho_a, rho_b = 0.75 * lam / mu, 0.25 * lam / mu
+        assert sol.mean_tokens("qa") == pytest.approx(
+            rho_a / (1 - rho_a), rel=1e-6
+        )
+        assert sol.mean_tokens("qb") == pytest.approx(
+            rho_b / (1 - rho_b), rel=1e-6
+        )
+
+
+class TestRejections:
+    def test_deterministic_transition_rejected(self):
+        net = PetriNet("dspn")
+        net.add_place("a", initial=1)
+        net.add_place("b")
+        net.add_timed_transition("t", Deterministic(1.0))
+        net.add_input_arc("a", "t")
+        net.add_output_arc("t", "b")
+        with pytest.raises(NetStructureError, match="exponential"):
+            ctmc_from_net(net)
+
+    def test_unbounded_net_rejected(self):
+        net = PetriNet("unbounded")
+        net.add_place("gen", initial=1)
+        net.add_place("pile")
+        net.add_timed_transition("make", Exponential(1.0))
+        net.add_input_arc("gen", "make")
+        net.add_output_arc("make", "gen")
+        net.add_output_arc("make", "pile")
+        from repro.petri.analysis import ReachabilityOptions
+
+        with pytest.raises(NetStructureError, match="unbounded"):
+            ctmc_from_net(net, ReachabilityOptions(max_markings=100))
+
+    def test_throughput_requires_exponential_transition(self):
+        sol = ctmc_from_net(mm1k_net(1.0, 2.0, 3))
+        with pytest.raises(KeyError):
+            sol.throughput("nope")

@@ -1,0 +1,74 @@
+"""DOT export: structural content of the rendered graph text."""
+
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.des.distributions import Exponential
+from repro.petri.analysis import explore_reachability
+from repro.petri.dot_export import reachability_to_dot, to_dot
+from repro.petri.net import PetriNet
+
+
+def tiny_net() -> PetriNet:
+    net = PetriNet("tiny")
+    net.add_place("p", initial=2)
+    net.add_place("q")
+    net.add_timed_transition("t", Exponential(1.5))
+    net.add_input_arc("p", "t")
+    net.add_output_arc("t", "q")
+    net.add_immediate_transition("i", priority=3)
+    net.add_input_arc("q", "i")
+    net.add_output_arc("i", "p")
+    return net
+
+
+class TestNetExport:
+    def test_contains_all_nodes(self):
+        dot = to_dot(tiny_net())
+        for name in ("p", "q", "t", "i"):
+            assert f'"{name}"' in dot
+
+    def test_initial_tokens_in_label(self):
+        assert "(2)" in to_dot(tiny_net())
+
+    def test_exponential_rate_in_label(self):
+        assert "exp(1.5)" in to_dot(tiny_net())
+
+    def test_immediate_priority_rendered(self):
+        assert "prio 3" in to_dot(tiny_net())
+
+    def test_inhibitor_arrowhead(self):
+        params = CPUModelParams.paper_defaults()
+        dot = to_dot(build_cpu_net(params))
+        assert "arrowhead=odot" in dot
+
+    def test_valid_digraph_delimiters(self):
+        dot = to_dot(tiny_net())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_cpu_net_mentions_deterministic(self):
+        dot = to_dot(build_cpu_net(CPUModelParams.paper_defaults(T=0.5)))
+        assert "det(0.5)" in dot
+
+
+class TestReachabilityExport:
+    def test_reachability_nodes_and_edges(self):
+        g = explore_reachability(tiny_net())
+        dot = reachability_to_dot(g)
+        assert "m0" in dot
+        assert "->" in dot
+        assert dot.startswith("digraph")
+
+    def test_truncation_marker(self):
+        net = PetriNet("big")
+        net.add_place("gen", initial=1)
+        net.add_place("pile")
+        net.add_timed_transition("make", Exponential(1.0))
+        net.add_input_arc("gen", "make")
+        net.add_output_arc("make", "gen")
+        net.add_output_arc("make", "pile")
+        from repro.petri.analysis import ReachabilityOptions
+
+        g = explore_reachability(net, ReachabilityOptions(max_markings=20))
+        dot = reachability_to_dot(g, max_nodes=5)
+        assert "more" in dot

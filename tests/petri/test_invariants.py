@@ -1,0 +1,144 @@
+"""Structural invariants: incidence matrix, P/T-invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.des.distributions import Exponential
+from repro.petri.invariants import (
+    incidence_matrix,
+    invariant_report,
+    p_invariants,
+    t_invariants,
+    verify_p_invariant,
+)
+from repro.petri.net import PetriNet
+
+
+def ring_net(n: int = 3) -> PetriNet:
+    net = PetriNet("ring")
+    for i in range(n):
+        net.add_place(f"p{i}", initial=1 if i == 0 else 0)
+    for i in range(n):
+        net.add_timed_transition(f"t{i}", Exponential(1.0))
+        net.add_input_arc(f"p{i}", f"t{i}")
+        net.add_output_arc(f"t{i}", f"p{(i + 1) % n}")
+    return net
+
+
+class TestIncidenceMatrix:
+    def test_ring_structure(self):
+        C = incidence_matrix(ring_net(3))
+        assert C.shape == (3, 3)
+        # t0 moves p0 -> p1
+        assert C[0, 0] == -1
+        assert C[1, 0] == 1
+        # columns sum to zero (token conservation per firing)
+        assert np.all(C.sum(axis=0) == 0)
+
+    def test_multiplicities_counted(self):
+        net = PetriNet("mult")
+        net.add_place("a", initial=3)
+        net.add_place("b")
+        net.add_immediate_transition("t")
+        net.add_input_arc("a", "t", multiplicity=3)
+        net.add_output_arc("t", "b", multiplicity=2)
+        C = incidence_matrix(net)
+        assert C[0, 0] == -3
+        assert C[1, 0] == 2
+
+    def test_inhibitors_excluded(self):
+        net = PetriNet("inh")
+        net.add_place("a", initial=1)
+        net.add_place("guard")
+        net.add_place("b")
+        net.add_immediate_transition("t")
+        net.add_input_arc("a", "t")
+        net.add_inhibitor_arc("guard", "t")
+        net.add_output_arc("t", "b")
+        C = incidence_matrix(net)
+        assert C[net.place_names.index("guard"), 0] == 0
+
+
+class TestPInvariants:
+    def test_ring_total_token_invariant(self):
+        invs = p_invariants(ring_net(4))
+        assert {"p0": 1, "p1": 1, "p2": 1, "p3": 1} in invs
+
+    def test_cpu_net_derives_paper_invariants(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults())
+        invs = p_invariants(net)
+        assert {"P0": 1, "P1": 1} in invs
+        assert {"Idle": 1, "Active": 1} in invs
+        assert {"Stand_By": 1, "Power_Up": 1, "CPU_ON": 1} in invs
+
+    def test_invariants_conserved_under_simulation(self):
+        from repro.petri.simulator import PetriNetSimulator
+
+        net = build_cpu_net(CPUModelParams.paper_defaults(T=0.2, D=0.1))
+        compiled = net.compile()
+        m0 = compiled.initial_marking
+        invs = p_invariants(net)
+        res = PetriNetSimulator(net, seed=4).run(horizon=300.0)
+        m_end = res.final_marking
+        for inv in invs:
+            start = sum(w * m0[compiled.place_names.index(p)] for p, w in inv.items())
+            end = sum(w * m_end[p] for p, w in inv.items())
+            assert start == end
+
+    def test_unbounded_generator_place_not_in_invariants(self):
+        # a source transition's output place can't be covered
+        net = PetriNet("source")
+        net.add_place("gen", initial=1)
+        net.add_place("pile")
+        net.add_timed_transition("make", Exponential(1.0))
+        net.add_input_arc("gen", "make")
+        net.add_output_arc("make", "gen")
+        net.add_output_arc("make", "pile")
+        for inv in p_invariants(net):
+            assert "pile" not in inv
+
+
+class TestTInvariants:
+    def test_ring_cycle(self):
+        invs = t_invariants(ring_net(3))
+        assert {"t0": 1, "t1": 1, "t2": 1} in invs
+
+    def test_cpu_net_cycles(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults())
+        invs = t_invariants(net)
+        # the awake job cycle and the full sleep-wake cycle
+        assert {"AR": 1, "T1": 1, "T5": 1, "T2": 1, "SR": 1} in invs
+        assert {
+            "AR": 1, "T1": 1, "T6": 1, "PUT": 1, "T2": 1, "SR": 1, "PDT": 1
+        } in invs
+
+    def test_acyclic_net_has_no_t_invariant(self):
+        net = PetriNet("line")
+        net.add_place("a", initial=1)
+        net.add_place("b")
+        net.add_timed_transition("t", Exponential(1.0))
+        net.add_input_arc("a", "t")
+        net.add_output_arc("t", "b")
+        assert t_invariants(net) == []
+
+
+class TestVerifyAndReport:
+    def test_verify_valid_invariant(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults())
+        ok, total = verify_p_invariant(net, {"Idle": 1, "Active": 1})
+        assert ok
+        assert total == 1
+
+    def test_verify_invalid_invariant(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults())
+        ok, _ = verify_p_invariant(net, {"Idle": 1, "CPU_Buffer": 1})
+        assert not ok
+
+    def test_report_mentions_all_invariants(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults())
+        text = invariant_report(net)
+        assert "Idle + Active = 1" in text
+        assert "P-invariants" in text
+        assert "T-invariants" in text

@@ -1,0 +1,83 @@
+"""Marking: access, equality/hash, construction."""
+
+import numpy as np
+import pytest
+
+from repro.petri.marking import Marking
+
+NAMES = ["a", "b", "c"]
+
+
+class TestAccess:
+    def test_by_name_and_index(self):
+        m = Marking([1, 0, 2], NAMES)
+        assert m["a"] == 1
+        assert m[2] == 2
+
+    def test_get_with_default(self):
+        m = Marking([1, 0, 2], NAMES)
+        assert m.get("zzz", default=7) == 7
+        assert m.get("c") == 2
+
+    def test_total_tokens(self):
+        assert Marking([1, 0, 2], NAMES).total_tokens() == 3
+
+    def test_as_dict_skip_zero(self):
+        m = Marking([1, 0, 2], NAMES)
+        assert m.as_dict(skip_zero=True) == {"a": 1, "c": 2}
+        assert m.as_dict() == {"a": 1, "b": 0, "c": 2}
+
+    def test_len_and_iter(self):
+        m = Marking([1, 0, 2], NAMES)
+        assert len(m) == 3
+        assert dict(m) == {"a": 1, "b": 0, "c": 2}
+
+
+class TestIdentity:
+    def test_equal_markings_hash_equal(self):
+        m1 = Marking([1, 2, 3], NAMES)
+        m2 = Marking([1, 2, 3], NAMES)
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_different_counts_not_equal(self):
+        assert Marking([1, 0, 0], NAMES) != Marking([0, 1, 0], NAMES)
+
+    def test_usable_as_dict_key(self):
+        d = {Marking([1, 0, 0], NAMES): "x"}
+        assert d[Marking([1, 0, 0], NAMES)] == "x"
+
+    def test_counts_are_immutable(self):
+        m = Marking([1, 0, 0], NAMES)
+        with pytest.raises(ValueError):
+            m.counts[0] = 5
+
+    def test_source_array_copied(self):
+        src = np.array([1, 0, 0], dtype=np.int64)
+        m = Marking(src, NAMES)
+        src[0] = 99
+        assert m["a"] == 1
+
+
+class TestConstruction:
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Marking([-1, 0, 0], NAMES)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Marking([1, 2], NAMES)
+
+    def test_from_dict_partial(self):
+        m = Marking.from_dict({"b": 4}, NAMES)
+        assert m["a"] == 0
+        assert m["b"] == 4
+
+    def test_from_dict_unknown_place(self):
+        with pytest.raises(KeyError):
+            Marking.from_dict({"nope": 1}, NAMES)
+
+    def test_repr_mentions_nonzero_places(self):
+        text = repr(Marking([0, 3, 0], NAMES))
+        assert "b=3" in text
+        assert "a=" not in text

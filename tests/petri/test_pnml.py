@@ -1,0 +1,132 @@
+"""PNML serialisation round-trips."""
+
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.des.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Uniform,
+    Weibull,
+)
+from repro.petri.arcs import ArcKind
+from repro.petri.ctmc_export import ctmc_from_net
+from repro.petri.net import NetStructureError, PetriNet
+from repro.petri.pnml import from_pnml, load_pnml, save_pnml, to_pnml
+from repro.petri.simulator import PetriNetSimulator
+from repro.petri.transitions import MemoryPolicy, TimedTransition
+
+
+def assert_nets_equal(a: PetriNet, b: PetriNet) -> None:
+    assert a.name == b.name
+    assert a.place_names == b.place_names
+    for pa, pb in zip(a.places, b.places):
+        assert (pa.name, pa.initial, pa.capacity) == (pb.name, pb.initial, pb.capacity)
+    assert a.transition_names == b.transition_names
+    for ta, tb in zip(a.transitions, b.transitions):
+        assert type(ta) is type(tb)
+        if ta.is_immediate:
+            assert ta.priority == tb.priority
+            assert ta.weight == tb.weight
+        else:
+            assert repr(ta.distribution) == repr(tb.distribution)
+            assert ta.memory_policy == tb.memory_policy
+    arcs_a = {(x.place, x.transition, x.kind, x.multiplicity) for x in a.arcs}
+    arcs_b = {(x.place, x.transition, x.kind, x.multiplicity) for x in b.arcs}
+    assert arcs_a == arcs_b
+
+
+class TestRoundTrip:
+    def test_cpu_net_roundtrip(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults(T=0.3, D=0.001))
+        again = from_pnml(to_pnml(net))
+        assert_nets_equal(net, again)
+
+    def test_roundtrip_preserves_behaviour(self):
+        net = build_cpu_net(CPUModelParams.paper_defaults(T=0.3, D=0.001))
+        again = from_pnml(to_pnml(net))
+        r1 = PetriNetSimulator(net, seed=9).run(horizon=1_000.0)
+        r2 = PetriNetSimulator(again, seed=9).run(horizon=1_000.0)
+        assert r1.mean_tokens("Stand_By") == pytest.approx(
+            r2.mean_tokens("Stand_By")
+        )
+
+    def test_all_serialisable_distributions(self):
+        net = PetriNet("dists")
+        net.add_place("src", initial=5, capacity=9)
+        net.add_place("dst")
+        for i, dist in enumerate(
+            [
+                Exponential(2.5),
+                Deterministic(0.7),
+                Uniform(0.1, 0.9),
+                Erlang(4, 8.0),
+                Weibull(1.5, 2.0),
+                LogNormal(0.1, 0.4),
+            ]
+        ):
+            net.add_timed_transition(
+                f"t{i}", dist, memory_policy=MemoryPolicy.AGE
+            )
+            net.add_input_arc("src", f"t{i}")
+            net.add_output_arc(f"t{i}", "dst")
+        again = from_pnml(to_pnml(net))
+        assert_nets_equal(net, again)
+
+    def test_inhibitor_and_multiplicity_roundtrip(self):
+        net = PetriNet("arcs")
+        net.add_place("a", initial=4)
+        net.add_place("b")
+        net.add_place("blocker")
+        net.add_immediate_transition("t", priority=7, weight=2.5)
+        net.add_input_arc("a", "t", multiplicity=2)
+        net.add_output_arc("t", "b", multiplicity=3)
+        net.add_inhibitor_arc("blocker", "t", multiplicity=4)
+        again = from_pnml(to_pnml(net))
+        assert_nets_equal(net, again)
+
+    def test_file_roundtrip(self, tmp_path):
+        net = build_cpu_net(CPUModelParams.paper_defaults())
+        path = save_pnml(net, tmp_path / "cpu.pnml")
+        assert path.exists()
+        assert_nets_equal(net, load_pnml(path))
+
+    def test_roundtrip_preserves_ctmc_solution(self):
+        net = PetriNet("mm1k")
+        net.add_place("free", initial=4)
+        net.add_place("queue")
+        net.add_timed_transition("arrive", Exponential(1.0))
+        net.add_input_arc("free", "arrive")
+        net.add_output_arc("arrive", "queue")
+        net.add_timed_transition("serve", Exponential(2.0))
+        net.add_input_arc("queue", "serve")
+        net.add_output_arc("serve", "free")
+        again = from_pnml(to_pnml(net))
+        assert ctmc_from_net(net).mean_tokens("queue") == pytest.approx(
+            ctmc_from_net(again).mean_tokens("queue"), rel=1e-12
+        )
+
+
+class TestRejections:
+    def test_guard_not_serialisable(self):
+        net = PetriNet("guarded")
+        net.add_place("p", initial=1)
+        net.add_place("q")
+        net.add_immediate_transition("t", guard=lambda m: True)
+        net.add_input_arc("p", "t")
+        net.add_output_arc("t", "q")
+        with pytest.raises(NetStructureError, match="guard"):
+            to_pnml(net)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(NetStructureError):
+            from_pnml('<?xml version="1.0"?><pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml"></pnml>')
+
+    def test_foreign_transition_without_timing_rejected(self):
+        text = to_pnml(build_cpu_net(CPUModelParams.paper_defaults()))
+        stripped = text.replace('tool="repro"', 'tool="other"')
+        with pytest.raises(NetStructureError):
+            from_pnml(stripped)

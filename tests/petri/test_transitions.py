@@ -1,0 +1,78 @@
+"""Transition objects and arc dataclass validation."""
+
+import pytest
+
+from repro.des.distributions import Deterministic, Exponential, Uniform
+from repro.petri.arcs import Arc, ArcKind
+from repro.petri.transitions import (
+    ImmediateTransition,
+    MemoryPolicy,
+    TimedTransition,
+)
+
+
+class TestImmediate:
+    def test_defaults(self):
+        t = ImmediateTransition("t")
+        assert t.is_immediate
+        assert t.priority == 1
+        assert t.weight == 1.0
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ImmediateTransition("t", weight=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ImmediateTransition("")
+
+
+class TestTimed:
+    def test_exponential_properties(self):
+        t = TimedTransition("t", Exponential(3.0))
+        assert not t.is_immediate
+        assert t.is_exponential
+        assert t.rate == 3.0
+
+    def test_deterministic_is_not_exponential(self):
+        t = TimedTransition("t", Deterministic(0.5))
+        assert not t.is_exponential
+        with pytest.raises(AttributeError):
+            _ = t.rate
+
+    def test_general_distribution_allowed(self):
+        t = TimedTransition("t", Uniform(0.1, 0.2))
+        assert not t.is_exponential
+
+    def test_zero_delay_rejected(self):
+        with pytest.raises(ValueError, match="zero delay"):
+            TimedTransition("t", Deterministic(0.0))
+
+    def test_non_distribution_rejected(self):
+        with pytest.raises(TypeError):
+            TimedTransition("t", 0.5)
+
+    def test_default_memory_policy_is_resample(self):
+        t = TimedTransition("t", Deterministic(1.0))
+        assert t.memory_policy is MemoryPolicy.RESAMPLE
+
+    def test_bad_memory_policy_rejected(self):
+        with pytest.raises(TypeError):
+            TimedTransition("t", Exponential(1.0), memory_policy="age")
+
+
+class TestArcs:
+    def test_describe_input(self):
+        assert Arc("p", "t", ArcKind.INPUT).describe() == "p -> t"
+
+    def test_describe_inhibitor_with_multiplicity(self):
+        text = Arc("p", "t", ArcKind.INHIBITOR, multiplicity=3).describe()
+        assert "-o" in text and "x3" in text
+
+    def test_multiplicity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Arc("p", "t", ArcKind.INPUT, multiplicity=0)
+
+    def test_kind_must_be_enum(self):
+        with pytest.raises(TypeError):
+            Arc("p", "t", "input")

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the DES kernel."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.events import Event, EventQueue
+from repro.des.statistics import TallyStatistic, TimeWeightedStatistic
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+def _noop() -> None:
+    pass
+
+
+class TestEventQueueProperties:
+    @given(st.lists(times, min_size=1, max_size=200))
+    def test_pop_order_is_sorted(self, event_times):
+        q = EventQueue()
+        for t in event_times:
+            q.push(Event(t, _noop))
+        popped = []
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            popped.append(ev.time)
+        assert popped == sorted(event_times)
+
+    @given(
+        st.lists(times, min_size=1, max_size=100),
+        st.data(),
+    )
+    def test_cancellation_preserves_remaining_order(self, event_times, data):
+        q = EventQueue()
+        events = [q.push(Event(t, _noop)) for t in event_times]
+        to_cancel = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(events) - 1),
+                max_size=len(events),
+                unique=True,
+            )
+        )
+        for i in to_cancel:
+            q.cancel(events[i])
+        kept = sorted(
+            ev.time for i, ev in enumerate(events) if i not in set(to_cancel)
+        )
+        popped = []
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            popped.append(ev.time)
+        assert popped == kept
+
+    @given(st.lists(times, max_size=100))
+    def test_len_matches_live_events(self, event_times):
+        q = EventQueue()
+        events = [q.push(Event(t, _noop)) for t in event_times]
+        for ev in events[::2]:
+            q.cancel(ev)
+        assert len(q) == len(events) - len(events[::2])
+
+
+class TestTallyProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=300))
+    def test_matches_numpy(self, xs):
+        t = TallyStatistic()
+        t.record_many(xs)
+        assert math.isclose(
+            t.mean, float(np.mean(xs)), rel_tol=1e-9, abs_tol=1e-6
+        )
+        if len(xs) >= 2:
+            assert math.isclose(
+                t.variance,
+                float(np.var(xs, ddof=1)),
+                rel_tol=1e-6,
+                abs_tol=1e-5,
+            )
+        assert t.minimum == min(xs)
+        assert t.maximum == max(xs)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=100),
+        st.lists(finite_floats, min_size=1, max_size=100),
+    )
+    def test_merge_equals_concatenation(self, a_data, b_data):
+        a, b, c = TallyStatistic(), TallyStatistic(), TallyStatistic()
+        a.record_many(a_data)
+        b.record_many(b_data)
+        c.record_many(a_data + b_data)
+        merged = a.merge(b)
+        assert math.isclose(merged.mean, c.mean, rel_tol=1e-9, abs_tol=1e-6)
+        assert merged.count == c.count
+
+
+class TestTimeWeightedProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-6, max_value=100.0, allow_nan=False),
+                st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_average_within_value_bounds(self, segments):
+        s = TimeWeightedStatistic(segments[0][1])
+        t = 0.0
+        values = [segments[0][1]]
+        for dt, v in segments:
+            t += dt
+            s.update(t, v)
+            values.append(v)
+        avg = s.time_average(t + 1.0)
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+    @given(
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    )
+    def test_constant_signal_average_is_value(self, value, duration):
+        s = TimeWeightedStatistic(value)
+        assert math.isclose(
+            s.time_average(duration), value, rel_tol=1e-12, abs_tol=1e-12
+        )
+        assert s.time_variance(duration) <= 1e-12
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_shift_invariance(self, segments):
+        """Shifting the whole trajectory in time leaves the average unchanged."""
+        def build(offset: float) -> float:
+            s = TimeWeightedStatistic(segments[0][1], start_time=offset)
+            t = offset
+            for dt, v in segments:
+                t += dt
+                s.update(t, v)
+            return s.time_average(t)
+
+        assert math.isclose(build(0.0), build(123.0), rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,120 @@
+"""Property-based tests for the analytical CPU models and CTMC substrate."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.markov_supplementary import MarkovSupplementaryModel
+from repro.core.params import CPUModelParams
+from repro.markov.birth_death import BirthDeathChain
+
+# parameter strategies covering several orders of magnitude but keeping
+# rho < 1 (enforced by construction: mu = lam / rho)
+lams = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+rhos = st.floats(min_value=0.001, max_value=0.95, allow_nan=False)
+thresholds = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+delays = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def make_params(lam: float, rho: float, T: float, D: float) -> CPUModelParams:
+    return CPUModelParams(
+        arrival_rate=lam,
+        service_rate=lam / rho,
+        power_down_threshold=T,
+        power_up_delay=D,
+    )
+
+
+class TestClosedFormProperties:
+    @given(lams, rhos, thresholds, delays)
+    @settings(max_examples=300)
+    def test_markov_fractions_valid_distribution(self, lam, rho, T, D):
+        f = MarkovSupplementaryModel(make_params(lam, rho, T, D)).solve().fractions()
+        for v in f.as_dict().values():
+            assert -1e-12 <= v <= 1.0 + 1e-12
+        assert math.isclose(f.total(), 1.0, abs_tol=1e-9)
+
+    @given(lams, rhos, thresholds, delays)
+    @settings(max_examples=300)
+    def test_exact_fractions_valid_distribution(self, lam, rho, T, D):
+        f = ExactRenewalModel(make_params(lam, rho, T, D)).solve().fractions()
+        for v in f.as_dict().values():
+            assert -1e-12 <= v <= 1.0 + 1e-12
+        assert math.isclose(f.total(), 1.0, abs_tol=1e-9)
+
+    @given(lams, rhos, thresholds, delays)
+    @settings(max_examples=200)
+    def test_exact_active_is_rho(self, lam, rho, T, D):
+        st_exact = ExactRenewalModel(make_params(lam, rho, T, D)).solve()
+        assert math.isclose(st_exact.utilization, rho, rel_tol=1e-12)
+
+    @given(lams, rhos, delays)
+    @settings(max_examples=200)
+    def test_standby_decreases_with_threshold(self, lam, rho, D):
+        """Longer thresholds mean strictly less standby time (exact model)."""
+        p1 = make_params(lam, rho, 0.1, D)
+        p2 = make_params(lam, rho, 1.0, D)
+        s1 = ExactRenewalModel(p1).solve().p_standby
+        s2 = ExactRenewalModel(p2).solve().p_standby
+        assert s2 <= s1 + 1e-12
+
+    @given(lams, rhos, thresholds)
+    @settings(max_examples=200)
+    def test_powerup_increases_with_delay(self, lam, rho, T):
+        p1 = make_params(lam, rho, T, 0.01)
+        p2 = make_params(lam, rho, T, 1.0)
+        u1 = ExactRenewalModel(p1).solve().p_powerup
+        u2 = ExactRenewalModel(p2).solve().p_powerup
+        assert u2 >= u1 - 1e-12
+
+    @given(lams, rhos, thresholds, st.floats(min_value=0.0, max_value=0.01))
+    @settings(max_examples=200)
+    def test_markov_close_to_exact_for_small_d(self, lam, rho, T, D):
+        """The supplementary-variable approximation is first-order in λD."""
+        params = make_params(lam, rho, T, D)
+        approx = MarkovSupplementaryModel(params).solve().fractions()
+        exact = ExactRenewalModel(params).solve().fractions()
+        assert approx.l1_distance(exact) <= 4.0 * (lam * D) ** 2 + 1e-9
+
+    @given(lams, rhos, thresholds, delays)
+    @settings(max_examples=200)
+    def test_markov_utilization_at_least_rho(self, lam, rho, T, D):
+        """The approximation's bias direction: never below work conservation."""
+        st_markov = MarkovSupplementaryModel(make_params(lam, rho, T, D)).solve()
+        assert st_markov.utilization >= rho - 1e-9
+
+
+class TestBirthDeathProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.01, max_value=20.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_closed_form_equals_linear_algebra(self, K, lam, mu):
+        chain = BirthDeathChain(K, lam, mu)
+        pi_closed = chain.stationary_distribution()
+        pi_solve = chain.to_ctmc().steady_state()
+        assert np.allclose(pi_closed, pi_solve, atol=1e-8)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=41,
+            max_size=41,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_detailed_balance(self, K, rates):
+        birth = rates[:K]
+        death = rates[1 : K + 1]
+        chain = BirthDeathChain(K, birth, death)
+        pi = chain.stationary_distribution()
+        for n in range(K):
+            flow_up = pi[n] * birth[n]
+            flow_down = pi[n + 1] * death[n]
+            assert math.isclose(flow_up, flow_down, rel_tol=1e-8, abs_tol=1e-12)

@@ -1,0 +1,135 @@
+"""Property-based tests for the Petri net engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.des.distributions import Exponential
+from repro.petri.analysis import ReachabilityOptions, explore_reachability
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.simulator import PetriNetSimulator
+
+token_counts = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=10
+)
+
+
+class TestMarkingProperties:
+    @given(token_counts)
+    def test_roundtrip_through_dict(self, counts):
+        names = [f"p{i}" for i in range(len(counts))]
+        m = Marking(counts, names)
+        again = Marking.from_dict(m.as_dict(), names)
+        assert m == again
+        assert hash(m) == hash(again)
+
+    @given(token_counts)
+    def test_total_is_sum(self, counts):
+        names = [f"p{i}" for i in range(len(counts))]
+        assert Marking(counts, names).total_tokens() == sum(counts)
+
+    @given(token_counts, token_counts)
+    def test_equality_iff_same_counts(self, a, b):
+        n = min(len(a), len(b))
+        names = [f"p{i}" for i in range(n)]
+        ma, mb = Marking(a[:n], names), Marking(b[:n], names)
+        assert (ma == mb) == (a[:n] == b[:n])
+
+
+class TestTokenConservation:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=10.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ring_net_conserves_tokens(self, n_places, tokens, horizon):
+        """A closed ring of exponential transitions moves tokens around but
+        never creates or destroys them."""
+        net = PetriNet("ring")
+        for i in range(n_places):
+            net.add_place(f"p{i}", initial=tokens if i == 0 else 0)
+        for i in range(n_places):
+            net.add_timed_transition(f"t{i}", Exponential(1.0))
+            net.add_input_arc(f"p{i}", f"t{i}")
+            net.add_output_arc(f"t{i}", f"p{(i + 1) % n_places}")
+        res = PetriNetSimulator(net, seed=5).run(horizon=horizon)
+        assert res.final_marking.total_tokens() == tokens
+        # time-averaged totals conserve too
+        assert float(res.mean_tokens_vector.sum()) == pytest.approx(
+            tokens, rel=1e-9
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cpu_net_invariants_hold_throughout(self, T, D, seed):
+        params = CPUModelParams.paper_defaults(T=T, D=D)
+        net = build_cpu_net(params)
+        res = PetriNetSimulator(net, seed=seed).run(horizon=200.0)
+        m = res.final_marking
+        assert m["Stand_By"] + m["Power_Up"] + m["CPU_ON"] == 1
+        assert m["Idle"] + m["Active"] == 1
+        assert m["P0"] + m["P1"] == 1
+        # time averages respect the invariants too
+        on_family = (
+            res.mean_tokens("Stand_By")
+            + res.mean_tokens("Power_Up")
+            + res.mean_tokens("CPU_ON")
+        )
+        assert abs(on_family - 1.0) < 1e-9
+
+
+class TestReachabilityProperties:
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_mm1k_reachability_size(self, K):
+        net = PetriNet("mm1k")
+        net.add_place("free", initial=K)
+        net.add_place("queue")
+        net.add_timed_transition("arrive", Exponential(1.0))
+        net.add_input_arc("free", "arrive")
+        net.add_output_arc("arrive", "queue")
+        net.add_timed_transition("serve", Exponential(2.0))
+        net.add_input_arc("queue", "serve")
+        net.add_output_arc("serve", "free")
+        g = explore_reachability(net)
+        assert g.n_markings == K + 1
+        assert g.complete
+        # free + queue = K is an invariant of every reachable marking
+        for m in g.markings:
+            assert m["free"] + m["queue"] == K
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_fork_join_conservation(self, width, tokens):
+        """fork splits a token into `width` branch tokens; join reassembles:
+        the weighted token count is invariant."""
+        net = PetriNet("forkjoin")
+        net.add_place("start", initial=tokens)
+        for i in range(width):
+            net.add_place(f"branch{i}")
+        net.add_place("done")
+        net.add_timed_transition("fork", Exponential(1.0))
+        net.add_input_arc("start", "fork")
+        for i in range(width):
+            net.add_output_arc("fork", f"branch{i}")
+        net.add_timed_transition("join", Exponential(1.0))
+        for i in range(width):
+            net.add_input_arc(f"branch{i}", "join")
+        net.add_output_arc("join", "done")
+        net.add_timed_transition("reset", Exponential(1.0))
+        net.add_input_arc("done", "reset")
+        net.add_output_arc("reset", "start")
+        res = PetriNetSimulator(net, seed=3).run(horizon=300.0)
+        m = res.final_marking
+        # invariant: start + branch_i (any single branch) + done == tokens
+        for i in range(width):
+            assert m["start"] + m[f"branch{i}"] + m["done"] == tokens

@@ -1,0 +1,62 @@
+"""Arrival-process interface: renewal processes and time materialisation."""
+
+import numpy as np
+import pytest
+
+from repro.des.distributions import Deterministic, Exponential, Weibull
+from repro.workload.base import RenewalProcess, poisson
+
+
+class TestRenewalProcess:
+    def test_poisson_rate(self):
+        assert poisson(2.5).mean_rate() == pytest.approx(2.5)
+
+    def test_deterministic_gaps(self, rng):
+        p = RenewalProcess(Deterministic(0.5))
+        assert p.next_interarrival(rng) == 0.5
+        assert p.mean_rate() == pytest.approx(2.0)
+        assert p.cv2() == 0.0
+
+    def test_poisson_cv2_is_one(self):
+        assert poisson(1.0).cv2() == pytest.approx(1.0)
+
+    def test_weibull_renewal(self, rng):
+        p = RenewalProcess(Weibull(0.8, 1.0))
+        gaps = [p.next_interarrival(rng) for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(p.interarrival.mean(), rel=0.1)
+
+    def test_non_distribution_rejected(self):
+        with pytest.raises(TypeError):
+            RenewalProcess(1.0)
+
+
+class TestArrivalTimes:
+    def test_by_count(self, rng):
+        times = poisson(1.0).arrival_times(rng, n=100)
+        assert times.shape == (100,)
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_by_horizon(self, rng):
+        times = poisson(2.0).arrival_times(rng, horizon=500.0)
+        assert times.size == pytest.approx(1000, rel=0.15)
+        assert times[-1] <= 500.0
+
+    def test_exactly_one_mode_required(self, rng):
+        p = poisson(1.0)
+        with pytest.raises(ValueError):
+            p.arrival_times(rng)
+        with pytest.raises(ValueError):
+            p.arrival_times(rng, horizon=10.0, n=10)
+
+    def test_zero_count(self, rng):
+        assert poisson(1.0).arrival_times(rng, n=0).size == 0
+
+    def test_poisson_counts_have_poisson_variance(self, rng):
+        # index of dispersion of counts ~ 1 for a Poisson process
+        lam = 5.0
+        counts = [
+            poisson(lam).arrival_times(rng, horizon=10.0).size
+            for _ in range(300)
+        ]
+        mean, var = np.mean(counts), np.var(counts)
+        assert var / mean == pytest.approx(1.0, abs=0.35)

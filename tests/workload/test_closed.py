@@ -1,0 +1,82 @@
+"""Closed workload: population dynamics and CPU coupling."""
+
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.des.distributions import Deterministic, Exponential
+from repro.workload.closed_workload import ClosedCPUSimulator, ClosedWorkload
+
+
+class TestClosedWorkload:
+    def test_nominal_rate(self):
+        # Exponential(rate=2) has mean think time 0.5 s -> 4 / 0.5 = 8 jobs/s
+        w = ClosedWorkload(n_clients=4, think_time=Exponential(2.0))
+        assert w.nominal_rate() == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosedWorkload(n_clients=0, think_time=Exponential(1.0))
+
+
+class TestClosedCPUSimulator:
+    def test_fractions_sum_to_one(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        w = ClosedWorkload(n_clients=2, think_time=Exponential(1.0))
+        res = ClosedCPUSimulator(p, w, seed=1).run(horizon=2_000.0)
+        assert res.fractions.total() == pytest.approx(1.0, abs=1e-9)
+
+    def test_throughput_bounded_by_nominal(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        w = ClosedWorkload(n_clients=3, think_time=Exponential(1.0))
+        res = ClosedCPUSimulator(p, w, seed=2).run(horizon=5_000.0, warmup=100.0)
+        assert res.effective_arrival_rate < w.nominal_rate()
+        assert res.effective_arrival_rate > 0.0
+
+    def test_machine_repair_interactive_response_time(self):
+        # closed queueing theory: X = N / (E[think] + R); verify consistency
+        p = CPUModelParams.paper_defaults(T=50.0, D=0.001)  # never sleeps
+        n, think = 5, 2.0
+        w = ClosedWorkload(n_clients=n, think_time=Exponential(1.0 / think * 1.0))
+        w = ClosedWorkload(n_clients=n, think_time=Exponential(0.5))
+        res = ClosedCPUSimulator(p, w, seed=3).run(horizon=20_000.0, warmup=500.0)
+        x = res.effective_arrival_rate
+        r = res.mean_latency
+        think_mean = w.think_time.mean()
+        assert n / (think_mean + r) == pytest.approx(x, rel=0.05)
+
+    def test_single_client_never_queues(self):
+        # one client: latency = service (+ possible power-up)
+        p = CPUModelParams.paper_defaults(T=50.0, D=0.0)
+        w = ClosedWorkload(n_clients=1, think_time=Exponential(1.0))
+        res = ClosedCPUSimulator(p, w, seed=4).run(horizon=20_000.0, warmup=500.0)
+        assert res.mean_latency == pytest.approx(p.mean_service_time, rel=0.1)
+
+    def test_utilization_grows_with_population(self):
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+
+        def active(n):
+            w = ClosedWorkload(n_clients=n, think_time=Exponential(2.0))
+            return (
+                ClosedCPUSimulator(p, w, seed=5)
+                .run(horizon=5_000.0, warmup=100.0)
+                .fractions.active
+            )
+
+        assert active(8) > active(1)
+
+    def test_deterministic_think_time(self):
+        p = CPUModelParams.paper_defaults(T=0.05, D=0.01)
+        w = ClosedWorkload(n_clients=1, think_time=Deterministic(1.0))
+        res = ClosedCPUSimulator(p, w, seed=6).run(horizon=5_000.0, warmup=100.0)
+        # gap between jobs ~1s > T: the CPU sleeps every cycle and pays D
+        assert res.fractions.standby > 0.5
+        assert res.fractions.powerup > 0.0
+
+    def test_argument_validation(self):
+        p = CPUModelParams.paper_defaults()
+        w = ClosedWorkload(n_clients=1, think_time=Exponential(1.0))
+        sim = ClosedCPUSimulator(p, w, seed=1)
+        with pytest.raises(ValueError):
+            sim.run(horizon=0.0)
+        with pytest.raises(ValueError):
+            sim.run(horizon=1.0, warmup=2.0)

@@ -1,0 +1,99 @@
+"""Open workloads: Poisson, MMPP, batch arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workload.open_workload import (
+    BatchPoissonProcess,
+    MMPPProcess,
+    PoissonProcess,
+)
+
+
+class TestPoisson:
+    def test_rate_estimate(self, rng):
+        p = PoissonProcess(3.0)
+        times = p.arrival_times(rng, horizon=2000.0)
+        assert times.size / 2000.0 == pytest.approx(3.0, rel=0.05)
+
+
+class TestMMPP:
+    def test_mean_rate_weighted_by_phases(self):
+        # symmetric switching: stationary = [0.5, 0.5]
+        p = MMPPProcess(rates=[1.0, 9.0], switch_rates=[2.0, 2.0])
+        assert p.mean_rate() == pytest.approx(5.0)
+
+    def test_asymmetric_switching_weights(self):
+        # exit rates 1 and 4: stationary ~ [4/5, 1/5]
+        p = MMPPProcess(rates=[10.0, 0.0], switch_rates=[1.0, 4.0])
+        assert p.mean_rate() == pytest.approx(8.0)
+
+    def test_long_run_rate_statistical(self, rng):
+        p = MMPPProcess(rates=[0.5, 8.0], switch_rates=[0.3, 0.3])
+        times = p.arrival_times(rng, horizon=20_000.0)
+        assert times.size / 20_000.0 == pytest.approx(p.mean_rate(), rel=0.1)
+
+    def test_burstier_than_poisson(self, rng):
+        # MMPP inter-arrival cv^2 > 1
+        p = MMPPProcess(rates=[0.2, 10.0], switch_rates=[0.1, 0.1])
+        gaps = np.array([p.next_interarrival(rng) for _ in range(50_000)])
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5
+
+    def test_reset_restores_phase(self, rng):
+        p = MMPPProcess(rates=[1.0, 5.0], switch_rates=[1.0, 1.0], start_phase=1)
+        for _ in range(100):
+            p.next_interarrival(rng)
+        p.reset()
+        assert p.phase == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPProcess(rates=[1.0], switch_rates=[1.0])
+        with pytest.raises(ValueError):
+            MMPPProcess(rates=[0.0, 0.0], switch_rates=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            MMPPProcess(rates=[1.0, 2.0], switch_rates=[0.0, 1.0])
+        with pytest.raises(ValueError):
+            MMPPProcess(rates=[1.0, 2.0], switch_rates=[1.0, 1.0], start_phase=5)
+
+    def test_three_phase_switching(self, rng):
+        p = MMPPProcess(rates=[1.0, 2.0, 3.0], switch_rates=[1.0, 1.0, 1.0])
+        gaps = [p.next_interarrival(rng) for _ in range(1000)]
+        assert all(g > 0 for g in gaps)
+
+
+class TestBatchPoisson:
+    def test_mean_rate(self):
+        p = BatchPoissonProcess(batch_rate=2.0, mean_batch_size=3.0)
+        assert p.mean_rate() == pytest.approx(6.0)
+
+    def test_zero_gaps_within_batches(self, rng):
+        p = BatchPoissonProcess(batch_rate=1.0, mean_batch_size=5.0)
+        gaps = np.array([p.next_interarrival(rng) for _ in range(10_000)])
+        zero_fraction = np.mean(gaps == 0.0)
+        # mean batch 5 -> 4 of 5 arrivals are intra-batch
+        assert zero_fraction == pytest.approx(0.8, abs=0.05)
+
+    def test_long_run_rate(self, rng):
+        p = BatchPoissonProcess(batch_rate=1.0, mean_batch_size=4.0)
+        times = p.arrival_times(rng, horizon=10_000.0)
+        assert times.size / 10_000.0 == pytest.approx(4.0, rel=0.1)
+
+    def test_reset_clears_pending_batch(self, rng):
+        p = BatchPoissonProcess(batch_rate=1.0, mean_batch_size=10.0)
+        p.next_interarrival(rng)
+        p.reset()
+        assert p._remaining == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPoissonProcess(0.0, 2.0)
+        with pytest.raises(ValueError):
+            BatchPoissonProcess(1.0, 0.5)
+
+    def test_batch_size_one_is_poisson(self, rng):
+        p = BatchPoissonProcess(batch_rate=2.0, mean_batch_size=1.0)
+        gaps = np.array([p.next_interarrival(rng) for _ in range(20_000)])
+        assert np.mean(gaps == 0.0) < 0.001
+        assert gaps.mean() == pytest.approx(0.5, rel=0.05)

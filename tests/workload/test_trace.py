@@ -1,0 +1,104 @@
+"""Trace workloads: recording, persistence, replay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload.open_workload import PoissonProcess
+from repro.workload.trace import ArrivalTrace, TraceProcess
+
+
+class TestArrivalTrace:
+    def test_from_process(self, rng):
+        trace = ArrivalTrace.from_process(PoissonProcess(2.0), rng, n=500)
+        assert len(trace) == 500
+        assert trace.mean_rate() == pytest.approx(2.0, rel=0.15)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([1.0, 0.5]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([-1.0, 0.5]))
+
+    def test_interarrivals_prepend_zero(self):
+        trace = ArrivalTrace(np.array([1.0, 3.0, 6.0]))
+        assert list(trace.interarrivals()) == [1.0, 2.0, 3.0]
+
+    def test_cv2_poisson_near_one(self, rng):
+        trace = ArrivalTrace.from_process(PoissonProcess(1.0), rng, n=50_000)
+        assert trace.interarrival_cv2() == pytest.approx(1.0, abs=0.1)
+
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        trace = ArrivalTrace.from_process(PoissonProcess(1.0), rng, n=50)
+        path = tmp_path / "trace.txt"
+        trace.save(path, header="test trace\nline two")
+        loaded = ArrivalTrace.load(path)
+        assert np.allclose(loaded.times, trace.times)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n1.0\n\n2.0  # inline comment\n")
+        trace = ArrivalTrace.load(path)
+        assert list(trace.times) == [1.0, 2.0]
+
+    def test_thin_keeps_subset(self, rng):
+        trace = ArrivalTrace.from_process(PoissonProcess(1.0), rng, n=10_000)
+        thinned = trace.thin(0.3, rng)
+        assert len(thinned) == pytest.approx(3000, rel=0.15)
+        assert set(thinned.times) <= set(trace.times)
+
+    def test_thin_validation(self, rng):
+        trace = ArrivalTrace(np.array([1.0]))
+        with pytest.raises(ValueError):
+            trace.thin(0.0, rng)
+
+    def test_shift(self):
+        trace = ArrivalTrace(np.array([1.0, 2.0]))
+        shifted = trace.shifted(0.5)
+        assert list(shifted.times) == [1.5, 2.5]
+        with pytest.raises(ValueError):
+            trace.shifted(-2.0)
+
+    def test_empty_trace_stats(self):
+        trace = ArrivalTrace(np.array([]))
+        assert trace.mean_rate() == 0.0
+        assert trace.horizon == 0.0
+
+
+class TestTraceProcess:
+    def test_replays_exact_gaps(self, rng):
+        trace = ArrivalTrace(np.array([0.5, 1.5, 4.0]))
+        proc = TraceProcess(trace)
+        gaps = [proc.next_interarrival(rng) for _ in range(3)]
+        assert gaps == [0.5, 1.0, 2.5]
+
+    def test_exhaustion_returns_inf(self, rng):
+        proc = TraceProcess(ArrivalTrace(np.array([1.0])))
+        proc.next_interarrival(rng)
+        assert math.isinf(proc.next_interarrival(rng))
+        assert proc.exhausted
+
+    def test_reset_replays_from_start(self, rng):
+        proc = TraceProcess(ArrivalTrace(np.array([1.0, 2.0])))
+        first = proc.next_interarrival(rng)
+        proc.reset()
+        assert proc.next_interarrival(rng) == first
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceProcess(ArrivalTrace(np.array([])))
+
+    def test_drives_cpu_simulator(self, rng):
+        from repro.core.params import CPUModelParams
+        from repro.core.simulation_cpu import CPUEventSimulator
+
+        trace = ArrivalTrace.from_process(PoissonProcess(1.0), rng, n=2000)
+        p = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+        res = CPUEventSimulator(
+            p, seed=1, arrival_process=TraceProcess(trace)
+        ).run(horizon=trace.horizon)
+        assert res.jobs_arrived == pytest.approx(2000, abs=5)
+        assert res.fractions.active == pytest.approx(0.1, abs=0.03)

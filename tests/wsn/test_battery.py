@@ -1,0 +1,60 @@
+"""Battery arithmetic."""
+
+import math
+
+import pytest
+
+from repro.wsn.battery import Battery
+
+
+class TestCapacity:
+    def test_energy_joules(self):
+        # 1000 mAh at 3 V, fully usable: 1000*3.6*3 = 10800 J
+        b = Battery(1000.0, 3.0, usable_fraction=1.0)
+        assert b.energy_joules == pytest.approx(10_800.0)
+
+    def test_derating_applies(self):
+        full = Battery(1000.0, 3.0, usable_fraction=1.0)
+        derated = Battery(1000.0, 3.0, usable_fraction=0.5)
+        assert derated.energy_joules == pytest.approx(full.energy_joules / 2.0)
+
+    def test_presets(self):
+        assert Battery.aa_pair().capacity_mah == 2500.0
+        assert Battery.coin_cell().capacity_mah == 225.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+        with pytest.raises(ValueError):
+            Battery(100.0, voltage_v=0.0)
+        with pytest.raises(ValueError):
+            Battery(100.0, usable_fraction=1.5)
+
+
+class TestLifetime:
+    def test_simple_lifetime(self):
+        b = Battery(1000.0, 3.0, usable_fraction=1.0)  # 10800 J
+        # 10.8 mW -> 1e6 s
+        assert b.lifetime_seconds(10.8) == pytest.approx(1.0e6)
+
+    def test_days_conversion(self):
+        b = Battery(1000.0, 3.0, usable_fraction=1.0)
+        assert b.lifetime_days(10.8) == pytest.approx(1.0e6 / 86400.0)
+
+    def test_zero_power_infinite(self):
+        assert math.isinf(Battery(100.0).lifetime_seconds(0.0))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(100.0).lifetime_seconds(-1.0)
+
+    def test_drain_fraction(self):
+        b = Battery(1000.0, 3.0, usable_fraction=1.0)
+        assert b.drain_fraction(10_800.0, 1000.0) == pytest.approx(1.0)
+        assert b.drain_fraction(10_800.0, 500.0) == pytest.approx(0.5)
+
+    def test_lifetime_halves_with_double_power(self):
+        b = Battery.aa_pair()
+        assert b.lifetime_seconds(20.0) == pytest.approx(
+            b.lifetime_seconds(10.0) / 2.0
+        )

@@ -1,0 +1,84 @@
+"""Network aggregates: relay asymmetry and first-death lifetime."""
+
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.wsn.network import SensorNetwork
+from repro.wsn.node import SensorNode
+from repro.wsn.profiles import CC2420, MSP430
+from repro.wsn.radio import DutyCycledRadio
+
+
+def cpu_params() -> CPUModelParams:
+    return CPUModelParams(
+        arrival_rate=0.05,
+        service_rate=10.0,
+        power_down_threshold=0.1,
+        power_up_delay=0.01,
+        profile=MSP430,
+    )
+
+
+def radio() -> DutyCycledRadio:
+    return DutyCycledRadio(CC2420, listen_duty_cycle=0.005)
+
+
+class TestCollectionTree:
+    def test_node_count(self):
+        net = SensorNetwork.collection_tree(
+            n_nodes=5, sensing_rate=0.05, cpu_params=cpu_params(), radio=radio()
+        )
+        assert len(net) == 5
+
+    def test_sink_adjacent_node_relays_most(self):
+        net = SensorNetwork.collection_tree(
+            n_nodes=5, sensing_rate=0.05, cpu_params=cpu_params(), radio=radio()
+        )
+        # node01 is next to the sink: 4 nodes behind it
+        assert net.nodes[0].rx_per_second == pytest.approx(4 * 0.05)
+        # last node relays nothing
+        assert net.nodes[-1].rx_per_second == 0.0
+
+    def test_report_bottleneck_is_sink_adjacent(self):
+        net = SensorNetwork.collection_tree(
+            n_nodes=6, sensing_rate=0.05, cpu_params=cpu_params(), radio=radio()
+        )
+        report = net.report()
+        assert report.bottleneck_node() == "node01"
+        assert report.first_death_days <= report.mean_lifetime_days
+        assert report.mean_lifetime_days <= report.last_death_days
+
+    def test_saturating_relay_load_rejected(self):
+        with pytest.raises(ValueError, match="saturates"):
+            SensorNetwork.collection_tree(
+                n_nodes=500,
+                sensing_rate=0.05,
+                cpu_params=cpu_params(),
+                radio=radio(),
+            )
+
+    def test_total_power_additive(self):
+        net = SensorNetwork.collection_tree(
+            n_nodes=3, sensing_rate=0.05, cpu_params=cpu_params(), radio=radio()
+        )
+        report = net.report()
+        assert report.total_power_mw == pytest.approx(
+            sum(r.total_power_mw for r in report.node_reports.values())
+        )
+
+
+class TestValidation:
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNetwork([])
+
+    def test_duplicate_names_rejected(self):
+        node = SensorNode(cpu_params=cpu_params(), radio=None, name="x")
+        twin = SensorNode(cpu_params=cpu_params(), radio=None, name="x")
+        with pytest.raises(ValueError):
+            SensorNetwork([node, twin])
+
+    def test_single_node_network(self):
+        node = SensorNode(cpu_params=cpu_params(), radio=None, name="solo")
+        report = SensorNetwork([node]).report()
+        assert report.first_death_days == report.last_death_days

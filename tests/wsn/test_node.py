@@ -1,0 +1,92 @@
+"""Sensor node: energy reports across CPU models and profiles."""
+
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.wsn.battery import Battery
+from repro.wsn.node import SensorNode
+from repro.wsn.profiles import CC2420, MSP430
+from repro.wsn.radio import DutyCycledRadio
+
+
+def make_node(**kwargs) -> SensorNode:
+    params = CPUModelParams(
+        arrival_rate=0.1,
+        service_rate=10.0,
+        power_down_threshold=0.1,
+        power_up_delay=0.01,
+        profile=kwargs.pop("profile", MSP430),
+    )
+    return SensorNode(
+        cpu_params=params,
+        radio=kwargs.pop("radio", DutyCycledRadio(CC2420, listen_duty_cycle=0.01)),
+        **kwargs,
+    )
+
+
+class TestReports:
+    def test_report_fields_consistent(self):
+        node = make_node()
+        r = node.report()
+        assert r.total_power_mw == pytest.approx(
+            r.cpu_power_mw + r.radio_power_mw
+        )
+        assert r.cpu_fractions.total() == pytest.approx(1.0)
+        assert r.lifetime_days > 0.0
+
+    def test_radio_free_node(self):
+        node = SensorNode(
+            cpu_params=CPUModelParams.paper_defaults(), radio=None
+        )
+        r = node.report()
+        assert r.radio_power_mw == 0.0
+
+    def test_lifetime_uses_battery(self):
+        small = make_node(battery=Battery(100.0))
+        big = make_node(battery=Battery(2500.0))
+        assert big.report().lifetime_days > small.report().lifetime_days
+
+    def test_tx_rate_scales_with_jobs(self):
+        node = make_node(tx_per_job=2.0)
+        assert node.tx_rate() == pytest.approx(0.2)
+
+    def test_relay_traffic_costs_energy(self):
+        quiet = make_node(rx_per_second=0.0)
+        busy = make_node(rx_per_second=5.0)
+        assert busy.report().radio_power_mw > quiet.report().radio_power_mw
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            make_node(tx_per_job=-1.0)
+
+
+class TestModelSelection:
+    def test_all_models_available(self):
+        node = make_node()
+        exact = node.cpu_fractions(model="exact")
+        markov = node.cpu_fractions(model="markov")
+        sim = node.cpu_fractions(model="simulation", horizon=3_000.0, seed=1)
+        petri = node.cpu_fractions(model="petri", horizon=3_000.0, seed=2)
+        for f in (exact, markov, sim, petri):
+            assert f.total() == pytest.approx(1.0, abs=1e-6)
+        # at these tiny delays all models agree
+        assert exact.l1_distance(markov) < 0.01
+        assert exact.l1_distance(sim) < 0.05
+        assert exact.l1_distance(petri) < 0.05
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_node().cpu_fractions(model="oracle")
+
+
+class TestThresholdChoice:
+    def test_optimal_threshold_is_smallest_for_paper_profile(self):
+        # idle (88 mW) costs far more than standby (17) and power-up is
+        # nearly free at D = 0.01 -> sleep as soon as possible
+        node = make_node(profile=CPUModelParams.paper_defaults().profile)
+        assert node.optimal_threshold() == 0.0
+
+    def test_custom_candidates(self):
+        node = make_node()
+        t = node.optimal_threshold(candidates=[0.5, 1.0])
+        assert t in (0.5, 1.0)

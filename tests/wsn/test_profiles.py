@@ -1,0 +1,42 @@
+"""Hardware profiles: paper fidelity and catalogue sanity."""
+
+import pytest
+
+from repro.core.params import PXA271
+from repro.wsn.profiles import (
+    ATMEGA128L,
+    CC2420,
+    MSP430,
+    PXA271_PROFILE,
+    processor_profiles,
+)
+
+
+class TestProcessorProfiles:
+    def test_pxa271_reexport_is_paper_table3(self):
+        assert PXA271_PROFILE is PXA271
+        assert PXA271_PROFILE.standby_mw == 17.0
+        assert PXA271_PROFILE.powerup_mw == 192.442
+
+    def test_catalogue_complete(self):
+        profiles = processor_profiles()
+        assert set(profiles) == {"PXA271", "MSP430", "ATmega128L"}
+
+    def test_state_ordering_sane(self):
+        # every profile: standby < idle < active
+        for p in processor_profiles().values():
+            assert p.standby_mw < p.idle_mw < p.active_mw
+
+    def test_low_power_motes_below_pxa(self):
+        assert MSP430.active_mw < PXA271.active_mw
+        assert ATMEGA128L.active_mw < PXA271.active_mw
+
+
+class TestRadioProfile:
+    def test_cc2420_figures(self):
+        assert CC2420.tx_mw == pytest.approx(52.2)
+        assert CC2420.rx_mw == pytest.approx(56.4)
+        assert CC2420.bitrate_bps == 250_000.0
+
+    def test_sleep_far_below_listen(self):
+        assert CC2420.sleep_mw < CC2420.listen_mw / 100.0

@@ -1,0 +1,71 @@
+"""Radio energy model: airtime, occupancy, duty cycling."""
+
+import pytest
+
+from repro.wsn.profiles import CC2420, RadioProfile
+from repro.wsn.radio import DutyCycledRadio
+
+
+class TestProfiles:
+    def test_cc2420_airtime(self):
+        # (36 + 17) bytes at 250 kbit/s = 53*8/250000 s
+        t = CC2420.packet_airtime_s(36)
+        assert t == pytest.approx(53 * 8 / 250_000.0)
+
+    def test_tx_energy(self):
+        e = CC2420.tx_energy_mj(36)
+        assert e == pytest.approx(52.2 * CC2420.packet_airtime_s(36))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioProfile("bad", -1.0, 1.0, 1.0, 1.0, 250e3)
+        with pytest.raises(ValueError):
+            RadioProfile("bad", 1.0, 1.0, 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            CC2420.packet_airtime_s(-1)
+
+
+class TestOccupancy:
+    def test_fractions_sum_to_one(self):
+        radio = DutyCycledRadio(CC2420, listen_duty_cycle=0.02)
+        occ = radio.occupancy(tx_packets_per_s=1.0, rx_packets_per_s=2.0)
+        assert occ.total() == pytest.approx(1.0)
+
+    def test_idle_radio_sleeps_mostly(self):
+        radio = DutyCycledRadio(CC2420, listen_duty_cycle=0.01)
+        occ = radio.occupancy(0.0, 0.0)
+        assert occ.sleep == pytest.approx(0.99)
+        assert occ.listen == pytest.approx(0.01)
+        assert occ.tx == 0.0
+
+    def test_average_power_between_sleep_and_rx(self):
+        radio = DutyCycledRadio(CC2420, listen_duty_cycle=0.01)
+        p = radio.average_power_mw(0.5, 0.5)
+        assert CC2420.sleep_mw < p < CC2420.rx_mw
+
+    def test_duty_cycle_dominates_idle_power(self):
+        lazy = DutyCycledRadio(CC2420, listen_duty_cycle=0.001)
+        eager = DutyCycledRadio(CC2420, listen_duty_cycle=0.5)
+        assert eager.average_power_mw(0.0, 0.0) > 100 * lazy.average_power_mw(
+            0.0, 0.0
+        )
+
+    def test_saturation_rejected(self):
+        radio = DutyCycledRadio(CC2420)
+        too_fast = 2.0 * radio.max_packet_rate()
+        with pytest.raises(ValueError, match="capacity"):
+            radio.occupancy(too_fast, 0.0)
+
+    def test_energy_scales_with_duration(self):
+        radio = DutyCycledRadio(CC2420)
+        assert radio.energy_joules(1.0, 1.0, 200.0) == pytest.approx(
+            2.0 * radio.energy_joules(1.0, 1.0, 100.0)
+        )
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DutyCycledRadio(CC2420).occupancy(-1.0, 0.0)
+
+    def test_bad_duty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            DutyCycledRadio(CC2420, listen_duty_cycle=1.5)
