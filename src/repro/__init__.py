@@ -26,6 +26,9 @@ Subpackages
 - :mod:`repro.markov` — CTMC/DTMC numerics and queueing closed forms.
 - :mod:`repro.des` — the discrete-event kernel (events, RNG streams,
   distributions, output statistics, replications).
+- :mod:`repro.sweep` — batched parameter sweeps: rate grids, a
+  rebinding sweep runner with optional multiprocessing fan-out, result
+  tables (also via ``python -m repro sweep``).
 - :mod:`repro.workload` — open/closed/MMPP/trace workload generators.
 - :mod:`repro.wsn` — sensor-node context: power profiles, radio, battery,
   network lifetime.

@@ -88,15 +88,25 @@ class PetriCPUResult:
         return self.raw.throughput("SR")
 
 
-def build_cpu_net(params: CPUModelParams) -> PetriNet:
-    """Construct the Figure 3 EDSPN for the given parameters."""
+def build_cpu_net(
+    params: CPUModelParams, buffer_capacity: Optional[int] = None
+) -> PetriNet:
+    """Construct the Figure 3 EDSPN for the given parameters.
+
+    ``buffer_capacity`` optionally bounds ``CPU_Buffer`` (capacity
+    semantics: arrivals block while the buffer is full).  The paper's net
+    is open/unbounded — simulation handles that fine — but reachability
+    analysis and CTMC export need a finite state space, so the analytical
+    variants (e.g. :func:`repro.sweep.nets.build_cpu_gspn_net`) pass a
+    bound here.
+    """
     T = max(params.power_down_threshold, _MIN_DELAY)
     D = max(params.power_up_delay, _MIN_DELAY)
 
     net = PetriNet("cpu_fig3")
     net.add_place("P0", initial=1)
     net.add_place("P1")
-    net.add_place("CPU_Buffer")
+    net.add_place("CPU_Buffer", capacity=buffer_capacity)
     net.add_place("P6")
     net.add_place("Stand_By", initial=1)
     net.add_place("Power_Up")

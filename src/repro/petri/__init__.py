@@ -57,7 +57,7 @@ from repro.petri.analysis import (
     ReachabilityOptions,
     explore_reachability,
 )
-from repro.petri.ctmc_export import ctmc_from_net
+from repro.petri.ctmc_export import GSPNSolution, GSPNSolver, ctmc_from_net
 from repro.petri.dot_export import to_dot
 from repro.petri.invariants import (
     incidence_matrix,
@@ -71,6 +71,8 @@ from repro.petri.pnml import from_pnml, load_pnml, save_pnml, to_pnml
 __all__ = [
     "Arc",
     "ArcKind",
+    "GSPNSolution",
+    "GSPNSolver",
     "ImmediateTransition",
     "Marking",
     "MemoryPolicy",

@@ -11,6 +11,16 @@ module performs the classical reduction:
 3. assemble the tangible-to-tangible rate matrix and wrap it in a
    :class:`repro.markov.ctmc.CTMC`.
 
+The reduction is split into two phases because the reachability graph — and
+the vanishing-marking elimination, which depends only on immediate weights —
+is *rate-independent*: an exponential transition's rate never affects which
+markings are reachable, only how fast the chain moves between them.
+:class:`GSPNSolver` exploits that by exploring once and caching a sparse
+*rate template* of the tangible generator; :meth:`GSPNSolver.solve` then
+re-binds new rates and assembles a fresh CTMC in ``O(nnz)`` instead of
+re-running the whole exploration.  This is what makes parameter sweeps
+(:mod:`repro.sweep`) orders of magnitude cheaper than pointwise reduction.
+
 This is how the library validates its own simulator: for any GSPN both the
 token game and the CTMC must agree on steady-state token averages, and for
 textbook nets (M/M/1/K, machine-repair) the CTMC must agree with queueing
@@ -19,12 +29,13 @@ closed forms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
+from scipy import sparse
 
-from repro.markov.ctmc import CTMC
+from repro.markov.ctmc import CTMC, SPARSE_AUTO_THRESHOLD
 from repro.petri.analysis import (
     ReachabilityGraph,
     ReachabilityOptions,
@@ -34,21 +45,47 @@ from repro.petri.marking import Marking
 from repro.petri.net import NetStructureError, PetriNet
 from repro.petri.transitions import TimedTransition
 
-__all__ = ["GSPNSolution", "ctmc_from_net"]
+__all__ = ["GSPNSolution", "GSPNSolver", "ctmc_from_net"]
 
 
 @dataclass
 class GSPNSolution:
-    """A solved GSPN: the CTMC plus marking bookkeeping."""
+    """A solved GSPN: the CTMC plus marking bookkeeping.
+
+    ``rates`` maps each exponential transition name to the rate the chain
+    was assembled with (the net's own rates, unless they were re-bound via
+    :meth:`GSPNSolver.solve`).  The steady-state vector is solved once and
+    cached — every query method reuses it.
+    """
 
     ctmc: CTMC
     tangible_markings: List[Marking]
     initial_distribution: np.ndarray
     graph: ReachabilityGraph
+    rates: Dict[str, float] = field(default_factory=dict)
+    _pi: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _enabled_rows: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            compiled = self.graph.net.compile()
+            self.rates = {
+                t.name: t.rate
+                for t in compiled.transitions
+                if isinstance(t, TimedTransition) and t.is_exponential
+            }
+
+    def _pi_vector(self) -> np.ndarray:
+        """The stationary vector, solved once per solution instance."""
+        if self._pi is None:
+            self._pi = self.ctmc.steady_state()
+        return self._pi
 
     def steady_state(self) -> Dict[Marking, float]:
         """Stationary probability per tangible marking."""
-        pi = self.ctmc.steady_state()
+        pi = self._pi_vector()
         return {m: float(pi[i]) for i, m in enumerate(self.tangible_markings)}
 
     def mean_tokens(self, place: str) -> float:
@@ -57,13 +94,13 @@ class GSPNSolution:
         This is the analytical counterpart of the simulator's time-averaged
         token statistic.
         """
-        pi = self.ctmc.steady_state()
+        pi = self._pi_vector()
         counts = np.array([m[place] for m in self.tangible_markings], dtype=float)
         return float(pi @ counts)
 
     def probability_positive(self, place: str) -> float:
         """Steady-state probability that *place* is non-empty."""
-        pi = self.ctmc.steady_state()
+        pi = self._pi_vector()
         indicator = np.array(
             [1.0 if m[place] >= 1 else 0.0 for m in self.tangible_markings]
         )
@@ -76,23 +113,214 @@ class GSPNSolution:
             ti = graph.transition_names.index(transition)
         except ValueError:
             raise KeyError(f"unknown transition {transition!r}") from None
-        trans = graph.net.compile().transitions[ti]
+        compiled = graph.net.compile()
+        trans = compiled.transitions[ti]
         if not isinstance(trans, TimedTransition) or not trans.is_exponential:
             raise ValueError(f"{transition!r} is not an exponential transition")
-        rate = trans.rate
-        pi = self.ctmc.steady_state()
-        compiled = graph.net.compile()
-        total = 0.0
-        for i, m in enumerate(self.tangible_markings):
-            if compiled.enabled(ti, m.counts):
-                total += float(pi[i]) * rate
-        return total
+        rate = self.rates[transition]
+        pi = self._pi_vector()
+        enabled = self._enabled_rows.get(transition)
+        if enabled is None:
+            enabled = np.array(
+                [
+                    1.0 if compiled.enabled(ti, m.counts) else 0.0
+                    for m in self.tangible_markings
+                ]
+            )
+            self._enabled_rows[transition] = enabled
+        return float(pi @ enabled) * rate
+
+    def accumulated_reward(
+        self, rewards: Mapping[Marking, float] | np.ndarray, t: float, **kwargs
+    ) -> float:
+        """Expected accumulated reward over ``[0, t]`` from the net's
+        initial marking (see :meth:`repro.markov.ctmc.CTMC.accumulated_reward`)."""
+        return self.ctmc.accumulated_reward(
+            self.initial_distribution, rewards, t, **kwargs
+        )
+
+
+class GSPNSolver:
+    """Explore a GSPN once; solve it for arbitrary exponential rates.
+
+    The expensive, rate-independent work — reachability exploration,
+    vanishing-marking absorption, and the sparse sparsity pattern of the
+    tangible generator — happens in the constructor.  Each :meth:`solve`
+    call then costs one ``O(nnz)`` assembly plus the linear-algebra solve,
+    which is what a parameter sweep amortises.
+
+    Parameters
+    ----------
+    net:
+        An exponential-only net (every timed transition ``Exponential``).
+    options:
+        Reachability exploration limits.
+
+    Raises
+    ------
+    NetStructureError
+        If any timed transition is non-exponential, the state space is not
+        finite within ``options.max_markings``, or vanishing markings form
+        a zero-time livelock.
+    """
+
+    def __init__(
+        self, net: PetriNet, options: ReachabilityOptions = ReachabilityOptions()
+    ) -> None:
+        compiled = net.compile()
+        for t in compiled.transitions:
+            if isinstance(t, TimedTransition) and not t.is_exponential:
+                raise NetStructureError(
+                    f"transition {t.name!r} is {type(t.distribution).__name__}; "
+                    "CTMC export needs all timed transitions exponential "
+                    "(use the simulator, or the phase-type expansion in "
+                    "repro.core.phase_type, for deterministic delays)"
+                )
+
+        graph = explore_reachability(net, options)
+        if not graph.complete:
+            raise NetStructureError(
+                f"state space exceeded {options.max_markings} markings; "
+                "the net appears unbounded"
+            )
+
+        tangible = graph.tangible_indices()
+        if not tangible:
+            raise NetStructureError("no tangible markings (pure zero-time net)")
+        t_pos = {m: i for i, m in enumerate(tangible)}
+        absorption = graph.vanishing_absorption()
+
+        self.net = net
+        self.graph = graph
+        self.markings = [graph.markings[i] for i in tangible]
+        self.n = len(tangible)
+
+        # ---- rate template: Q_offdiag[row, col] = sum coeff * rate[t] ---- #
+        rows: List[int] = []
+        cols: List[int] = []
+        t_idx: List[int] = []
+        coeff: List[float] = []
+        for row, mi in enumerate(tangible):
+            for e in graph.edges_out[mi]:
+                trans = compiled.transitions[e.transition_index]
+                assert isinstance(trans, TimedTransition)
+                if graph.tangible[e.target]:
+                    if e.target != mi:
+                        rows.append(row)
+                        cols.append(t_pos[e.target])
+                        t_idx.append(e.transition_index)
+                        coeff.append(1.0)
+                else:
+                    for tm, p in absorption[e.target].items():
+                        if tm != mi:
+                            rows.append(row)
+                            cols.append(t_pos[tm])
+                            t_idx.append(e.transition_index)
+                            coeff.append(p)
+        self._rows = np.asarray(rows, dtype=np.intp)
+        self._cols = np.asarray(cols, dtype=np.intp)
+        self._t_idx = np.asarray(t_idx, dtype=np.intp)
+        self._coeff = np.asarray(coeff, dtype=np.float64)
+
+        # rate-independent initial distribution (absorption uses immediate
+        # weights only)
+        init = np.zeros(self.n)
+        if graph.tangible[graph.initial_index]:
+            init[t_pos[graph.initial_index]] = 1.0
+        else:
+            for tm, p in absorption[graph.initial_index].items():
+                init[t_pos[tm]] += p
+        self._init = init
+
+        self._exp_names: Dict[str, int] = {
+            t.name: i
+            for i, t in enumerate(compiled.transitions)
+            if isinstance(t, TimedTransition) and t.is_exponential
+        }
+        self._base_rates = np.zeros(len(compiled.transitions))
+        for name, i in self._exp_names.items():
+            self._base_rates[i] = compiled.transitions[i].rate
+
+    @property
+    def exponential_transitions(self) -> List[str]:
+        """Names of the transitions whose rates :meth:`solve` can re-bind."""
+        return list(self._exp_names)
+
+    def _rate_vector(self, rates: Optional[Mapping[str, float]]) -> np.ndarray:
+        vec = self._base_rates.copy()
+        if rates:
+            for name, rate in rates.items():
+                if name not in self._exp_names:
+                    raise KeyError(
+                        f"{name!r} is not an exponential transition of the net "
+                        f"(have: {sorted(self._exp_names)})"
+                    )
+                if not (rate > 0.0 and np.isfinite(rate)):
+                    raise ValueError(
+                        f"rate for {name!r} must be finite and > 0, got {rate}"
+                    )
+                vec[self._exp_names[name]] = float(rate)
+        return vec
+
+    def assemble_generator(
+        self, rates: Optional[Mapping[str, float]] = None
+    ) -> sparse.csr_matrix:
+        """The tangible CSR generator under *rates* (defaults to the net's)."""
+        return self._assemble(self._rate_vector(rates))
+
+    def _assemble(self, rate_vec: np.ndarray) -> sparse.csr_matrix:
+        data = self._coeff * rate_vec[self._t_idx]
+        off = sparse.coo_matrix(
+            (data, (self._rows, self._cols)), shape=(self.n, self.n)
+        ).tocsr()
+        exit_rates = np.asarray(off.sum(axis=1)).ravel()
+        return (off - sparse.diags(exit_rates)).tocsr()
+
+    def solve(
+        self,
+        rates: Optional[Mapping[str, float]] = None,
+        backend: str = "auto",
+    ) -> GSPNSolution:
+        """Assemble and wrap the CTMC for *rates* (no re-exploration).
+
+        Parameters
+        ----------
+        rates:
+            ``{transition name: new exponential rate}`` overrides; omitted
+            transitions keep the rate from the net definition.
+        backend:
+            CTMC backend (``"auto"``/``"dense"``/``"sparse"``); ``"auto"``
+            goes sparse past :data:`~repro.markov.ctmc.SPARSE_AUTO_THRESHOLD`
+            states.
+        """
+        rate_vec = self._rate_vector(rates)
+        Q = self._assemble(rate_vec)
+        if backend == "dense" or (
+            backend == "auto" and self.n <= SPARSE_AUTO_THRESHOLD
+        ):
+            ctmc = CTMC(Q.toarray(), labels=self.markings, backend="dense")
+        else:
+            ctmc = CTMC(Q, labels=self.markings, backend=backend)
+        effective = {name: float(rate_vec[i]) for name, i in self._exp_names.items()}
+        return GSPNSolution(
+            ctmc=ctmc,
+            tangible_markings=self.markings,
+            initial_distribution=self._init.copy(),
+            graph=self.graph,
+            rates=effective,
+        )
 
 
 def ctmc_from_net(
-    net: PetriNet, options: ReachabilityOptions = ReachabilityOptions()
+    net: PetriNet,
+    options: ReachabilityOptions = ReachabilityOptions(),
+    backend: str = "auto",
 ) -> GSPNSolution:
     """Reduce an exponential-only net to a CTMC over tangible markings.
+
+    One-shot convenience over :class:`GSPNSolver`; when solving the same
+    net structure for many rate points, build a ``GSPNSolver`` once and
+    call :meth:`GSPNSolver.solve` per point instead.
 
     Raises
     ------
@@ -101,59 +329,4 @@ def ctmc_from_net(
         finite within ``options.max_markings``, or vanishing markings form a
         zero-time livelock.
     """
-    compiled = net.compile()
-    for t in compiled.transitions:
-        if isinstance(t, TimedTransition) and not t.is_exponential:
-            raise NetStructureError(
-                f"transition {t.name!r} is {type(t.distribution).__name__}; "
-                "CTMC export needs all timed transitions exponential "
-                "(use the simulator, or the phase-type expansion in "
-                "repro.core.phase_type, for deterministic delays)"
-            )
-
-    graph = explore_reachability(net, options)
-    if not graph.complete:
-        raise NetStructureError(
-            f"state space exceeded {options.max_markings} markings; "
-            "the net appears unbounded"
-        )
-
-    tangible = graph.tangible_indices()
-    if not tangible:
-        raise NetStructureError("no tangible markings (pure zero-time net)")
-    t_pos = {m: i for i, m in enumerate(tangible)}
-    absorption = graph.vanishing_absorption()
-
-    n = len(tangible)
-    Q = np.zeros((n, n))
-    for row, mi in enumerate(tangible):
-        for e in graph.edges_out[mi]:
-            trans = compiled.transitions[e.transition_index]
-            assert isinstance(trans, TimedTransition)
-            rate = trans.rate
-            if graph.tangible[e.target]:
-                if e.target != mi:
-                    Q[row, t_pos[e.target]] += rate
-            else:
-                for tm, p in absorption[e.target].items():
-                    if tm != mi:
-                        Q[row, t_pos[tm]] += rate * p
-    np.fill_diagonal(Q, 0.0)
-    np.fill_diagonal(Q, -Q.sum(axis=1))
-
-    markings = [graph.markings[i] for i in tangible]
-    ctmc = CTMC(Q, labels=markings)
-
-    init = np.zeros(n)
-    if graph.tangible[graph.initial_index]:
-        init[t_pos[graph.initial_index]] = 1.0
-    else:
-        for tm, p in absorption[graph.initial_index].items():
-            init[t_pos[tm]] += p
-
-    return GSPNSolution(
-        ctmc=ctmc,
-        tangible_markings=markings,
-        initial_distribution=init,
-        graph=graph,
-    )
+    return GSPNSolver(net, options).solve(backend=backend)

@@ -1,0 +1,45 @@
+"""Batched parameter sweeps over GSPN energy models.
+
+The paper's headline results are all *sweeps* — duty cycles, arrival and
+service rates, thresholds — evaluated over the same net structure.  This
+package makes those sweeps cheap:
+
+- :class:`~repro.sweep.grid.SweepGrid` — cartesian grids of named rate
+  axes, buildable from compact CLI specs (``AR=0.1:2.0:10``);
+- :class:`~repro.sweep.runner.SweepRunner` — explores the net's
+  reachability graph **once** (via
+  :class:`repro.petri.ctmc_export.GSPNSolver`), then re-binds rates and
+  re-solves per grid point, optionally fanning points out over a process
+  pool;
+- :class:`~repro.sweep.results.SweepResult` — a row-per-point table with
+  ASCII rendering, CSV export, and argmin/argmax queries;
+- :mod:`~repro.sweep.nets` — demo nets (M/M/1/K, the exponentialised
+  Figure 3 CPU) wired into ``repro-experiments sweep``.
+
+Quick example::
+
+    from repro.sweep import SweepGrid, SweepRunner
+    from repro.sweep.nets import build_mm1k_net
+
+    runner = SweepRunner(build_mm1k_net(), ["mean_tokens:queue"])
+    result = runner.run(SweepGrid({"arrive": [0.5, 1.0, 1.5]}))
+    print(result.render(title="M/M/1/K arrival-rate sweep"))
+"""
+
+from repro.sweep.grid import SweepGrid, parse_axis
+from repro.sweep.nets import DEMO_NETS, build_cpu_gspn_net, build_mm1k_net
+from repro.sweep.results import SweepResult
+from repro.sweep.runner import Metric, SweepRunner, evaluate_metric, metric_name
+
+__all__ = [
+    "DEMO_NETS",
+    "Metric",
+    "SweepGrid",
+    "SweepResult",
+    "SweepRunner",
+    "build_cpu_gspn_net",
+    "build_mm1k_net",
+    "evaluate_metric",
+    "metric_name",
+    "parse_axis",
+]

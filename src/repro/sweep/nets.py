@@ -1,0 +1,82 @@
+"""Demo GSPNs for the sweep CLI and examples.
+
+Two exponential-only seed nets:
+
+- ``mm1k`` — the M/M/1/K queue as a two-place net (the same net the CTMC
+  export is validated against in the test suite), scaled up so sweeps have
+  a non-trivial state space;
+- ``cpu-gspn`` — the paper's Figure 3 CPU net with its two deterministic
+  transitions (PDT, PUT) replaced by exponentials of the same mean.  This
+  is the "naive Markov" baseline (Erlang-1 phase-type) of the paper's
+  Section 4.1 discussion: solvable exactly as a GSPN, so rate sweeps over
+  arrival/service/threshold rates run through the batched analytical path.
+
+Each registry entry carries default sweep metrics so the CLI can run a
+meaningful sweep with nothing but ``--net`` and ``--rate``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.des.distributions import Exponential
+from repro.petri.net import PetriNet
+from repro.petri.transitions import TimedTransition
+
+__all__ = ["build_mm1k_net", "build_cpu_gspn_net", "DEMO_NETS"]
+
+
+def build_mm1k_net(lam: float = 1.0, mu: float = 2.0, K: int = 40) -> PetriNet:
+    """M/M/1/K as a GSPN: ``free`` seats and a ``queue`` place."""
+    net = PetriNet("mm1k")
+    net.add_place("free", initial=K)
+    net.add_place("queue")
+    net.add_timed_transition("arrive", Exponential(lam))
+    net.add_input_arc("free", "arrive")
+    net.add_output_arc("arrive", "queue")
+    net.add_timed_transition("serve", Exponential(mu))
+    net.add_input_arc("queue", "serve")
+    net.add_output_arc("serve", "free")
+    return net
+
+
+def build_cpu_gspn_net(
+    params: Optional[CPUModelParams] = None, buffer_capacity: int = 25
+) -> PetriNet:
+    """Figure 3 CPU net with deterministic delays made exponential.
+
+    PDT's constant idle threshold ``T`` becomes ``Exponential(1/T)`` and
+    PUT's constant wake-up delay ``D`` becomes ``Exponential(1/D)`` — the
+    Erlang-1 approximation.  The result is exponential-only, hence exactly
+    solvable via :class:`repro.petri.ctmc_export.GSPNSolver`, and its
+    ``PDT``/``PUT`` rates are sweepable axes (sweeping ``PDT``'s rate is
+    sweeping the *mean* power-down threshold ``1/rate``).  ``CPU_Buffer``
+    is bounded at *buffer_capacity* so the reachability graph is finite.
+    """
+    if params is None:
+        params = CPUModelParams.paper_defaults(T=0.3, D=0.001)
+    net = build_cpu_net(params, buffer_capacity=buffer_capacity)
+    # swap the two deterministic timers before the net is ever compiled
+    for name, mean in (
+        ("PDT", max(params.power_down_threshold, 1e-9)),
+        ("PUT", max(params.power_up_delay, 1e-9)),
+    ):
+        trans = net.transition(name)
+        assert isinstance(trans, TimedTransition)
+        trans.distribution = Exponential(1.0 / mean)
+    return net
+
+
+#: name -> (net factory, default sweep metrics)
+DEMO_NETS: Dict[str, Tuple[Callable[[], PetriNet], Tuple[str, ...]]] = {
+    "mm1k": (
+        build_mm1k_net,
+        ("mean_tokens:queue", "probability_positive:queue", "throughput:serve"),
+    ),
+    "cpu-gspn": (
+        build_cpu_gspn_net,
+        ("mean_tokens:Active", "mean_tokens:Stand_By", "throughput:SR"),
+    ),
+}

@@ -1,0 +1,82 @@
+"""Sweep result tables.
+
+A :class:`SweepResult` is a small column-oriented table: one row per grid
+point, axis columns first, then one column per metric.  It renders as the
+repo's usual ASCII table, exports CSV, and supports simple queries
+(``column``, ``best``) so experiments can post-process sweeps without a
+dataframe dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["SweepResult"]
+
+
+@dataclass
+class SweepResult:
+    """One solved sweep: grid points plus metric values, row-aligned."""
+
+    axis_names: List[str]
+    metric_names: List[str]
+    points: List[Dict[str, float]]
+    values: List[Dict[str, float]]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.values):
+            raise ValueError("points and values must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def columns(self) -> List[str]:
+        return self.axis_names + self.metric_names
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Merged ``{axis: value, metric: value}`` dicts, one per point."""
+        return [{**p, **v} for p, v in zip(self.points, self.values)]
+
+    def column(self, name: str) -> np.ndarray:
+        """One axis or metric column as a float array."""
+        if name in self.axis_names:
+            return np.array([p[name] for p in self.points])
+        if name in self.metric_names:
+            return np.array([v[name] for v in self.values])
+        raise KeyError(f"unknown column {name!r} (have {self.columns})")
+
+    def best(self, metric: str, minimize: bool = True) -> Dict[str, float]:
+        """The row optimising *metric* (ties broken by enumeration order)."""
+        col = self.column(metric)
+        if metric not in self.metric_names:
+            raise KeyError(f"{metric!r} is not a metric column")
+        idx = int(np.argmin(col) if minimize else np.argmax(col))
+        return self.rows()[idx]
+
+    def render(self, title: str = "", float_fmt: str = "{:.6g}") -> str:
+        """ASCII table of the whole sweep."""
+        rows = [
+            [row[c] for c in self.columns] for row in self.rows()
+        ]
+        return format_table(self.columns, rows, title=title, float_fmt=float_fmt)
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        """Write the table to *path* (or ``<path>/sweep.csv`` if a directory)."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / "sweep.csv"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            for row in self.rows():
+                writer.writerow([repr(float(row[c])) for c in self.columns])
+        return path

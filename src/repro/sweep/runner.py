@@ -1,0 +1,179 @@
+"""Batched parameter sweeps over GSPNs.
+
+:class:`SweepRunner` amortises the expensive, rate-independent half of the
+GSPN→CTMC reduction (reachability exploration, vanishing-marking
+elimination, sparsity pattern) across every point of a rate grid: the
+:class:`~repro.petri.ctmc_export.GSPNSolver` template is built once, and
+each grid point costs only a sparse re-assembly plus the steady-state
+solve.  For a P-point sweep over an n-state net this replaces P graph
+explorations with one — the speedup :mod:`benchmarks.bench_sweep`
+measures.
+
+Metrics are either callables ``GSPNSolution -> float`` or compact strings::
+
+    mean_tokens:<place>             steady-state mean token count
+    probability_positive:<place>    P[place non-empty]
+    throughput:<transition>         firing rate of an exponential transition
+
+Optional multiprocessing fan-out (``n_workers > 1``) distributes points
+over a process pool; the template is shipped to each worker once via the
+pool initializer.  Results are identical to, and ordered like, the serial
+path; on platforms where the template cannot be pickled the runner falls
+back to serial execution.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.petri.analysis import ReachabilityOptions
+from repro.petri.ctmc_export import GSPNSolution, GSPNSolver
+from repro.petri.net import PetriNet
+from repro.sweep.grid import SweepGrid
+from repro.sweep.results import SweepResult
+
+__all__ = ["Metric", "SweepRunner", "evaluate_metric", "metric_name"]
+
+Metric = Union[str, Callable[[GSPNSolution], float]]
+
+_METRIC_KINDS = ("mean_tokens", "probability_positive", "throughput")
+
+
+def metric_name(metric: Metric, index: int = 0) -> str:
+    """Column name for *metric* in result tables."""
+    if isinstance(metric, str):
+        return metric
+    return getattr(metric, "__name__", None) or f"metric{index}"
+
+
+def evaluate_metric(solution: GSPNSolution, metric: Metric) -> float:
+    """Evaluate one metric spec against a solved GSPN."""
+    if callable(metric):
+        return float(metric(solution))
+    kind, sep, arg = metric.partition(":")
+    if not sep or kind not in _METRIC_KINDS or not arg:
+        raise ValueError(
+            f"metric spec must be '<kind>:<name>' with kind in "
+            f"{_METRIC_KINDS}, got {metric!r}"
+        )
+    return float(getattr(solution, kind)(arg))
+
+
+# -- process-pool plumbing: the template lands in each worker exactly once --
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _init_worker(solver: GSPNSolver, metrics: Sequence[Metric], backend: str) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (solver, list(metrics), backend)
+
+
+def _solve_point(point: Mapping[str, float]) -> List[float]:
+    assert _WORKER_STATE is not None, "worker used before initialisation"
+    solver, metrics, backend = _WORKER_STATE
+    solution = solver.solve(rates=point, backend=backend)
+    return [evaluate_metric(solution, m) for m in metrics]
+
+
+class SweepRunner:
+    """Solve one GSPN across a grid of exponential rates.
+
+    Parameters
+    ----------
+    net:
+        Exponential-only Petri net (explored once, in the constructor).
+    metrics:
+        Metric specs (strings or callables); one result column each.
+    options:
+        Reachability exploration limits.
+    backend:
+        CTMC backend forwarded to every solve (``"auto"`` by default).
+    n_workers:
+        ``None``/``0``/``1`` solves serially; ``>= 2`` fans points out over
+        a process pool of that size.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        metrics: Sequence[Metric],
+        options: ReachabilityOptions = ReachabilityOptions(),
+        backend: str = "auto",
+        n_workers: Optional[int] = None,
+    ) -> None:
+        if not metrics:
+            raise ValueError("at least one metric is required")
+        self.solver = GSPNSolver(net, options)
+        self.metrics = list(metrics)
+        self.metric_names = [metric_name(m, i) for i, m in enumerate(self.metrics)]
+        if len(set(self.metric_names)) != len(self.metric_names):
+            raise ValueError(f"duplicate metric names: {self.metric_names}")
+        self.backend = backend
+        self.n_workers = n_workers
+
+    def _check_axes(self, names: Iterable[str]) -> None:
+        known = set(self.solver.exponential_transitions)
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            raise KeyError(
+                f"grid axes {unknown} are not exponential transitions of the "
+                f"net (have: {sorted(known)})"
+            )
+
+    def run(
+        self, grid: Union[SweepGrid, Iterable[Mapping[str, float]]]
+    ) -> SweepResult:
+        """Solve every grid point and tabulate the metrics."""
+        if isinstance(grid, SweepGrid):
+            axis_names = grid.names
+            points = grid.points()
+        else:
+            points = [dict(p) for p in grid]
+            axis_names = list(points[0]) if points else []
+        if not points:
+            raise ValueError("empty sweep grid")
+        self._check_axes(axis_names)
+
+        if self.n_workers and self.n_workers > 1 and len(points) > 1:
+            values = self._run_parallel(points)
+        else:
+            values = self._run_serial(points)
+        return SweepResult(
+            axis_names=axis_names,
+            metric_names=list(self.metric_names),
+            points=[{k: float(v) for k, v in p.items()} for p in points],
+            values=[dict(zip(self.metric_names, row)) for row in values],
+        )
+
+    def solve_point(self, point: Mapping[str, float]) -> GSPNSolution:
+        """Solve a single grid point (for ad-hoc inspection)."""
+        return self.solver.solve(rates=point, backend=self.backend)
+
+    def _run_serial(self, points: Sequence[Mapping[str, float]]) -> List[List[float]]:
+        rows: List[List[float]] = []
+        for point in points:
+            solution = self.solver.solve(rates=point, backend=self.backend)
+            rows.append([evaluate_metric(solution, m) for m in self.metrics])
+        return rows
+
+    def _run_parallel(self, points: Sequence[Mapping[str, float]]) -> List[List[float]]:
+        assert self.n_workers is not None
+        workers = min(self.n_workers, len(points))
+        chunk = max(1, len(points) // (4 * workers))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.solver, self.metrics, self.backend),
+            ) as pool:
+                return [list(row) for row in pool.map(
+                    _solve_point, points, chunksize=chunk
+                )]
+        except (BrokenProcessPool, pickle.PicklingError, OSError):
+            # the pool could not start or ship the template (e.g. unpicklable
+            # guards/metrics under a spawn start method) — degrade to serial;
+            # genuine per-point errors propagate with their own traceback
+            return self._run_serial(points)
