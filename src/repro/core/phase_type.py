@@ -26,17 +26,139 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
 
-from repro.core.params import CPUModelParams, StateFractions
+from repro.core.params import CPUModelParams, PowerProfile, StateFractions
+from repro.markov.ctmc import sparse_steady_state
 
-__all__ = ["PhaseTypeSolution", "PhaseTypeModel"]
+__all__ = [
+    "PhaseTypeSolution",
+    "PhaseTypeModel",
+    "RATE_ARRIVAL",
+    "RATE_SERVICE",
+    "RATE_POWERUP_STAGE",
+    "RATE_IDLE_STAGE",
+    "build_stage_structure",
+    "stage_rate_vector",
+    "state_power_vector",
+]
 
 State = Tuple
+
+#: Symbolic rate slots of the stage-expanded chain: bind concrete values
+#: with ``rate_vec = [lam, mu, k_d / D, k_t / T]`` and ``rate_vec[rate_ids]``.
+RATE_ARRIVAL, RATE_SERVICE, RATE_POWERUP_STAGE, RATE_IDLE_STAGE = range(4)
+
+
+def build_stage_structure(
+    k_d: int,
+    k_t: int,
+    n_max: int,
+    has_powerup: bool = True,
+    has_idle: bool = True,
+) -> Tuple[List[State], Dict[State, int], np.ndarray, np.ndarray, np.ndarray]:
+    """Rate-independent skeleton of the Erlang-stage CPU chain.
+
+    Returns ``(states, index, rows, cols, rate_ids)``: the state list, its
+    position index, and COO triplets whose data slot is a *symbolic* rate id
+    (one of the ``RATE_*`` constants) rather than a number.  The sparsity
+    pattern depends only on the stage counts and the truncation level, never
+    on the rates, so one structure serves every point of a parameter sweep
+    — bind a concrete generator with ``rate_vec[rate_ids]``.
+    """
+    states: List[State] = [("standby",)]
+    if has_powerup:
+        for j in range(1, k_d + 1):
+            for n in range(1, n_max + 1):
+                states.append(("powerup", j, n))
+    for n in range(1, n_max + 1):
+        states.append(("busy", n))
+    if has_idle:
+        for i in range(1, k_t + 1):
+            states.append(("idle", i))
+    index = {s: i for i, s in enumerate(states)}
+
+    rows: List[int] = []
+    cols: List[int] = []
+    ids: List[int] = []
+
+    def add(src: State, dst: State, rate_id: int) -> None:
+        rows.append(index[src])
+        cols.append(index[dst])
+        ids.append(rate_id)
+
+    # standby: an arrival wakes the CPU
+    first_after_sleep: State = ("powerup", 1, 1) if has_powerup else ("busy", 1)
+    add(("standby",), first_after_sleep, RATE_ARRIVAL)
+
+    if has_powerup:
+        for j in range(1, k_d + 1):
+            for n in range(1, n_max + 1):
+                if n < n_max:
+                    add(("powerup", j, n), ("powerup", j, n + 1), RATE_ARRIVAL)
+                if j < k_d:
+                    add(("powerup", j, n), ("powerup", j + 1, n), RATE_POWERUP_STAGE)
+                else:
+                    add(("powerup", j, n), ("busy", n), RATE_POWERUP_STAGE)
+
+    for n in range(1, n_max + 1):
+        if n < n_max:
+            add(("busy", n), ("busy", n + 1), RATE_ARRIVAL)
+        if n >= 2:
+            add(("busy", n), ("busy", n - 1), RATE_SERVICE)
+        else:
+            after_empty: State = ("idle", 1) if has_idle else ("standby",)
+            add(("busy", 1), after_empty, RATE_SERVICE)
+
+    if has_idle:
+        for i in range(1, k_t + 1):
+            add(("idle", i), ("busy", 1), RATE_ARRIVAL)
+            if i < k_t:
+                add(("idle", i), ("idle", i + 1), RATE_IDLE_STAGE)
+            else:
+                add(("idle", i), ("standby",), RATE_IDLE_STAGE)
+
+    return (
+        states,
+        index,
+        np.asarray(rows, dtype=np.intp),
+        np.asarray(cols, dtype=np.intp),
+        np.asarray(ids, dtype=np.intp),
+    )
+
+
+def stage_rate_vector(
+    params: CPUModelParams, k_d: int, k_t: int
+) -> np.ndarray:
+    """Concrete values for the four ``RATE_*`` slots under *params*.
+
+    The single source of truth for how CPU parameters bind to the stage
+    structure's symbolic slots (a zero delay zeroes its slot — the
+    matching state block is absent from the structure then).
+    """
+    D, T = params.power_up_delay, params.power_down_threshold
+    return np.array(
+        [
+            params.arrival_rate,
+            params.service_rate,
+            k_d / D if D > 0.0 else 0.0,
+            k_t / T if T > 0.0 else 0.0,
+        ]
+    )
+
+
+def state_power_vector(states: List[State], profile: PowerProfile) -> np.ndarray:
+    """Per-state power draw (mW) over a stage-structure state list."""
+    by_kind = {
+        "standby": profile.standby_mw,
+        "powerup": profile.powerup_mw,
+        "busy": profile.active_mw,
+        "idle": profile.idle_mw,
+    }
+    return np.array([by_kind[s[0]] for s in states])
 
 
 @dataclass(frozen=True)
@@ -92,88 +214,42 @@ class PhaseTypeModel:
         self.n_max = int(n_max)
 
     # ------------------------------------------------------------------ #
+    @property
+    def _has_powerup(self) -> bool:
+        return self.params.power_up_delay > 0.0
+
+    @property
+    def _has_idle(self) -> bool:
+        return self.params.power_down_threshold > 0.0
+
     def _build_states(self) -> Tuple[List[State], Dict[State, int]]:
-        states: List[State] = [("standby",)]
-        T = self.params.power_down_threshold
-        D = self.params.power_up_delay
-        if D > 0.0:
-            for j in range(1, self.k_d + 1):
-                for n in range(1, self.n_max + 1):
-                    states.append(("powerup", j, n))
-        for n in range(1, self.n_max + 1):
-            states.append(("busy", n))
-        if T > 0.0:
-            for i in range(1, self.k_t + 1):
-                states.append(("idle", i))
-        return states, {s: i for i, s in enumerate(states)}
+        states, index, *_ = build_stage_structure(
+            self.k_d, self.k_t, self.n_max, self._has_powerup, self._has_idle
+        )
+        return states, index
 
-    def solve(self) -> PhaseTypeSolution:
-        """Assemble the sparse generator and solve ``pi Q = 0``."""
-        p = self.params
-        lam, mu = p.arrival_rate, p.service_rate
-        T, D = p.power_down_threshold, p.power_up_delay
-        has_pu = D > 0.0
-        has_idle = T > 0.0
-        rate_d = self.k_d / D if has_pu else 0.0
-        rate_t = self.k_t / T if has_idle else 0.0
-        n_max = self.n_max
+    def rate_vector(self) -> np.ndarray:
+        """Concrete rates for the ``RATE_*`` slots of the stage structure."""
+        return stage_rate_vector(self.params, self.k_d, self.k_t)
 
-        states, index = self._build_states()
+    def build_generator(self) -> Tuple[List[State], sparse.csr_matrix]:
+        """The states and sparse generator of the stage-expanded chain."""
+        states, _, rows, cols, rate_ids = build_stage_structure(
+            self.k_d, self.k_t, self.n_max, self._has_powerup, self._has_idle
+        )
         n_states = len(states)
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
-
-        def add(src: State, dst: State, rate: float) -> None:
-            rows.append(index[src])
-            cols.append(index[dst])
-            vals.append(rate)
-
-        # standby: an arrival wakes the CPU
-        first_after_sleep: State = ("powerup", 1, 1) if has_pu else ("busy", 1)
-        add(("standby",), first_after_sleep, lam)
-
-        if has_pu:
-            for j in range(1, self.k_d + 1):
-                for n in range(1, n_max + 1):
-                    if n < n_max:
-                        add(("powerup", j, n), ("powerup", j, n + 1), lam)
-                    if j < self.k_d:
-                        add(("powerup", j, n), ("powerup", j + 1, n), rate_d)
-                    else:
-                        add(("powerup", j, n), ("busy", n), rate_d)
-
-        for n in range(1, n_max + 1):
-            if n < n_max:
-                add(("busy", n), ("busy", n + 1), lam)
-            if n >= 2:
-                add(("busy", n), ("busy", n - 1), mu)
-            else:
-                after_empty: State = ("idle", 1) if has_idle else ("standby",)
-                add(("busy", 1), after_empty, mu)
-
-        if has_idle:
-            for i in range(1, self.k_t + 1):
-                add(("idle", i), ("busy", 1), lam)
-                if i < self.k_t:
-                    add(("idle", i), ("idle", i + 1), rate_t)
-                else:
-                    add(("idle", i), ("standby",), rate_t)
-
+        vals = self.rate_vector()[rate_ids]
         Q = sparse.coo_matrix(
             (vals, (rows, cols)), shape=(n_states, n_states)
         ).tocsr()
         out_rates = np.asarray(Q.sum(axis=1)).ravel()
-        Q = Q - sparse.diags(out_rates)
+        return states, (Q - sparse.diags(out_rates)).tocsr()
 
-        # pi Q = 0 with normalisation: replace the last column of Q^T
-        A = Q.transpose().tolil()
-        A[-1, :] = 1.0
-        b = np.zeros(n_states)
-        b[-1] = 1.0
-        pi = spsolve(A.tocsc(), b)
-        pi = np.clip(pi, 0.0, None)
-        pi /= pi.sum()
+    def solve(self) -> PhaseTypeSolution:
+        """Assemble the sparse generator and solve ``pi Q = 0``."""
+        states, Q = self.build_generator()
+        n_states = len(states)
+        pi, _ = sparse_steady_state(Q)
 
         idle = standby = powerup = active = 0.0
         mean_jobs = 0.0
@@ -202,8 +278,8 @@ class PhaseTypeModel:
             mean_jobs=mean_jobs,
             truncation_mass=trunc,
             n_states=n_states,
-            stages_powerup=self.k_d if has_pu else 0,
-            stages_idle=self.k_t if has_idle else 0,
+            stages_powerup=self.k_d if self._has_powerup else 0,
+            stages_idle=self.k_t if self._has_idle else 0,
         )
 
     def mean_latency(self) -> float:

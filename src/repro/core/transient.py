@@ -18,17 +18,15 @@ noise-free and fast enough to embed in design-space sweeps.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict
 
 import numpy as np
-from scipy import sparse
 from scipy.sparse.linalg import expm_multiply
 
 from repro.core.exact_renewal import ExactRenewalModel
 from repro.core.params import CPUModelParams, StateFractions
-from repro.core.phase_type import PhaseTypeModel
+from repro.core.phase_type import PhaseTypeModel, state_power_vector
 
 __all__ = ["TransientCurve", "TransientEnergyModel"]
 
@@ -77,82 +75,9 @@ class TransientEnergyModel:
     def __init__(self, params: CPUModelParams, stages: int = 16) -> None:
         self.params = params
         self.model = PhaseTypeModel(params, stages=stages)
-        self._states, self._index = self.model._build_states()
-        self._Q = self._build_generator()
-        self._power_vector = self._build_power_vector()
-
-    # ------------------------------------------------------------------ #
-    def _build_generator(self) -> sparse.csr_matrix:
-        """Reassemble the phase-type generator (sparse, reused per query)."""
-        # reuse PhaseTypeModel's construction logic by rebuilding the COO
-        # triplets; duplicated intentionally to keep the solver's internals
-        # private
-        p = self.params
-        lam, mu = p.arrival_rate, p.service_rate
-        T, D = p.power_down_threshold, p.power_up_delay
-        has_pu = D > 0.0
-        has_idle = T > 0.0
-        k_d, k_t = self.model.k_d, self.model.k_t
-        rate_d = k_d / D if has_pu else 0.0
-        rate_t = k_t / T if has_idle else 0.0
-        n_max = self.model.n_max
-        index = self._index
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
-
-        def add(src, dst, rate: float) -> None:
-            rows.append(index[src])
-            cols.append(index[dst])
-            vals.append(rate)
-
-        first: Tuple = ("powerup", 1, 1) if has_pu else ("busy", 1)
-        add(("standby",), first, lam)
-        if has_pu:
-            for j in range(1, k_d + 1):
-                for n in range(1, n_max + 1):
-                    if n < n_max:
-                        add(("powerup", j, n), ("powerup", j, n + 1), lam)
-                    if j < k_d:
-                        add(("powerup", j, n), ("powerup", j + 1, n), rate_d)
-                    else:
-                        add(("powerup", j, n), ("busy", n), rate_d)
-        for n in range(1, n_max + 1):
-            if n < n_max:
-                add(("busy", n), ("busy", n + 1), lam)
-            if n >= 2:
-                add(("busy", n), ("busy", n - 1), mu)
-            else:
-                add(("busy", 1), ("idle", 1) if has_idle else ("standby",), mu)
-        if has_idle:
-            for i in range(1, k_t + 1):
-                add(("idle", i), ("busy", 1), lam)
-                if i < k_t:
-                    add(("idle", i), ("idle", i + 1), rate_t)
-                else:
-                    add(("idle", i), ("standby",), rate_t)
-
-        n_states = len(self._states)
-        Q = sparse.coo_matrix(
-            (vals, (rows, cols)), shape=(n_states, n_states)
-        ).tocsr()
-        out = np.asarray(Q.sum(axis=1)).ravel()
-        return (Q - sparse.diags(out)).tocsr()
-
-    def _build_power_vector(self) -> np.ndarray:
-        profile = self.params.profile
-        power = np.empty(len(self._states))
-        for i, s in enumerate(self._states):
-            kind = s[0]
-            if kind == "standby":
-                power[i] = profile.standby_mw
-            elif kind == "powerup":
-                power[i] = profile.powerup_mw
-            elif kind == "busy":
-                power[i] = profile.active_mw
-            else:
-                power[i] = profile.idle_mw
-        return power
+        self._states, self._Q = self.model.build_generator()
+        self._index = {s: i for i, s in enumerate(self._states)}
+        self._power_vector = state_power_vector(self._states, params.profile)
 
     def _initial_distribution(self) -> np.ndarray:
         p0 = np.zeros(len(self._states))

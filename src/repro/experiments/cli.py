@@ -17,11 +17,21 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.core.params import CPUModelParams
 from repro.experiments.paper_experiments import EXPERIMENTS, ExperimentConfig
-from repro.sweep import DEMO_NETS, SweepGrid, SweepRunner
+from repro.sweep import (
+    BACKEND_NAMES,
+    DEMO_NETS,
+    PhaseTypeBackend,
+    RenewalBackend,
+    SweepGrid,
+    SweepRunner,
+)
+from repro.sweep.backends import resolve_cpu_axis
 
 __all__ = ["main", "build_parser"]
 
@@ -64,19 +74,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser(
         "sweep",
-        help="batched rate sweep over a demo GSPN (explores the net once)",
+        help="batched parameter sweep over a model backend",
         description=(
-            "Sweep exponential-transition rates over a grid and solve each "
-            "point analytically via the batched GSPN solver.  Example: "
+            "Sweep model parameters over a grid and solve each point "
+            "analytically through a batched model backend.  GSPN example: "
             "repro-experiments sweep --net cpu-gspn --rate AR=0.2:2.0:10 "
-            "--rate PDT=2,3.33 --metric mean_tokens:Stand_By"
+            "--rate PDT=2,3.33 --metric mean_tokens:Stand_By.  "
+            "Deterministic-delay (Figure 4/5-style) example: "
+            "repro-experiments sweep --model phase-type --rate T=0.1:2.0:20 "
+            "--metric fraction:standby --metric power --metric energy@10"
+        ),
+    )
+    sweep_p.add_argument(
+        "--model",
+        choices=sorted(BACKEND_NAMES),
+        default="gspn",
+        help=(
+            "model backend: 'gspn' re-binds exponential rates of --net; "
+            "'phase-type' stage-expands the deterministic-delay CPU model; "
+            "'renewal' is the exact closed form (default: gspn)"
         ),
     )
     sweep_p.add_argument(
         "--net",
         choices=sorted(DEMO_NETS),
-        default="cpu-gspn",
-        help="demo net to sweep (default: the exponentialised Figure 3 CPU)",
+        default=None,
+        help=(
+            "demo net to sweep under --model gspn "
+            "(default: the exponentialised Figure 3 CPU)"
+        ),
     )
     sweep_p.add_argument(
         "--rate",
@@ -85,18 +111,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUES",
         help=(
             "axis spec, repeatable: 'AR=0.1:2.0:10' (linspace), "
-            "'AR=0.1:10:5:log' (geomspace), 'AR=0.5,1,2', or 'AR=1.5'"
+            "'AR=0.1:10:5:log' (geomspace), 'AR=0.5,1,2', or 'AR=1.5'; "
+            "CPU-model axes accept AR/SR/T/D aliases"
         ),
     )
     sweep_p.add_argument(
         "--metric",
         action="append",
         default=None,
-        metavar="KIND:NAME",
+        metavar="SPEC",
         help=(
-            "metric column, repeatable: mean_tokens:<place>, "
-            "probability_positive:<place>, throughput:<transition> "
-            "(default: per-net defaults)"
+            "metric column, repeatable.  gspn: mean_tokens:<place>, "
+            "probability_positive:<place>, throughput:<transition>; "
+            "phase-type/renewal: fraction:<state>, power, mean_jobs; "
+            "transient (phase-type): energy@<t>, fraction:<state>@<t>, "
+            "accumulated_reward:<reward>@<t>, time_to_threshold:<frac> "
+            "(default: per-model defaults)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help=(
+            "base CPU parameter override for phase-type/renewal, "
+            "repeatable (e.g. --param SR=20 --param D=0.05)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        help="Erlang stages per deterministic delay (phase-type; default 32)",
+    )
+    sweep_p.add_argument(
+        "--n-max",
+        type=int,
+        default=None,
+        help=(
+            "queue truncation level shared by the whole grid (phase-type; "
+            "default: sized from the base parameters)"
         ),
     )
     sweep_p.add_argument(
@@ -108,8 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--backend",
         choices=["auto", "dense", "sparse"],
-        default="auto",
-        help="CTMC linear-algebra backend (default auto)",
+        default=None,
+        help="CTMC linear-algebra backend under --model gspn (default auto)",
     )
     sweep_p.add_argument(
         "--csv-dir",
@@ -147,13 +202,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: default metric columns per CPU-model backend
+_CPU_DEFAULT_METRICS = ("fraction:standby", "fraction:active", "power")
+
+
+def _base_cpu_params(param_specs: Optional[List[str]]) -> CPUModelParams:
+    """Paper-default CPU parameters with ``--param NAME=VALUE`` overrides."""
+    overrides = {}
+    for spec in param_specs or []:
+        name, sep, value = spec.partition("=")
+        if not sep or not name.strip() or not value.strip():
+            raise ValueError(
+                f"--param must look like NAME=VALUE, got {spec!r}"
+            )
+        try:
+            overrides[resolve_cpu_axis(name.strip())] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"--param {name.strip()!r}: cannot parse value {value!r}"
+            ) from None
+    return replace(CPUModelParams.paper_defaults(), **overrides)
+
+
+#: which optional sweep flags each model understands
+_SWEEP_FLAG_SCOPE = {
+    "--net": ("gspn",),
+    "--backend": ("gspn",),
+    "--param": ("phase-type", "renewal"),
+    "--stages": ("phase-type",),
+    "--n-max": ("phase-type",),
+}
+
+
+def _check_sweep_flags(args: argparse.Namespace) -> None:
+    """Reject flags the selected --model would otherwise silently ignore."""
+    given = {
+        "--net": args.net,
+        "--backend": args.backend,
+        "--param": args.param,
+        "--stages": args.stages,
+        "--n-max": args.n_max,
+    }
+    for flag, models in _SWEEP_FLAG_SCOPE.items():
+        if given[flag] is not None and args.model not in models:
+            raise ValueError(
+                f"{flag} does not apply to --model {args.model} "
+                f"(it is for --model {'/'.join(models)})"
+            )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    factory, default_metrics = DEMO_NETS[args.net]
-    metrics: List[str] = args.metric if args.metric else list(default_metrics)
     try:
+        _check_sweep_flags(args)
+        if args.model == "gspn":
+            net = args.net if args.net is not None else "cpu-gspn"
+            factory, default_metrics = DEMO_NETS[net]
+            model: object = factory()
+            title = f"{net} sweep"
+        else:
+            params = _base_cpu_params(args.param)
+            if args.model == "phase-type":
+                model = PhaseTypeBackend(
+                    params,
+                    stages=args.stages if args.stages is not None else 32,
+                    n_max=args.n_max,
+                )
+            else:
+                model = RenewalBackend(params)
+            default_metrics = _CPU_DEFAULT_METRICS
+            title = f"{args.model} sweep"
+        metrics: List[str] = (
+            args.metric if args.metric else list(default_metrics)
+        )
         grid = SweepGrid.from_specs(args.rate)
         runner = SweepRunner(
-            factory(), metrics, backend=args.backend, n_workers=args.jobs
+            model,
+            metrics,
+            backend=args.backend if args.backend is not None else "auto",
+            n_workers=args.jobs,
         )
         t0 = time.perf_counter()
         result = runner.run(grid)
@@ -162,10 +288,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
-    print(result.render(title=f"{args.net} sweep ({len(result)} points)"))
+    print(result.render(title=f"{title} ({len(result)} points)"))
     print(
-        f"\n[{len(result)} points over {runner.solver.n} tangible markings "
-        f"in {elapsed:.3f} s — graph explored once]"
+        f"\n[{len(result)} points in {elapsed:.3f} s — "
+        f"{runner.model.describe()}]"
     )
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

@@ -26,7 +26,6 @@ get *analytical* solutions the simulator can be validated against.
 from __future__ import annotations
 
 import math
-import warnings
 from typing import (
     Callable,
     Dict,
@@ -41,9 +40,14 @@ from typing import (
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import MatrixRankWarning, spsolve
+from scipy.sparse.linalg import splu
 
-__all__ = ["CTMC"]
+__all__ = [
+    "CTMC",
+    "lu_analyse_solve",
+    "lu_resolve_permuted",
+    "sparse_steady_state",
+]
 
 RateDict = Mapping[Tuple[Hashable, Hashable], float]
 
@@ -51,6 +55,110 @@ RateDict = Mapping[Tuple[Hashable, Hashable], float]
 SPARSE_AUTO_THRESHOLD = 500
 
 _BACKENDS = ("auto", "dense", "sparse")
+
+
+def _finalize_pi(pi: np.ndarray) -> np.ndarray:
+    """Validate and normalise a raw steady-state solve result."""
+    if not np.all(np.isfinite(pi)):
+        raise ValueError("steady-state solve produced non-finite entries")
+    pi = np.where(np.abs(pi) < 1e-13, 0.0, pi)
+    if np.any(pi < -1e-9):
+        raise ValueError(
+            "steady-state solve produced negative probabilities; "
+            "the chain is likely reducible"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not math.isfinite(total) or total <= 0.0:
+        raise ValueError("steady-state normalisation failed")
+    return pi / total
+
+
+def lu_analyse_solve(
+    A: sparse.spmatrix, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``A x = b`` via SuperLU; returns ``(x, perm_c)``.
+
+    ``perm_c`` is the fill-reducing column ordering *inverted into
+    pre-permutation form*: a later system with the same sparsity pattern
+    can be solved through :func:`lu_resolve_permuted` after permuting its
+    columns as ``A[:, perm_c]``, skipping the symbolic analysis.
+    Singular systems raise ``ValueError``.
+    """
+    try:
+        lu = splu(A)
+        # SuperLU's perm_c maps original -> factor column positions;
+        # invert it so reuse can *pre*-permute the columns
+        return lu.solve(b), np.argsort(lu.perm_c)
+    except RuntimeError as exc:  # "Factor is exactly singular"
+        raise ValueError(f"singular generator: {exc}") from exc
+
+
+def lu_resolve_permuted(
+    A_permuted: sparse.spmatrix, b: np.ndarray, perm_c: np.ndarray
+) -> np.ndarray:
+    """Solve a same-pattern system whose columns are already ``A[:, perm_c]``.
+
+    SuperLU factors with ``ColPerm=NATURAL`` — numeric work only, the
+    symbolic analysis was paid by :func:`lu_analyse_solve` — and the
+    solution is scattered back to the original ordering.  Any valid
+    permutation keeps the solve exact (row pivoting still runs), so a
+    stale ``perm_c`` costs fill, never correctness.
+    """
+    try:
+        y = splu(A_permuted, permc_spec="NATURAL").solve(b)
+    except RuntimeError as exc:  # "Factor is exactly singular"
+        raise ValueError(f"singular generator: {exc}") from exc
+    x = np.empty(len(b))
+    x[perm_c] = y
+    return x
+
+
+def sparse_steady_state(
+    Q: sparse.spmatrix, perm_c: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve ``pi Q = 0, sum(pi) = 1`` from a sparse generator via SuperLU.
+
+    The linear system (``Q^T`` with the last balance equation replaced by the
+    normalisation row) is factorised with an explicit LU so the fill-reducing
+    *column permutation* — the symbolic half of the factorisation — can be
+    reused.  Returns ``(pi, perm_c)``.
+
+    Parameters
+    ----------
+    Q:
+        Sparse generator (rows sum to zero).
+    perm_c:
+        Column permutation from a previous call on a generator with the
+        *same sparsity pattern* (e.g. an earlier point of a parameter
+        sweep).  When given, the system is permuted up front and SuperLU
+        factors with ``ColPerm=NATURAL``, skipping the COLAMD analysis;
+        any valid permutation keeps the solve exact (row pivoting is still
+        performed), so a stale permutation costs fill, never correctness.
+
+    Raises
+    ------
+    ValueError
+        If the system is singular (reducible chain) or the permutation has
+        the wrong length.
+    """
+    n = Q.shape[0]
+    QT = Q.transpose().tocsr()
+    A = sparse.vstack(
+        [QT[:-1, :], sparse.csr_matrix(np.ones((1, n)))], format="csc"
+    )
+    b = np.zeros(n)
+    b[-1] = 1.0
+    if perm_c is None:
+        pi, perm_c = lu_analyse_solve(A, b)
+    else:
+        perm_c = np.asarray(perm_c)
+        if perm_c.shape != (n,):
+            raise ValueError(
+                f"perm_c must have length {n}, got shape {perm_c.shape}"
+            )
+        pi = lu_resolve_permuted(A[:, perm_c], b, perm_c)
+    return _finalize_pi(pi), perm_c
 
 
 class CTMC:
@@ -71,6 +179,13 @@ class CTMC:
         when ``n > SPARSE_AUTO_THRESHOLD``.  The backend decides how the
         steady-state system is solved and how uniformization multiplies;
         results agree to solver precision either way.
+    factor_cache:
+        Optional mutable mapping shared by a *family* of chains with the
+        same sparsity pattern (e.g. the per-point chains of a parameter
+        sweep).  The sparse steady-state solve stores its fill-reducing
+        column permutation under ``"perm_c"`` and later chains reuse it,
+        paying the symbolic analysis once per family (see
+        :func:`sparse_steady_state`).  Ignored by the dense backend.
     """
 
     def __init__(
@@ -78,6 +193,7 @@ class CTMC:
         generator: Union[np.ndarray, sparse.spmatrix],
         labels: Optional[Sequence[Hashable]] = None,
         backend: str = "auto",
+        factor_cache: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -149,6 +265,7 @@ class CTMC:
         # solver caches (the generator is immutable after construction)
         self._pi: Optional[np.ndarray] = None
         self._unif: Optional[Tuple[float, Callable[[np.ndarray], np.ndarray]]] = None
+        self._factor_cache = factor_cache
 
     # ------------------------------------------------------------------ #
     # representations
@@ -233,41 +350,27 @@ class CTMC:
 
     def _solve_steady_state(self) -> np.ndarray:
         n = self.n
-        b = np.zeros(n)
-        b[-1] = 1.0
         if self.backend == "sparse":
             # A = Q^T with the last row replaced by the normalisation row,
-            # assembled without a dense intermediate.
-            QT = self.Q_sparse.T.tocsr()
-            A = sparse.vstack(
-                [QT[:-1, :], sparse.csr_matrix(np.ones((1, n)))], format="csc"
-            )
-            with warnings.catch_warnings():
-                warnings.simplefilter("error", MatrixRankWarning)
-                try:
-                    pi = spsolve(A, b)
-                except MatrixRankWarning as exc:
-                    raise ValueError(f"singular generator: {exc}") from exc
-        else:
-            A = self.Q.T.copy()
-            A[-1, :] = 1.0
-            try:
-                pi = np.linalg.solve(A, b)
-            except np.linalg.LinAlgError as exc:
-                raise ValueError(f"singular generator: {exc}") from exc
-        if not np.all(np.isfinite(pi)):
-            raise ValueError("steady-state solve produced non-finite entries")
-        pi = np.where(np.abs(pi) < 1e-13, 0.0, pi)
-        if np.any(pi < -1e-9):
-            raise ValueError(
-                "steady-state solve produced negative probabilities; "
-                "the chain is likely reducible"
-            )
-        pi = np.clip(pi, 0.0, None)
-        total = pi.sum()
-        if not math.isfinite(total) or total <= 0.0:
-            raise ValueError("steady-state normalisation failed")
-        return pi / total
+            # factorised via SuperLU with the symbolic analysis shared
+            # through factor_cache when one was provided.
+            cache = self._factor_cache
+            perm_c = cache.get("perm_c") if cache is not None else None
+            if perm_c is not None and np.asarray(perm_c).shape != (n,):
+                perm_c = None  # pattern family changed size: re-analyse
+            pi, perm_c = sparse_steady_state(self.Q_sparse, perm_c)
+            if cache is not None:
+                cache["perm_c"] = perm_c
+            return pi
+        b = np.zeros(n)
+        b[-1] = 1.0
+        A = self.Q.T.copy()
+        A[-1, :] = 1.0
+        try:
+            pi = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(f"singular generator: {exc}") from exc
+        return _finalize_pi(pi)
 
     def steady_state_dict(self) -> Dict[Hashable, float]:
         """Stationary distribution keyed by state label."""
@@ -358,6 +461,23 @@ class CTMC:
         if t == 0.0:
             return p
         return self._advance(p, t, tol)
+
+    def advance(
+        self,
+        p: Union[np.ndarray, Mapping[Hashable, float]],
+        dt: float,
+        tol: float = 1e-12,
+    ) -> np.ndarray:
+        """One incremental uniformization step: the distribution *dt* later.
+
+        Unlike :meth:`transient`, which always starts from ``t = 0``,
+        this lets callers walk a trajectory forward step by step — the
+        total cost over a horizon is one uniformization pass instead of
+        one per sample point.  *p* must already be a distribution.
+        """
+        if dt < 0.0:
+            raise ValueError("dt must be >= 0")
+        return self._advance(self._coerce_distribution(p), dt, tol)
 
     def transient_dict(
         self, p0: Union[np.ndarray, Mapping[Hashable, float]], t: float

@@ -241,6 +241,10 @@ class GSPNSolver:
         for name, i in self._exp_names.items():
             self._base_rates[i] = compiled.transitions[i].rate
 
+        # shared across every sparse per-point CTMC: the sparsity pattern is
+        # rate-independent, so one symbolic LU analysis serves a whole sweep
+        self._factor_cache: Dict[str, np.ndarray] = {}
+
     @property
     def exponential_transitions(self) -> List[str]:
         """Names of the transitions whose rates :meth:`solve` can re-bind."""
@@ -300,7 +304,12 @@ class GSPNSolver:
         ):
             ctmc = CTMC(Q.toarray(), labels=self.markings, backend="dense")
         else:
-            ctmc = CTMC(Q, labels=self.markings, backend=backend)
+            ctmc = CTMC(
+                Q,
+                labels=self.markings,
+                backend=backend,
+                factor_cache=self._factor_cache,
+            )
         effective = {name: float(rate_vec[i]) for name, i in self._exp_names.items()}
         return GSPNSolution(
             ctmc=ctmc,

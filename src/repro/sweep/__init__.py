@@ -6,11 +6,16 @@ package makes those sweeps cheap:
 
 - :class:`~repro.sweep.grid.SweepGrid` — cartesian grids of named rate
   axes, buildable from compact CLI specs (``AR=0.1:2.0:10``);
-- :class:`~repro.sweep.runner.SweepRunner` — explores the net's
-  reachability graph **once** (via
-  :class:`repro.petri.ctmc_export.GSPNSolver`), then re-binds rates and
-  re-solves per grid point, optionally fanning points out over a process
-  pool;
+- :class:`~repro.sweep.runner.SweepRunner` — builds a model backend's
+  rate-independent template **once** (reachability graph for GSPNs, stage
+  structure + shared symbolic LU for the phase-type expansion), then
+  re-binds parameters and re-solves per grid point, optionally fanning
+  points out over a process pool;
+- :mod:`~repro.sweep.backends` — the model families the runner can drive:
+  ``gspn`` (rate rebinding), ``phase-type`` (deterministic-delay CPU
+  model, Figure 4/5-style threshold sweeps), ``renewal`` (exact closed
+  form), plus the transient metric grammar (``energy@t``,
+  ``fraction:active@t``, ``time_to_threshold:0.01``);
 - :class:`~repro.sweep.results.SweepResult` — a row-per-point table with
   ASCII rendering, CSV export, and argmin/argmax queries;
 - :mod:`~repro.sweep.nets` — demo nets (M/M/1/K, the exponentialised
@@ -26,20 +31,34 @@ Quick example::
     print(result.render(title="M/M/1/K arrival-rate sweep"))
 """
 
+from repro.sweep.backends import (
+    BACKEND_NAMES,
+    GSPNBackend,
+    PhaseTypeBackend,
+    RenewalBackend,
+    SweepBackend,
+    make_backend,
+)
 from repro.sweep.grid import SweepGrid, parse_axis
 from repro.sweep.nets import DEMO_NETS, build_cpu_gspn_net, build_mm1k_net
 from repro.sweep.results import SweepResult
 from repro.sweep.runner import Metric, SweepRunner, evaluate_metric, metric_name
 
 __all__ = [
+    "BACKEND_NAMES",
     "DEMO_NETS",
+    "GSPNBackend",
     "Metric",
+    "PhaseTypeBackend",
+    "RenewalBackend",
+    "SweepBackend",
     "SweepGrid",
     "SweepResult",
     "SweepRunner",
     "build_cpu_gspn_net",
     "build_mm1k_net",
     "evaluate_metric",
+    "make_backend",
     "metric_name",
     "parse_axis",
 ]

@@ -1,0 +1,79 @@
+"""Model backends for the sweep runner.
+
+Any parameterised Markov model family can ride the batched sweep path by
+implementing :class:`~repro.sweep.backends.base.SweepBackend` — build the
+rate-independent template once (``prepare``), bind a grid point per solve
+(``solve``), map metric specs to numbers (``evaluate``).  Three backends
+ship:
+
+============  ========================================================
+``gspn``      exponential-only Petri nets via ``GSPNSolver`` rate
+              rebinding (the original sweep path, now behind the
+              protocol)
+``phase-type``  the deterministic-delay CPU model, stage-expanded into
+              a CTMC with a grid-invariant sparsity pattern and a
+              shared symbolic LU — Figure 4/5-style threshold/delay
+              sweeps run batched
+``renewal``   the exact renewal-reward closed form, for ground-truth
+              cross-checks of the other two
+============  ========================================================
+"""
+
+from typing import Any
+
+from repro.sweep.backends.base import (
+    CPU_AXIS_ALIASES,
+    CPUParamsAxesMixin,
+    Metric,
+    MetricSpec,
+    SweepBackend,
+    metric_name,
+    parse_metric_spec,
+    resolve_cpu_axis,
+)
+from repro.sweep.backends.gspn import GSPNBackend, evaluate_gspn_metric
+from repro.sweep.backends.phase_type import (
+    PhaseTypeBackend,
+    PhaseTypeSweepSolution,
+    PhaseTypeTemplate,
+)
+from repro.sweep.backends.renewal import RenewalBackend, RenewalSweepSolution
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CPU_AXIS_ALIASES",
+    "CPUParamsAxesMixin",
+    "GSPNBackend",
+    "Metric",
+    "MetricSpec",
+    "PhaseTypeBackend",
+    "PhaseTypeSweepSolution",
+    "PhaseTypeTemplate",
+    "RenewalBackend",
+    "RenewalSweepSolution",
+    "SweepBackend",
+    "evaluate_gspn_metric",
+    "make_backend",
+    "metric_name",
+    "parse_metric_spec",
+    "resolve_cpu_axis",
+]
+
+#: CLI-facing registry; ``gspn`` needs a net, the CPU backends take params.
+BACKEND_NAMES = ("gspn", "phase-type", "renewal")
+
+
+def make_backend(name: str, **kwargs: Any) -> SweepBackend:
+    """Instantiate a backend by registry name.
+
+    ``make_backend("gspn", net=..., ...)`` /
+    ``make_backend("phase-type", params=..., stages=...)`` /
+    ``make_backend("renewal", params=...)``.
+    """
+    if name == "gspn":
+        return GSPNBackend(**kwargs)
+    if name == "phase-type":
+        return PhaseTypeBackend(**kwargs)
+    if name == "renewal":
+        return RenewalBackend(**kwargs)
+    raise KeyError(f"unknown backend {name!r} (have: {list(BACKEND_NAMES)})")

@@ -1,0 +1,503 @@
+"""Phase-type backend: sweep the deterministic-delay CPU model analytically.
+
+The paper's headline figures (4/5) sweep the *deterministic-delay* model —
+constant Power Down Threshold ``T`` and Power Up Delay ``D`` — which is not
+a CTMC.  The stage expansion in :mod:`repro.core.phase_type` makes it one
+(each constant delay becomes an Erlang-``k`` chain of exponential stages),
+and crucially the expanded chain's **sparsity pattern is rate-independent**:
+sweeping λ, μ, ``T`` or ``D`` only rescales the four symbolic rate slots of
+:func:`repro.core.phase_type.build_stage_structure`, never which entries
+are non-zero.  This backend exploits that the same way ``GSPNSolver``
+exploits rate rebinding:
+
+- **prepare** (once): build the stage structure, sort the COO triplets into
+  a fixed CSR pattern, and precompute the per-state collapse vectors
+  (state-kind masks, job counts, power draws);
+- **solve** (per point): fill the CSR data slot — ``rate_vec[rate_ids]``,
+  a vectorised gather — assemble the generator in ``O(nnz)``, and solve
+  steady state through the shared symbolic LU
+  (:func:`repro.markov.ctmc.sparse_steady_state`), so the fill-reducing
+  analysis is paid once per sweep.
+
+Steady metrics: ``fraction:<state>`` (idle/standby/powerup/active),
+``power`` (mW), ``mean_jobs``, ``truncation_mass``.  Transient metrics
+start from standby (the deployed-node initial state) and use the CTMC
+uniformization machinery: ``energy@t`` (joules over ``[0, t]``),
+``accumulated_reward:<reward>@t`` (reward-seconds; rewards: ``power``,
+``jobs``, or a state name's indicator), ``fraction:<state>@t``
+(instantaneous occupancy), and ``time_to_threshold:<frac>`` (first time the
+expected power settles within *frac*, relatively, of the steady-state
+power — the horizon after which ``power x time`` is a valid energy
+approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.exact_renewal import ExactRenewalModel
+from repro.core.params import CPUModelParams, STATE_NAMES, StateFractions
+from repro.core.phase_type import (
+    PhaseTypeModel,
+    build_stage_structure,
+    stage_rate_vector,
+    state_power_vector,
+)
+from repro.markov.ctmc import (
+    CTMC,
+    _finalize_pi,
+    lu_analyse_solve,
+    lu_resolve_permuted,
+)
+from repro.sweep.backends.base import (
+    CPUParamsAxesMixin,
+    MetricSpec,
+    SweepBackend,
+)
+
+__all__ = ["PhaseTypeBackend", "PhaseTypeSweepSolution", "PhaseTypeTemplate"]
+
+#: stage-structure state kinds -> canonical StateFractions names
+_KIND_TO_STATE = {"busy": "active", "powerup": "powerup", "standby": "standby", "idle": "idle"}
+
+
+@dataclass(frozen=True)
+class PhaseTypeTemplate:
+    """Everything rate-independent about one stage-expanded chain family."""
+
+    states: List[Tuple]
+    n_states: int
+    # fixed CSR pattern of the off-diagonal generator
+    indptr: np.ndarray
+    indices: np.ndarray
+    rate_pick: np.ndarray  # CSR-ordered symbolic rate ids
+    # fixed CSC pattern of the augmented steady-state system
+    # (Q^T with its last balance row replaced by the normalisation row);
+    # per-point numbers are the affine map  A.data = A_G @ rate_vec + A_c0
+    A_indptr: np.ndarray
+    A_indices: np.ndarray
+    A_G: np.ndarray  # (nnz_A, 4) symbolic-rate coefficients
+    A_c0: np.ndarray  # (nnz_A,) constant part (the normalisation row)
+    # collapse vectors
+    kind_masks: Dict[str, np.ndarray]  # state name -> {0,1} occupancy mask
+    jobs: np.ndarray  # jobs in system per state
+    trunc_mask: np.ndarray  # states at the truncation level
+    power_mw: np.ndarray  # per-state power draw
+    p0: np.ndarray  # initial distribution (all mass on standby)
+
+
+@dataclass
+class PhaseTypeSweepSolution:
+    """One solved grid point: stationary vector plus transient machinery."""
+
+    template: PhaseTypeTemplate
+    params: CPUModelParams
+    rate_vec: np.ndarray  # concrete values of the four symbolic rate slots
+    pi: np.ndarray
+    _Q: Optional[sparse.csr_matrix] = field(default=None, repr=False)
+    _ctmc: Optional[CTMC] = field(default=None, repr=False)
+
+    @property
+    def Q(self) -> sparse.csr_matrix:
+        """The point's generator (built lazily; steady metrics skip it)."""
+        if self._Q is None:
+            tpl = self.template
+            data = self.rate_vec[tpl.rate_pick]
+            off = sparse.csr_matrix(
+                (data, tpl.indices, tpl.indptr),
+                shape=(tpl.n_states, tpl.n_states),
+            )
+            exit_rates = np.asarray(off.sum(axis=1)).ravel()
+            self._Q = (off - sparse.diags(exit_rates)).tocsr()
+        return self._Q
+
+    @property
+    def ctmc(self) -> CTMC:
+        """The point's CTMC (built lazily; only transient metrics need it)."""
+        if self._ctmc is None:
+            self._ctmc = CTMC(self.Q, backend="sparse")
+            self._ctmc._pi = self.pi.copy()  # already solved; share it
+        return self._ctmc
+
+    def fractions(self) -> StateFractions:
+        masks = self.template.kind_masks
+        return StateFractions(
+            **{name: float(self.pi @ masks[name]) for name in STATE_NAMES}
+        )
+
+    def power_mw(self) -> float:
+        """Steady-state average power draw in milliwatts."""
+        return float(self.pi @ self.template.power_mw)
+
+    def mean_jobs(self) -> float:
+        return float(self.pi @ self.template.jobs)
+
+    def truncation_mass(self) -> float:
+        return float(self.pi @ self.template.trunc_mask)
+
+
+class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
+    """Sweep the Erlang-stage expansion of the deterministic-delay model.
+
+    Parameters
+    ----------
+    params:
+        Base :class:`CPUModelParams`; grid points override individual
+        fields (axes: ``arrival_rate``/``AR``, ``service_rate``/``SR``,
+        ``power_down_threshold``/``T``/``PDT``, ``power_up_delay``/``D``/
+        ``PUT``).  Both deterministic delays must be positive — the stage
+        structure needs their state blocks to exist at every grid point.
+    stages, stages_powerup, stages_idle:
+        Erlang stage counts (accuracy knob; see ``PhaseTypeModel``).
+    n_max:
+        Queue truncation level, **fixed across the whole grid** so the
+        sparsity pattern is too; defaults to ``PhaseTypeModel``'s choice
+        for the base parameters.  When sweeping toward heavier load, pass
+        an ``n_max`` sized for the heaviest point and check
+        ``truncation_mass`` stays negligible.
+    """
+
+    name = "phase-type"
+    steady_kinds = ("fraction", "power", "mean_jobs", "truncation_mass")
+    transient_kinds = (
+        "energy",
+        "accumulated_reward",
+        "fraction",
+        "time_to_threshold",
+    )
+
+    def __init__(
+        self,
+        params: Optional[CPUModelParams] = None,
+        stages: int = 32,
+        stages_powerup: Optional[int] = None,
+        stages_idle: Optional[int] = None,
+        n_max: Optional[int] = None,
+    ) -> None:
+        if params is None:
+            params = CPUModelParams.paper_defaults()
+        if params.power_up_delay <= 0.0 or params.power_down_threshold <= 0.0:
+            raise ValueError(
+                "the phase-type backend needs power_up_delay > 0 and "
+                "power_down_threshold > 0 (a zero delay removes its state "
+                "block and changes the sparsity pattern; use the gspn or "
+                "renewal backend for degenerate delays)"
+            )
+        # reuse PhaseTypeModel for stage/truncation normalisation
+        model = PhaseTypeModel(
+            params,
+            stages=stages,
+            stages_powerup=stages_powerup,
+            stages_idle=stages_idle,
+            n_max=n_max,
+        )
+        self.params = params
+        self.k_d = model.k_d
+        self.k_t = model.k_t
+        self.n_max = model.n_max
+        self._factor_cache: Dict[str, np.ndarray] = {}
+        self._A_perm: Optional[sparse.csc_matrix] = None
+
+    # ------------------------------------------------------------------ #
+    def _prepare(self) -> PhaseTypeTemplate:
+        states, _, rows, cols, rate_ids = build_stage_structure(
+            self.k_d, self.k_t, self.n_max, True, True
+        )
+        n = len(states)
+        order = np.lexsort((cols, rows))
+        rows, cols, rate_ids = rows[order], cols[order], rate_ids[order]
+        # the structure emits each (src, dst) edge once; the CSR data slot
+        # can therefore be filled by a pure gather, no duplicate summing
+        dup = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+        assert not dup.any(), "stage structure emitted duplicate edges"
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+
+        A_indptr, A_indices, A_G, A_c0 = self._augmented_pattern(
+            n, rows, cols, rate_ids
+        )
+
+        kind_masks = {
+            name: np.zeros(n) for name in STATE_NAMES
+        }
+        jobs = np.zeros(n)
+        trunc = np.zeros(n)
+        for i, s in enumerate(states):
+            kind_masks[_KIND_TO_STATE[s[0]]][i] = 1.0
+            if s[0] in ("powerup", "busy"):
+                jobs[i] = s[-1]
+                if s[-1] == self.n_max:
+                    trunc[i] = 1.0
+        p0 = np.zeros(n)
+        p0[0] = 1.0  # ("standby",) is always state 0
+        return PhaseTypeTemplate(
+            states=states,
+            n_states=n,
+            indptr=indptr,
+            indices=cols,
+            rate_pick=rate_ids,
+            A_indptr=A_indptr,
+            A_indices=A_indices,
+            A_G=A_G,
+            A_c0=A_c0,
+            kind_masks=kind_masks,
+            jobs=jobs,
+            trunc_mask=trunc,
+            power_mw=state_power_vector(states, self.params.profile),
+            p0=p0,
+        )
+
+    @staticmethod
+    def _augmented_pattern(
+        n: int, rows: np.ndarray, cols: np.ndarray, rate_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSC pattern + affine data map of the steady-state system.
+
+        The system is ``A = [Q^T without its last row; ones]``.  Every
+        entry of ``A`` is an affine function of the four symbolic rates:
+        off-diagonal generator entries carry exactly one rate, diagonal
+        entries carry minus the sum of their row's exit rates, and the
+        normalisation row is the constant 1 — so the per-point numbers
+        collapse to ``A.data = A_G @ rate_vec + A_c0``, one tiny GEMV.
+        """
+        # triplets (row, col, rate slot, coefficient) of A
+        off = cols != n - 1  # Q^T entries, minus the replaced last row
+        diag = rows != n - 1  # exit-rate contributions to Q^T's diagonal
+        t_rows = np.concatenate([cols[off], rows[diag], np.full(n, n - 1)])
+        t_cols = np.concatenate([rows[off], rows[diag], np.arange(n)])
+        t_slot = np.concatenate(
+            [rate_ids[off], rate_ids[diag], np.full(n, -1)]
+        )
+        t_coeff = np.concatenate(
+            [np.ones(off.sum()), -np.ones(diag.sum()), np.ones(n)]
+        )
+
+        order = np.lexsort((t_rows, t_cols))  # CSC: by column, then row
+        t_rows, t_cols = t_rows[order], t_cols[order]
+        t_slot, t_coeff = t_slot[order], t_coeff[order]
+        new_group = np.ones(len(t_rows), dtype=bool)
+        new_group[1:] = (t_cols[1:] != t_cols[:-1]) | (t_rows[1:] != t_rows[:-1])
+        group = np.cumsum(new_group) - 1
+        nnz = int(group[-1]) + 1
+
+        A_indices = t_rows[new_group]
+        entry_cols = t_cols[new_group]
+        A_indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.bincount(entry_cols, minlength=n), out=A_indptr[1:])
+
+        A_G = np.zeros((nnz, 4))
+        A_c0 = np.zeros(nnz)
+        symbolic = t_slot >= 0
+        np.add.at(
+            A_G, (group[symbolic], t_slot[symbolic]), t_coeff[symbolic]
+        )
+        np.add.at(A_c0, group[~symbolic], t_coeff[~symbolic])
+        return A_indptr, A_indices, A_G, A_c0
+
+    def _point_params(self, point: Mapping[str, float]) -> CPUModelParams:
+        params = super()._point_params(point)
+        if params.power_up_delay <= 0.0 or params.power_down_threshold <= 0.0:
+            raise ValueError(
+                f"phase-type sweep points need power_up_delay > 0 and "
+                f"power_down_threshold > 0 (got D={params.power_up_delay}, "
+                f"T={params.power_down_threshold}); a zero delay drops its "
+                "state block — use the renewal backend for degenerate points"
+            )
+        return params
+
+    def _rate_vector(self, params: CPUModelParams) -> np.ndarray:
+        return stage_rate_vector(params, self.k_d, self.k_t)
+
+    def solve(self, point: Mapping[str, float]) -> PhaseTypeSweepSolution:
+        tpl = self.prepare()
+        params = self._point_params(point)
+        rate_vec = self._rate_vector(params)
+        pi = self._steady_state(tpl, rate_vec)
+        return PhaseTypeSweepSolution(
+            template=tpl,
+            params=params,
+            rate_vec=rate_vec,
+            pi=pi,
+        )
+
+    def _steady_state(
+        self, tpl: PhaseTypeTemplate, rate_vec: np.ndarray
+    ) -> np.ndarray:
+        """Solve ``pi Q = 0`` through the template's fixed CSC system.
+
+        The first point pays the symbolic COLAMD analysis and caches both
+        the column permutation and the data-slot shuffle that applies it;
+        every later point reassembles pre-permuted in ``O(nnz)`` and
+        factors with ``ColPerm=NATURAL`` — numeric work only.
+        """
+        n = tpl.n_states
+        data = tpl.A_G @ rate_vec + tpl.A_c0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        cache = self._factor_cache
+        if "perm_c" not in cache:
+            A = sparse.csc_matrix(
+                (data, tpl.A_indices, tpl.A_indptr), shape=(n, n)
+            )
+            pi, perm_c = lu_analyse_solve(A, b)
+            # data-slot view of the column permutation, so later points
+            # can assemble A[:, perm_c] by pure gathers
+            counts = np.diff(tpl.A_indptr)
+            data_map = np.concatenate(
+                [
+                    np.arange(tpl.A_indptr[p], tpl.A_indptr[p + 1])
+                    for p in perm_c
+                ]
+            )
+            perm_indptr = np.zeros(n + 1, dtype=np.intp)
+            np.cumsum(counts[perm_c], out=perm_indptr[1:])
+            cache.update(
+                perm_c=perm_c,
+                data_map=data_map,
+                perm_indptr=perm_indptr,
+                perm_indices=tpl.A_indices[data_map],
+            )
+        else:
+            A = self._permuted_system(n)
+            A.data[:] = data[cache["data_map"]]
+            pi = lu_resolve_permuted(A, b, cache["perm_c"])
+        return _finalize_pi(pi)
+
+    def _permuted_system(self, n: int) -> sparse.csc_matrix:
+        """The reusable pre-permuted matrix object (data overwritten
+        per point; ``splu`` copies what it needs, so sharing is safe)."""
+        if self._A_perm is None:
+            cache = self._factor_cache
+            self._A_perm = sparse.csc_matrix(
+                (
+                    np.empty(len(cache["data_map"])),
+                    cache["perm_indices"],
+                    cache["perm_indptr"],
+                ),
+                shape=(n, n),
+            )
+        return self._A_perm
+
+    @property
+    def n_states(self) -> int:
+        return self.prepare().n_states
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_states} phase-type states "
+            f"(k_d={self.k_d}, k_t={self.k_t}, n_max={self.n_max}), "
+            "structure built once"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _steady_metric(
+        self, solution: PhaseTypeSweepSolution, spec: MetricSpec
+    ) -> float:
+        if spec.kind == "fraction":
+            return getattr(self._fractions_of(solution, spec), spec.arg)
+        if spec.arg is not None:
+            raise ValueError(
+                f"metric kind {spec.kind!r} takes no ':' argument"
+            )
+        if spec.kind == "power":
+            return solution.power_mw()
+        if spec.kind == "mean_jobs":
+            return solution.mean_jobs()
+        return solution.truncation_mass()
+
+    def _fractions_of(
+        self, solution: PhaseTypeSweepSolution, spec: MetricSpec
+    ) -> StateFractions:
+        if spec.arg not in STATE_NAMES:
+            raise ValueError(
+                f"fraction metric needs a state in {list(STATE_NAMES)}, "
+                f"got {spec.arg!r}"
+            )
+        return solution.fractions()
+
+    def _reward_vector(
+        self, solution: PhaseTypeSweepSolution, name: str
+    ) -> np.ndarray:
+        tpl = solution.template
+        if name == "power":
+            return tpl.power_mw
+        if name == "jobs":
+            return tpl.jobs
+        if name in STATE_NAMES:
+            return tpl.kind_masks[name]
+        raise ValueError(
+            f"unknown reward {name!r} (have: power, jobs, "
+            f"{', '.join(STATE_NAMES)})"
+        )
+
+    def _transient_metric(
+        self, solution: PhaseTypeSweepSolution, spec: MetricSpec
+    ) -> float:
+        tpl = solution.template
+        if spec.kind == "time_to_threshold":
+            return self._time_to_threshold(solution, spec)
+        assert spec.at is not None
+        if spec.kind == "energy":
+            if spec.arg is not None:
+                raise ValueError("energy@t takes no ':' argument")
+            # mW integrated over seconds -> millijoules -> joules
+            mws = solution.ctmc.accumulated_reward(tpl.p0, tpl.power_mw, spec.at)
+            return mws / 1000.0
+        if spec.kind == "fraction":
+            if spec.arg not in STATE_NAMES:
+                raise ValueError(
+                    f"fraction metric needs a state in {list(STATE_NAMES)}, "
+                    f"got {spec.arg!r}"
+                )
+            pt = solution.ctmc.transient(tpl.p0, spec.at)
+            return float(pt @ tpl.kind_masks[spec.arg])
+        # accumulated_reward:<reward>@t
+        if spec.arg is None:
+            raise ValueError(
+                "accumulated_reward needs a reward, e.g. "
+                f"'accumulated_reward:power@{spec.at}'"
+            )
+        rewards = self._reward_vector(solution, spec.arg)
+        return float(solution.ctmc.accumulated_reward(tpl.p0, rewards, spec.at))
+
+    def _time_to_threshold(
+        self, solution: PhaseTypeSweepSolution, spec: MetricSpec
+    ) -> float:
+        """First time the expected power is within ``frac`` of steady state.
+
+        Walks the transient forward in increments of 1/64th of the mean
+        regeneration cycle and returns the first crossing time (0.0 when
+        the chain starts inside the band, ``inf`` when it never settles
+        within the 32-cycle search window).
+        """
+        try:
+            frac = float(spec.arg) if spec.arg is not None else float("nan")
+        except ValueError:
+            frac = float("nan")
+        if not (frac > 0.0 and math.isfinite(frac)):
+            raise ValueError(
+                "time_to_threshold needs a positive relative tolerance, "
+                f"e.g. 'time_to_threshold:0.01'; got {spec.arg!r}"
+            )
+        tpl = solution.template
+        power_ss = solution.power_mw()
+        cycle = ExactRenewalModel(solution.params).solve().mean_cycle_length
+        if not math.isfinite(cycle):
+            cycle = 10.0 / solution.params.arrival_rate
+        band = frac * abs(power_ss)
+        p = tpl.p0
+        if abs(float(p @ tpl.power_mw) - power_ss) <= band:
+            return 0.0
+        h = cycle / 64.0
+        t = 0.0
+        for _ in range(64 * 32):
+            p = solution.ctmc.advance(p, h)
+            t += h
+            if abs(float(p @ tpl.power_mw) - power_ss) <= band:
+                return t
+        return math.inf

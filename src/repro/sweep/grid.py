@@ -25,38 +25,72 @@ __all__ = ["SweepGrid", "parse_axis"]
 
 
 def parse_axis(spec: str) -> Tuple[str, Tuple[float, ...]]:
-    """Parse one ``NAME=VALUES`` axis spec (see module docstring)."""
+    """Parse one ``NAME=VALUES`` axis spec (see module docstring).
+
+    Malformed specs raise ``ValueError`` naming the axis and the exact
+    token that failed, so CLI typos read as diagnoses, not tracebacks.
+    """
     name, sep, body = spec.partition("=")
     name = name.strip()
-    if not sep or not name or not body.strip():
-        raise ValueError(f"axis spec must look like NAME=VALUES, got {spec!r}")
     body = body.strip()
+    if not sep or not name or not body:
+        raise ValueError(f"axis spec must look like NAME=VALUES, got {spec!r}")
+    if "," in body:
+        values_list = []
+        for token in body.split(","):
+            token = token.strip()
+            try:
+                values_list.append(float(token))
+            except ValueError:
+                raise ValueError(
+                    f"axis {name!r}: cannot parse list value {token!r} "
+                    f"in {body!r}"
+                ) from None
+        return name, tuple(values_list)
+    if ":" in body:
+        parts = body.split(":")
+        scale = "lin"
+        if parts[-1] in ("log", "lin"):
+            scale = parts[-1]
+            parts = parts[:-1]
+        if len(parts) != 3:
+            raise ValueError(
+                f"axis {name!r}: range spec {body!r} must be "
+                f"'start:stop:num' or 'start:stop:num:log', "
+                f"got {len(parts)} field(s)"
+            )
+        bounds = []
+        for label, token in (("start", parts[0]), ("stop", parts[1])):
+            try:
+                bounds.append(float(token))
+            except ValueError:
+                raise ValueError(
+                    f"axis {name!r}: range {label} {token!r} in {body!r} "
+                    "must be a number"
+                ) from None
+        start, stop = bounds
+        try:
+            num = int(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"axis {name!r}: point count {parts[2]!r} in {body!r} "
+                "must be an integer"
+            ) from None
+        if num < 1:
+            raise ValueError(
+                f"axis {name!r}: point count must be >= 1, got {num}"
+            )
+        if scale == "log":
+            return name, tuple(np.geomspace(start, stop, num))
+        return name, tuple(np.linspace(start, stop, num))
     try:
-        if "," in body:
-            values = tuple(float(v) for v in body.split(","))
-        elif ":" in body:
-            parts = body.split(":")
-            scale = "lin"
-            if parts[-1] in ("log", "lin"):
-                scale = parts[-1]
-                parts = parts[:-1]
-            if len(parts) != 3:
-                raise ValueError
-            start, stop, num = float(parts[0]), float(parts[1]), int(parts[2])
-            if num < 1:
-                raise ValueError
-            if scale == "log":
-                values = tuple(np.geomspace(start, stop, num))
-            else:
-                values = tuple(np.linspace(start, stop, num))
-        else:
-            values = (float(body),)
+        return name, (float(body),)
     except ValueError:
         raise ValueError(
-            f"cannot parse axis values {body!r} "
-            "(want 'a:b:n', 'a:b:n:log', 'v1,v2,...', or a single value)"
+            f"axis {name!r}: cannot parse value {body!r} "
+            "(want 'start:stop:num', 'start:stop:num:log', 'v1,v2,...', "
+            "or a single number)"
         ) from None
-    return name, values
 
 
 class SweepGrid:

@@ -1,96 +1,91 @@
-"""Batched parameter sweeps over GSPNs.
+"""Batched parameter sweeps over model backends.
 
-:class:`SweepRunner` amortises the expensive, rate-independent half of the
-GSPN→CTMC reduction (reachability exploration, vanishing-marking
-elimination, sparsity pattern) across every point of a rate grid: the
-:class:`~repro.petri.ctmc_export.GSPNSolver` template is built once, and
-each grid point costs only a sparse re-assembly plus the steady-state
-solve.  For a P-point sweep over an n-state net this replaces P graph
-explorations with one — the speedup :mod:`benchmarks.bench_sweep`
-measures.
+:class:`SweepRunner` amortises the expensive, rate-independent half of a
+model family across every point of a grid.  The family is described by a
+:class:`~repro.sweep.backends.base.SweepBackend`: its template (reachability
+graph, stage structure, sparsity pattern, symbolic LU analysis…) is built
+once, and each grid point costs only a re-assembly plus the solve.  Three
+backends ship (see :mod:`repro.sweep.backends`):
 
-Metrics are either callables ``GSPNSolution -> float`` or compact strings::
+- ``gspn`` — exponential-only Petri nets via ``GSPNSolver`` rate rebinding
+  (passing a :class:`~repro.petri.net.PetriNet` directly still works and
+  wraps it in this backend);
+- ``phase-type`` — the deterministic-delay CPU model, stage-expanded so
+  Figure 4/5-style threshold/delay sweeps run batched;
+- ``renewal`` — the exact closed form, for cross-checks.
 
-    mean_tokens:<place>             steady-state mean token count
-    probability_positive:<place>    P[place non-empty]
-    throughput:<transition>         firing rate of an exponential transition
+Metrics are callables ``solution -> float`` or compact strings in the
+backend's grammar — steady-state (``mean_tokens:<place>``,
+``fraction:standby``, ``power``, …) or transient (``energy@5``,
+``fraction:active@0.5``, ``time_to_threshold:0.01``); see
+:mod:`repro.sweep.backends.base`.
 
 Optional multiprocessing fan-out (``n_workers > 1``) distributes points
-over a process pool; the template is shipped to each worker once via the
-pool initializer.  Results are identical to, and ordered like, the serial
-path; on platforms where the template cannot be pickled the runner falls
-back to serial execution.
+over a process pool; the backend template is shipped to each worker once
+via the pool initializer.  Results are identical to, and ordered like, the
+serial path.  When the template cannot be pickled (e.g. a metric closure)
+the runner logs a warning and falls back to serial execution instead of
+crashing the pool.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.petri.analysis import ReachabilityOptions
-from repro.petri.ctmc_export import GSPNSolution, GSPNSolver
 from repro.petri.net import PetriNet
+from repro.sweep.backends import GSPNBackend, SweepBackend, evaluate_gspn_metric
+from repro.sweep.backends.base import Metric, metric_name
 from repro.sweep.grid import SweepGrid
 from repro.sweep.results import SweepResult
 
 __all__ = ["Metric", "SweepRunner", "evaluate_metric", "metric_name"]
 
-Metric = Union[str, Callable[[GSPNSolution], float]]
+logger = logging.getLogger(__name__)
 
-_METRIC_KINDS = ("mean_tokens", "probability_positive", "throughput")
-
-
-def metric_name(metric: Metric, index: int = 0) -> str:
-    """Column name for *metric* in result tables."""
-    if isinstance(metric, str):
-        return metric
-    return getattr(metric, "__name__", None) or f"metric{index}"
-
-
-def evaluate_metric(solution: GSPNSolution, metric: Metric) -> float:
-    """Evaluate one metric spec against a solved GSPN."""
-    if callable(metric):
-        return float(metric(solution))
-    kind, sep, arg = metric.partition(":")
-    if not sep or kind not in _METRIC_KINDS or not arg:
-        raise ValueError(
-            f"metric spec must be '<kind>:<name>' with kind in "
-            f"{_METRIC_KINDS}, got {metric!r}"
-        )
-    return float(getattr(solution, kind)(arg))
+#: Back-compat alias: the GSPN steady-state metric evaluator this module
+#: historically exported.
+evaluate_metric = evaluate_gspn_metric
 
 
 # -- process-pool plumbing: the template lands in each worker exactly once --
 _WORKER_STATE: Optional[tuple] = None
 
 
-def _init_worker(solver: GSPNSolver, metrics: Sequence[Metric], backend: str) -> None:
+def _init_worker(model: SweepBackend, metrics: Sequence[Metric]) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (solver, list(metrics), backend)
+    _WORKER_STATE = (model, list(metrics))
 
 
 def _solve_point(point: Mapping[str, float]) -> List[float]:
     assert _WORKER_STATE is not None, "worker used before initialisation"
-    solver, metrics, backend = _WORKER_STATE
-    solution = solver.solve(rates=point, backend=backend)
-    return [evaluate_metric(solution, m) for m in metrics]
+    model, metrics = _WORKER_STATE
+    solution = model.solve(point)
+    return [model.evaluate(solution, m) for m in metrics]
 
 
 class SweepRunner:
-    """Solve one GSPN across a grid of exponential rates.
+    """Solve one model family across a parameter grid.
 
     Parameters
     ----------
-    net:
-        Exponential-only Petri net (explored once, in the constructor).
+    model:
+        A :class:`~repro.sweep.backends.base.SweepBackend`, or an
+        exponential-only :class:`~repro.petri.net.PetriNet` (wrapped in a
+        :class:`~repro.sweep.backends.GSPNBackend`, preserving the
+        original net-first API).
     metrics:
         Metric specs (strings or callables); one result column each.
     options:
-        Reachability exploration limits.
+        Reachability exploration limits (GSPN nets only; ignored when a
+        backend instance is passed).
     backend:
-        CTMC backend forwarded to every solve (``"auto"`` by default).
+        CTMC linear-algebra backend for GSPN solves (``"auto"`` default;
+        ignored when a backend instance is passed).
     n_workers:
         ``None``/``0``/``1`` solves serially; ``>= 2`` fans points out over
         a process pool of that size.
@@ -98,7 +93,7 @@ class SweepRunner:
 
     def __init__(
         self,
-        net: PetriNet,
+        model: Union[PetriNet, SweepBackend],
         metrics: Sequence[Metric],
         options: ReachabilityOptions = ReachabilityOptions(),
         backend: str = "auto",
@@ -106,22 +101,25 @@ class SweepRunner:
     ) -> None:
         if not metrics:
             raise ValueError("at least one metric is required")
-        self.solver = GSPNSolver(net, options)
+        if isinstance(model, PetriNet):
+            self.model: SweepBackend = GSPNBackend(
+                model, options, ctmc_backend=backend
+            )
+        elif isinstance(model, SweepBackend):
+            self.model = model
+        else:
+            raise TypeError(
+                f"model must be a PetriNet or a SweepBackend, got "
+                f"{type(model).__name__}"
+            )
+        # back-compat: the GSPN template solver used to be a public attribute
+        self.solver = getattr(self.model, "solver", None)
         self.metrics = list(metrics)
         self.metric_names = [metric_name(m, i) for i, m in enumerate(self.metrics)]
         if len(set(self.metric_names)) != len(self.metric_names):
             raise ValueError(f"duplicate metric names: {self.metric_names}")
         self.backend = backend
         self.n_workers = n_workers
-
-    def _check_axes(self, names: Iterable[str]) -> None:
-        known = set(self.solver.exponential_transitions)
-        unknown = [n for n in names if n not in known]
-        if unknown:
-            raise KeyError(
-                f"grid axes {unknown} are not exponential transitions of the "
-                f"net (have: {sorted(known)})"
-            )
 
     def run(
         self, grid: Union[SweepGrid, Iterable[Mapping[str, float]]]
@@ -135,7 +133,7 @@ class SweepRunner:
             axis_names = list(points[0]) if points else []
         if not points:
             raise ValueError("empty sweep grid")
-        self._check_axes(axis_names)
+        self.model.check_axes(axis_names)
 
         if self.n_workers and self.n_workers > 1 and len(points) > 1:
             values = self._run_parallel(points)
@@ -148,32 +146,51 @@ class SweepRunner:
             values=[dict(zip(self.metric_names, row)) for row in values],
         )
 
-    def solve_point(self, point: Mapping[str, float]) -> GSPNSolution:
+    def solve_point(self, point: Mapping[str, float]):
         """Solve a single grid point (for ad-hoc inspection)."""
-        return self.solver.solve(rates=point, backend=self.backend)
+        return self.model.solve(point)
 
     def _run_serial(self, points: Sequence[Mapping[str, float]]) -> List[List[float]]:
         rows: List[List[float]] = []
         for point in points:
-            solution = self.solver.solve(rates=point, backend=self.backend)
-            rows.append([evaluate_metric(solution, m) for m in self.metrics])
+            solution = self.model.solve(point)
+            rows.append([self.model.evaluate(solution, m) for m in self.metrics])
         return rows
 
     def _run_parallel(self, points: Sequence[Mapping[str, float]]) -> List[List[float]]:
         assert self.n_workers is not None
+        try:
+            # pre-flight: the pool initializer must be able to ship the
+            # template; probe before paying for pool startup so closures
+            # degrade deterministically on every start method
+            pickle.dumps((self.model, self.metrics))
+        except Exception as exc:
+            logger.warning(
+                "sweep template is not picklable (%s); solving %d points "
+                "serially instead",
+                exc,
+                len(points),
+            )
+            return self._run_serial(points)
         workers = min(self.n_workers, len(points))
         chunk = max(1, len(points) // (4 * workers))
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.solver, self.metrics, self.backend),
+                initargs=(self.model, self.metrics),
             ) as pool:
                 return [list(row) for row in pool.map(
                     _solve_point, points, chunksize=chunk
                 )]
-        except (BrokenProcessPool, pickle.PicklingError, OSError):
-            # the pool could not start or ship the template (e.g. unpicklable
-            # guards/metrics under a spawn start method) — degrade to serial;
-            # genuine per-point errors propagate with their own traceback
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+            # the pool could not start or ship the template — degrade to
+            # serial; genuine per-point errors propagate with their own
+            # traceback
+            logger.warning(
+                "sweep process pool failed (%s); solving %d points serially "
+                "instead",
+                exc,
+                len(points),
+            )
             return self._run_serial(points)

@@ -199,3 +199,49 @@ class TestAccumulatedReward:
         acc_d = CTMC(Q, backend="dense").accumulated_reward(p0, r, 4.0)
         acc_s = CTMC(Q, backend="sparse").accumulated_reward(p0, r, 4.0)
         assert acc_d == pytest.approx(acc_s, abs=1e-9)
+
+
+class TestSharedFactorisation:
+    """sparse_steady_state: one symbolic analysis serves a pattern family."""
+
+    def test_perm_reuse_matches_fresh_solve(self):
+        from repro.markov.ctmc import sparse_steady_state
+
+        Q1 = sparse.csr_matrix(random_generator(40, seed=1))
+        pi1, perm = sparse_steady_state(Q1)
+        assert perm.shape == (40,)
+        # same sparsity pattern, different rates
+        Q2 = sparse.csr_matrix(random_generator(40, seed=1))
+        Q2.data = Q2.data * 1.7
+        Q2 = Q2 - sparse.diags(np.asarray(Q2.sum(axis=1)).ravel())
+        pi_reused, perm2 = sparse_steady_state(Q2, perm)
+        pi_fresh, _ = sparse_steady_state(Q2)
+        np.testing.assert_allclose(pi_reused, pi_fresh, rtol=0, atol=1e-12)
+        np.testing.assert_array_equal(perm2, perm)
+
+    def test_wrong_length_perm_rejected(self):
+        from repro.markov.ctmc import sparse_steady_state
+
+        Q = sparse.csr_matrix(random_generator(10))
+        with pytest.raises(ValueError, match="perm_c"):
+            sparse_steady_state(Q, np.arange(5))
+
+    def test_factor_cache_threads_through_ctmc(self):
+        cache = {}
+        Q = random_generator(12, seed=3)
+        c1 = CTMC(Q, backend="sparse", factor_cache=cache)
+        pi1 = c1.steady_state()
+        assert "perm_c" in cache
+        c2 = CTMC(Q * 2.0, backend="sparse", factor_cache=cache)
+        pi2 = c2.steady_state()
+        # scaling a generator leaves its stationary distribution unchanged
+        np.testing.assert_allclose(pi1, pi2, atol=1e-12)
+        no_cache = CTMC(Q * 2.0, backend="sparse").steady_state()
+        np.testing.assert_allclose(pi2, no_cache, atol=1e-12)
+
+    def test_stale_cache_size_is_ignored_not_fatal(self):
+        cache = {"perm_c": np.arange(3)}
+        c = CTMC(random_generator(12, seed=5), backend="sparse", factor_cache=cache)
+        pi = c.steady_state()
+        assert pi.sum() == pytest.approx(1.0)
+        assert cache["perm_c"].shape == (12,)

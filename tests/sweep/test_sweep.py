@@ -37,6 +37,29 @@ class TestGrid:
         with pytest.raises(ValueError):
             parse_axis(bad)
 
+    @pytest.mark.parametrize(
+        "bad, needle",
+        [
+            # the message must name the axis and the offending token
+            ("AR=1:2", r"axis 'AR'.*'1:2'.*start:stop:num"),
+            ("AR=1:2:3:4:5", r"axis 'AR'.*start:stop:num"),
+            ("mu=a:2:5", r"axis 'mu'.*start 'a'"),
+            ("mu=1:b:5", r"axis 'mu'.*stop 'b'"),
+            ("T=1:2:x", r"axis 'T'.*point count 'x'"),
+            ("T=1:2:0", r"axis 'T'.*point count must be >= 1, got 0"),
+            ("D=0.5,oops,2", r"axis 'D'.*list value 'oops'"),
+            ("D=abc", r"axis 'D'.*'abc'"),
+            ("AR", r"NAME=VALUES.*'AR'"),
+        ],
+    )
+    def test_bad_specs_name_token_and_axis(self, bad, needle):
+        with pytest.raises(ValueError, match=needle):
+            parse_axis(bad)
+
+    def test_duplicate_axis_message_names_axis(self):
+        with pytest.raises(ValueError, match="duplicate axis 'AR'"):
+            SweepGrid.from_specs(["AR=1", "AR=2"])
+
     def test_cartesian_order_last_axis_fastest(self):
         grid = SweepGrid({"a": [1.0, 2.0], "b": [10.0, 20.0]})
         assert grid.points() == [
@@ -109,6 +132,22 @@ class TestRunnerCorrectness:
             )
         assert parallel.points == serial.points
 
+    def test_unpicklable_template_falls_back_to_serial(self, caplog):
+        """A metric closure cannot cross process boundaries: the runner
+        must log one warning and solve serially, never crash the pool."""
+        grid = SweepGrid({"arrive": [0.4, 0.9, 1.3]})
+        unpicklable = lambda solution: solution.mean_tokens("queue")  # noqa: E731
+        runner = SweepRunner(build_mm1k_net(), [unpicklable], n_workers=2)
+        with caplog.at_level("WARNING", logger="repro.sweep.runner"):
+            result = runner.run(grid)
+        assert "not picklable" in caplog.text and "serially" in caplog.text
+        want = SweepRunner(build_mm1k_net(), ["mean_tokens:queue"]).run(grid)
+        np.testing.assert_allclose(
+            result.column(result.metric_names[0]),
+            want.column("mean_tokens:queue"),
+            rtol=1e-12,
+        )
+
     def test_callable_metric(self):
         def queue_mass(solution):
             return solution.probability_positive("queue")
@@ -149,7 +188,7 @@ class TestRunnerValidation:
 
     def test_bad_metric_spec_rejected(self):
         runner = SweepRunner(build_mm1k_net(), ["tokens:queue"])
-        with pytest.raises(ValueError, match="metric spec"):
+        with pytest.raises(ValueError, match="'tokens:queue'.*supports"):
             runner.run(SweepGrid({"arrive": [1.0]}))
 
     def test_no_metrics_rejected(self):
@@ -229,3 +268,55 @@ class TestCLI:
         )
         assert rc == 0
         assert (tmp_path / "sweep.csv").exists()
+
+    def test_phase_type_model_subcommand_runs(self, capsys):
+        from repro.experiments.cli import main
+
+        rc = main(
+            [
+                "sweep",
+                "--model",
+                "phase-type",
+                "--stages",
+                "4",
+                "--param",
+                "D=0.05",
+                "--rate",
+                "T=0.2,0.8",
+                "--metric",
+                "fraction:standby",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fraction:standby" in out
+        assert "structure built once" in out
+
+    @pytest.mark.parametrize(
+        "argv, needle",
+        [
+            # flags the selected model would otherwise silently ignore
+            (
+                ["sweep", "--model", "gspn", "--param", "SR=20",
+                 "--rate", "AR=1"],
+                "--param does not apply",
+            ),
+            (
+                ["sweep", "--model", "phase-type", "--net", "mm1k",
+                 "--rate", "T=0.5"],
+                "--net does not apply",
+            ),
+            (
+                ["sweep", "--model", "renewal", "--stages", "8",
+                 "--rate", "T=0.5"],
+                "--stages does not apply",
+            ),
+        ],
+    )
+    def test_inapplicable_flags_rejected(self, capsys, argv, needle):
+        from repro.experiments.cli import main
+
+        rc = main(argv)
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert needle in err
