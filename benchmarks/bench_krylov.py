@@ -1,0 +1,142 @@
+"""Krylov steady-state benchmarks: iterative solvers past the LU wall.
+
+Three claims are measured and *asserted*, not just timed:
+
+1. **Scale**: ILU-preconditioned GMRES solves a stage-expanded
+   deterministic-delay chain >= 10x larger than the LU demo size (the
+   deep-buffer scenario the direct factorisation cannot comfortably
+   hold), and the solution is a genuine distribution with negligible
+   truncation mass.
+2. **Parity**: where both run, GMRES matches the direct LU solve to 1e-8
+   (power iteration is cross-checked at a smaller size).
+3. **Warm starts**: a dense threshold sweep through the shared-cache
+   iterative path — previous point's ``pi`` as the initial guess, one
+   ILU preconditioner amortised across the grid — beats cold per-point
+   GMRES (zero initial guess, fresh preconditioner every point) by
+   >= 2x.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.params import CPUModelParams
+from repro.sweep import PhaseTypeBackend, SweepGrid, SweepRunner
+
+PARAMS = CPUModelParams.paper_defaults(T=0.3, D=0.05)
+STAGES = 32
+
+#: the LU baseline's demo size (states = 1 + STAGES*n_max + n_max + STAGES)
+LU_DEMO_N_MAX = 250  # -> 8_283 states
+#: the iterative-path demo size: >= 10x the LU baseline
+BIG_N_MAX = 3_000  # -> 99_033 states
+
+#: warm-vs-cold sweep: a dense 24-point threshold grid on a ~50k chain
+SWEEP_N_MAX = 1_500
+SWEEP_THRESHOLDS = tuple(np.linspace(0.25, 0.6, 24))
+
+
+def best_of(fn, rounds=3):
+    best, value = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_gmres_solves_10x_beyond_lu_demo(benchmark):
+    """The iterative path must handle >= 10x the LU demo's state count."""
+    lu_backend = PhaseTypeBackend(
+        PARAMS, stages=STAGES, n_max=LU_DEMO_N_MAX, method="lu"
+    )
+    lu_backend.prepare()
+    t_lu, lu_solution = best_of(lambda: lu_backend.solve({}), rounds=1)
+
+    big_backend = PhaseTypeBackend(
+        PARAMS, stages=STAGES, n_max=BIG_N_MAX, method="gmres"
+    )
+    big_backend.prepare()
+
+    def solve_big():
+        big_backend.reset_solver_state()  # keep every round a full solve
+        return big_backend.solve({})
+
+    big_solution = benchmark(solve_big)
+    t_big, _ = best_of(solve_big, rounds=1)
+
+    assert big_backend.n_states >= 10 * lu_backend.n_states, (
+        f"big chain {big_backend.n_states} states is not >= 10x the LU "
+        f"demo's {lu_backend.n_states}"
+    )
+    # the big solve returns a genuine, usable distribution
+    np.testing.assert_allclose(big_solution.pi.sum(), 1.0, rtol=0, atol=1e-12)
+    assert big_solution.truncation_mass() < 1e-9
+    assert np.isfinite(big_solution.power_mw())
+    print(
+        f"\nLU demo: {lu_backend.n_states} states in {t_lu * 1e3:.1f} ms; "
+        f"GMRES: {big_backend.n_states} states "
+        f"({big_backend.n_states / lu_backend.n_states:.1f}x) "
+        f"in {t_big * 1e3:.1f} ms"
+    )
+
+
+def test_gmres_matches_lu_to_1e8(benchmark):
+    """Where both solvers run, the stationary vectors agree to 1e-8."""
+    lu_backend = PhaseTypeBackend(
+        PARAMS, stages=STAGES, n_max=LU_DEMO_N_MAX, method="lu"
+    )
+    gmres_backend = PhaseTypeBackend(
+        PARAMS, stages=STAGES, n_max=LU_DEMO_N_MAX, method="gmres"
+    )
+    pi_lu = lu_backend.solve({}).pi
+    pi_gmres = benchmark(lambda: gmres_backend.solve({}).pi)
+    gap = float(np.abs(pi_lu - pi_gmres).max())
+    print(f"\nmax |pi_lu - pi_gmres| over {len(pi_lu)} states: {gap:.2e}")
+    np.testing.assert_allclose(pi_gmres, pi_lu, rtol=0, atol=1e-8)
+
+    # power iteration cross-check at a size where its mixing-limited
+    # convergence stays cheap
+    small_lu = PhaseTypeBackend(PARAMS, stages=8, n_max=40, method="lu")
+    small_power = PhaseTypeBackend(
+        PARAMS, stages=8, n_max=40, method="power", tol=1e-12
+    )
+    np.testing.assert_allclose(
+        small_power.solve({}).pi, small_lu.solve({}).pi, rtol=0, atol=1e-8
+    )
+
+
+def test_warm_started_sweep_beats_cold_gmres(benchmark):
+    """Dense 24-point threshold sweep: warm-started GMRES >= 2x cold."""
+    grid = SweepGrid({"T": SWEEP_THRESHOLDS})
+    backend = PhaseTypeBackend(
+        PARAMS, stages=STAGES, n_max=SWEEP_N_MAX, method="gmres"
+    )
+    backend.prepare()
+    metrics = ("power", "fraction:standby")
+
+    def cold():
+        rows = []
+        for T in SWEEP_THRESHOLDS:
+            backend.reset_solver_state()  # zero guess + fresh ILU per point
+            solution = backend.solve({"T": T})
+            rows.append([backend.evaluate(solution, m) for m in metrics])
+        return np.asarray(rows)
+
+    def warm():
+        backend.reset_solver_state()  # pay the first point's setup inside
+        result = SweepRunner(backend, list(metrics)).run(grid)
+        return np.column_stack([result.column(m) for m in metrics])
+
+    warm_vals = benchmark(warm)
+    t_warm, _ = best_of(warm)
+    t_cold, cold_vals = best_of(cold)
+
+    np.testing.assert_allclose(warm_vals, cold_vals, rtol=0, atol=1e-7)
+    speedup = t_cold / t_warm
+    print(
+        f"\n{len(SWEEP_THRESHOLDS)}-point sweep over {backend.n_states} "
+        f"states: cold {t_cold * 1e3:.0f} ms, warm {t_warm * 1e3:.0f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, f"warm-started sweep only {speedup:.1f}x over cold"

@@ -23,9 +23,16 @@ from typing import List, Optional, Sequence
 
 from repro.core.params import CPUModelParams
 from repro.experiments.paper_experiments import EXPERIMENTS, ExperimentConfig
+from repro.markov.ctmc import (
+    STEADY_STATE_METHODS,
+    ConvergenceError,
+    resolve_steady_state_method,
+)
+from repro.petri.analysis import ReachabilityOptions
 from repro.sweep import (
     BACKEND_NAMES,
     DEMO_NETS,
+    GSPNBackend,
     PhaseTypeBackend,
     RenewalBackend,
     SweepGrid,
@@ -166,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="CTMC linear-algebra backend under --model gspn (default auto)",
     )
+    _add_solver_flags(sweep_p)
     sweep_p.add_argument(
         "--csv-dir",
         type=Path,
@@ -173,7 +181,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a sweep.csv into this directory",
     )
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    steady_p = sub.add_parser(
+        "steady",
+        help="solve one model's steady state once (solver showcase)",
+        description=(
+            "Build one model at its base parameters, solve the stationary "
+            "distribution with the chosen solver, and report size, timing "
+            "and the default metrics.  Scale the state space with "
+            "--buffer/--nodes (gspn nets) or --n-max (phase-type) to see "
+            "where the iterative solvers take over, e.g.: "
+            "repro-experiments steady --net wsn-cluster --buffer 30 "
+            "--solver gmres"
+        ),
+    )
+    steady_p.add_argument(
+        "--model",
+        choices=["gspn", "phase-type"],
+        default="gspn",
+        help="model family (renewal is closed form — nothing to solve)",
+    )
+    steady_p.add_argument(
+        "--net",
+        choices=sorted(DEMO_NETS),
+        default=None,
+        help="demo net under --model gspn (default: wsn-cluster)",
+    )
+    steady_p.add_argument(
+        "--buffer",
+        type=int,
+        default=None,
+        help="buffer/queue capacity of the demo net (gspn; grows the chain)",
+    )
+    steady_p.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="sensor-node count (wsn-cluster only; grows the chain fast)",
+    )
+    steady_p.add_argument(
+        "--max-markings",
+        type=int,
+        default=None,
+        help=(
+            "reachability exploration cap for gspn nets "
+            "(default 2000000 — sized for the deep demo scenarios)"
+        ),
+    )
+    steady_p.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="base CPU parameter override (phase-type), repeatable",
+    )
+    steady_p.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        help="Erlang stages per deterministic delay (phase-type; default 32)",
+    )
+    steady_p.add_argument(
+        "--n-max",
+        type=int,
+        default=None,
+        help="queue truncation level (phase-type; grows the chain)",
+    )
+    _add_solver_flags(steady_p)
+    steady_p.set_defaults(func=_cmd_steady)
     return parser
+
+
+def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
+    """Steady-state solver flags shared by ``sweep`` and ``steady``."""
+    parser.add_argument(
+        "--solver",
+        choices=list(STEADY_STATE_METHODS),
+        default=None,
+        help=(
+            "steady-state solver: 'lu' direct, 'gmres' ILU-preconditioned "
+            "Krylov, 'power' uniformized power iteration; 'auto' picks by "
+            "state count (default; see docs/solvers.md)"
+        ),
+    )
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        help="iterative-solver convergence tolerance (default 1e-10)",
+    )
+    parser.add_argument(
+        "--max-iter",
+        type=int,
+        default=None,
+        help="iterative-solver iteration budget",
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -231,6 +333,9 @@ _SWEEP_FLAG_SCOPE = {
     "--param": ("phase-type", "renewal"),
     "--stages": ("phase-type",),
     "--n-max": ("phase-type",),
+    "--solver": ("gspn", "phase-type"),
+    "--tol": ("gspn", "phase-type"),
+    "--max-iter": ("gspn", "phase-type"),
 }
 
 
@@ -242,6 +347,9 @@ def _check_sweep_flags(args: argparse.Namespace) -> None:
         "--param": args.param,
         "--stages": args.stages,
         "--n-max": args.n_max,
+        "--solver": args.solver,
+        "--tol": args.tol,
+        "--max-iter": args.max_iter,
     }
     for flag, models in _SWEEP_FLAG_SCOPE.items():
         if given[flag] is not None and args.model not in models:
@@ -252,13 +360,18 @@ def _check_sweep_flags(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    solver = args.solver if args.solver is not None else "auto"
     try:
         _check_sweep_flags(args)
+        runner_solver_kwargs = {}
         if args.model == "gspn":
             net = args.net if args.net is not None else "cpu-gspn"
             factory, default_metrics = DEMO_NETS[net]
             model: object = factory()
             title = f"{net} sweep"
+            runner_solver_kwargs = dict(
+                method=solver, tol=args.tol, max_iter=args.max_iter
+            )
         else:
             params = _base_cpu_params(args.param)
             if args.model == "phase-type":
@@ -266,6 +379,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     params,
                     stages=args.stages if args.stages is not None else 32,
                     n_max=args.n_max,
+                    method=solver,
+                    tol=args.tol,
+                    max_iter=args.max_iter,
                 )
             else:
                 model = RenewalBackend(params)
@@ -280,11 +396,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             metrics,
             backend=args.backend if args.backend is not None else "auto",
             n_workers=args.jobs,
+            **runner_solver_kwargs,
         )
         t0 = time.perf_counter()
         result = runner.run(grid)
         elapsed = time.perf_counter() - t0
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, ConvergenceError) as exc:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
@@ -297,6 +414,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
         path = result.write_csv(args.csv_dir)
         print(f"[wrote {path}]")
+    return 0
+
+
+#: net name -> constructor kwargs the ``steady`` size flags map onto
+_STEADY_NET_SIZE_KWARGS = {
+    "mm1k": {"--buffer": "K"},
+    "cpu-gspn": {"--buffer": "buffer_capacity"},
+    "wsn-cluster": {"--buffer": "buffer_capacity", "--nodes": "n_nodes"},
+}
+
+
+def _cmd_steady(args: argparse.Namespace) -> int:
+    solver = args.solver if args.solver is not None else "auto"
+    try:
+        if args.model == "gspn":
+            for flag in ("--param", "--stages", "--n-max"):
+                if getattr(args, flag[2:].replace("-", "_")) is not None:
+                    raise ValueError(
+                        f"{flag} does not apply to --model gspn "
+                        "(it is for --model phase-type)"
+                    )
+            net = args.net if args.net is not None else "wsn-cluster"
+            factory, metrics = DEMO_NETS[net]
+            size_kwargs = {}
+            for flag, value in (("--buffer", args.buffer), ("--nodes", args.nodes)):
+                if value is None:
+                    continue
+                keyword = _STEADY_NET_SIZE_KWARGS[net].get(flag)
+                if keyword is None:
+                    raise ValueError(f"{flag} does not apply to --net {net}")
+                size_kwargs[keyword] = value
+            max_markings = (
+                args.max_markings if args.max_markings is not None else 2_000_000
+            )
+            backend: object = GSPNBackend(
+                factory(**size_kwargs),
+                options=ReachabilityOptions(max_markings=max_markings),
+                method=solver,
+                tol=args.tol,
+                max_iter=args.max_iter,
+            )
+            title = f"{net} steady state"
+        else:
+            for flag, value in (
+                ("--net", args.net),
+                ("--buffer", args.buffer),
+                ("--nodes", args.nodes),
+                ("--max-markings", args.max_markings),
+            ):
+                if value is not None:
+                    raise ValueError(
+                        f"{flag} does not apply to --model phase-type "
+                        "(it is for --model gspn)"
+                    )
+            backend = PhaseTypeBackend(
+                _base_cpu_params(args.param),
+                stages=args.stages if args.stages is not None else 32,
+                n_max=args.n_max,
+                method=solver,
+                tol=args.tol,
+                max_iter=args.max_iter,
+            )
+            metrics = _CPU_DEFAULT_METRICS
+            title = "phase-type steady state"
+        backend.prepare()
+        n = backend.n_states
+        t0 = time.perf_counter()
+        solution = backend.solve({})
+        values = [(m, backend.evaluate(solution, m)) for m in metrics]
+        elapsed = time.perf_counter() - t0
+    except (KeyError, ValueError, ConvergenceError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    print(title)
+    print("-" * len(title))
+    for name, value in values:
+        print(f"{name:30s} {value:.6g}")
+    print(
+        f"\n[{n} states solved with {resolve_steady_state_method(n, solver)} "
+        f"in {elapsed:.3f} s — {backend.describe()}]"
+    )
     return 0
 
 

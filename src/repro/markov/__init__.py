@@ -17,7 +17,14 @@ This package supplies the analytical half of the paper's comparison:
 """
 
 from repro.markov.birth_death import BirthDeathChain
-from repro.markov.ctmc import CTMC
+from repro.markov.ctmc import (
+    CTMC,
+    ConvergenceError,
+    SolverCache,
+    gmres_steady_state,
+    power_steady_state,
+    resolve_steady_state_method,
+)
 from repro.markov.dtmc import DTMC
 from repro.markov.queueing import (
     MachineRepairQueue,
@@ -34,6 +41,7 @@ from repro.markov.supplementary import SupplementaryVariableStage
 __all__ = [
     "BirthDeathChain",
     "CTMC",
+    "ConvergenceError",
     "DTMC",
     "MachineRepairQueue",
     "MD1Queue",
@@ -41,7 +49,11 @@ __all__ = [
     "MM1KQueue",
     "MM1Queue",
     "MMcQueue",
+    "SolverCache",
     "SupplementaryVariableStage",
+    "gmres_steady_state",
     "little_l",
     "little_w",
+    "power_steady_state",
+    "resolve_steady_state_method",
 ]

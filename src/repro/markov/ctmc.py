@@ -5,9 +5,11 @@ entries are transition rates, rows sum to zero).  This module provides
 
 - construction from a rate dictionary or a dense *or* scipy-sparse matrix,
   with validation and an explicit dense/sparse *backend* choice,
-- steady-state solution ``pi Q = 0, sum(pi) = 1`` via a dense LU solve or a
-  sparse LU solve assembled directly from the CSR generator (no densify
-  round-trip), with the solved ``pi`` cached on the instance,
+- steady-state solution ``pi Q = 0, sum(pi) = 1`` via a *family* of
+  solvers selectable per call — direct LU (dense or SuperLU), ILU-
+  preconditioned GMRES on the augmented system, or power iteration on the
+  uniformized DTMC — with an ``"auto"`` policy that picks by state count
+  and per-method caching of the solved ``pi``,
 - transient solution ``pi(t) = pi(0) exp(Q t)`` by uniformization (the
   numerically robust algorithm; never forms the matrix exponential of an
   ill-conditioned generator directly), using sparse matvecs under the
@@ -40,12 +42,22 @@ from typing import (
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import splu
+from scipy.sparse.csgraph import reverse_cuthill_mckee
+from scipy.sparse.linalg import LinearOperator, gmres, spilu, splu
 
 __all__ = [
     "CTMC",
+    "ConvergenceError",
+    "ITERATIVE_AUTO_THRESHOLD",
+    "SPARSE_AUTO_THRESHOLD",
+    "STEADY_STATE_METHODS",
+    "SolverCache",
+    "gmres_augmented_solve",
+    "gmres_steady_state",
     "lu_analyse_solve",
     "lu_resolve_permuted",
+    "power_steady_state",
+    "resolve_steady_state_method",
     "sparse_steady_state",
 ]
 
@@ -54,7 +66,139 @@ RateDict = Mapping[Tuple[Hashable, Hashable], float]
 #: Chains larger than this default to the sparse backend under ``"auto"``.
 SPARSE_AUTO_THRESHOLD = 500
 
+#: Chains larger than this solve steady state iteratively (GMRES) under
+#: ``method="auto"``; at or below it, direct LU wins (see docs/solvers.md).
+ITERATIVE_AUTO_THRESHOLD = 20_000
+
+#: Steady-state solver methods accepted by :meth:`CTMC.steady_state`.
+STEADY_STATE_METHODS = ("auto", "lu", "gmres", "power")
+
+#: Default relative tolerance of the iterative steady-state methods.
+ITERATIVE_DEFAULT_TOL = 1e-10
+
+#: Default iteration budgets (GMRES counts inner Krylov iterations).
+GMRES_DEFAULT_MAX_ITER = 1000
+POWER_DEFAULT_MAX_ITER = 100_000
+
+#: GMRES restart length (Krylov subspace dimension between restarts).
+GMRES_RESTART = 50
+
+#: Default ILU preconditioner strength: deliberately *weak*.  On
+#: arbitrary generators (multi-dimensional reachability graphs) a strong
+#: incomplete factorisation hits the same fill cliff as complete LU —
+#: exactly what the iterative path exists to avoid — while a weak ILU
+#: builds in ~linear time and merely costs extra (cheap) iterations.
+#: Callers whose sparsity pattern is known to be narrow-banded (e.g. the
+#: phase-type sweep backend) pass stronger settings explicitly.
+ILU_DROP_TOL = 0.1
+ILU_FILL_FACTOR = 2
+
+#: A cached ILU preconditioner is dropped (rebuilt on the next solve) once
+#: a warm-started solve needs more than this many iterations — or 3x the
+#: iteration count observed when the ILU was fresh — meaning the sweep has
+#: drifted too far from the operating point the ILU was built at.
+ILU_REFRESH_ITERATIONS = 8
+
 _BACKENDS = ("auto", "dense", "sparse")
+
+
+class ConvergenceError(RuntimeError):
+    """An iterative steady-state solve stalled before reaching tolerance.
+
+    Raised instead of silently returning an unconverged vector.  Carries
+    the diagnostic state a caller needs to react programmatically.
+
+    Attributes
+    ----------
+    method : str
+        The iterative method that stalled (``"gmres"`` or ``"power"``).
+    iterations : int
+        Iterations performed before giving up.
+    residual : float
+        The residual when the iteration stopped (relative linear-system
+        residual for GMRES; successive-iterate 1-norm difference for
+        power iteration).
+    tol : float
+        The tolerance the residual failed to reach.
+    """
+
+    def __init__(
+        self, method: str, iterations: int, residual: float, tol: float
+    ) -> None:
+        self.method = method
+        self.iterations = iterations
+        self.residual = residual
+        self.tol = tol
+        super().__init__(
+            f"{method} steady-state solve did not converge: residual "
+            f"{residual:.3e} > tol {tol:.1e} after {iterations} iterations "
+            f"(raise max_iter, loosen tol, or use method='lu')"
+        )
+
+    def __reduce__(self):
+        # default exception pickling replays args (the message string)
+        # into __init__, which takes four fields — rebuild from those, so
+        # worker-raised stalls survive the multiprocessing result channel
+        return (
+            ConvergenceError,
+            (self.method, self.iterations, self.residual, self.tol),
+        )
+
+
+#: ``SolverCache`` keys holding process-local objects (SuperLU/ILU handles)
+#: that cannot cross a pickle boundary, plus state meaningless without them.
+_PROCESS_LOCAL_KEYS = frozenset({"ilu", "ilu_iters0"})
+
+
+class SolverCache(dict):
+    """Shared factor / warm-start cache for a family of same-pattern chains.
+
+    A plain ``dict`` except that pickling drops process-local entries (the
+    ILU preconditioner wraps a SuperLU handle, which cannot cross process
+    boundaries), so sweep backends holding one stay shippable to worker
+    pools — workers simply rebuild the dropped state on first use.
+
+    Well-known keys: ``"perm_c"`` (fill-reducing column permutation of the
+    direct sparse LU), ``"pi0"`` (previous solution, the iterative
+    methods' warm start), ``"ilu"`` (the ILU preconditioner operator).
+    """
+
+    def __reduce__(self):
+        kept = {k: v for k, v in self.items() if k not in _PROCESS_LOCAL_KEYS}
+        return (SolverCache, (kept,))
+
+
+def resolve_steady_state_method(n: int, method: str = "auto") -> str:
+    """The concrete solver ``method`` denotes for an *n*-state chain.
+
+    Deterministic in the state count: ``"auto"`` resolves to ``"lu"`` for
+    ``n <= ITERATIVE_AUTO_THRESHOLD`` and to ``"gmres"`` above it;
+    explicit method names resolve to themselves.
+
+    Parameters
+    ----------
+    n : int
+        Number of states of the chain.
+    method : {"auto", "lu", "gmres", "power"}
+        Requested solver method.
+
+    Returns
+    -------
+    str
+        One of ``"lu"``, ``"gmres"``, ``"power"``.
+
+    Raises
+    ------
+    ValueError
+        If *method* is not one of :data:`STEADY_STATE_METHODS`.
+    """
+    if method not in STEADY_STATE_METHODS:
+        raise ValueError(
+            f"method must be one of {STEADY_STATE_METHODS}, got {method!r}"
+        )
+    if method == "auto":
+        return "lu" if n <= ITERATIVE_AUTO_THRESHOLD else "gmres"
+    return method
 
 
 def _finalize_pi(pi: np.ndarray) -> np.ndarray:
@@ -114,6 +258,323 @@ def lu_resolve_permuted(
     return x
 
 
+def _augmented_system(Q: sparse.spmatrix) -> Tuple[sparse.csc_matrix, np.ndarray]:
+    """``(A, b)`` of the augmented steady-state system.
+
+    ``A`` is ``Q^T`` with its last balance equation replaced by the
+    normalisation row of ones, so ``A x = b`` (with ``b = e_n``) has the
+    stationary distribution as its unique solution for irreducible chains.
+    """
+    n = Q.shape[0]
+    QT = Q.transpose().tocsr()
+    A = sparse.vstack(
+        [QT[:-1, :], sparse.csr_matrix(np.ones((1, n)))], format="csc"
+    )
+    b = np.zeros(n)
+    b[-1] = 1.0
+    return A, b
+
+
+def gmres_augmented_solve(
+    A: sparse.spmatrix,
+    b: np.ndarray,
+    tol: Optional[float] = None,
+    max_iter: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    cache: Optional[Dict] = None,
+    use_ilu: bool = True,
+    drop_tol: Optional[float] = None,
+    fill_factor: Optional[float] = None,
+) -> Tuple[np.ndarray, int]:
+    """Solve a prebuilt augmented steady-state system by ILU-GMRES.
+
+    The workhorse behind :func:`gmres_steady_state`; exposed separately so
+    sweep backends that already hold the augmented system (e.g. the
+    phase-type backend's affine CSC template) can skip re-assembly.
+
+    Parameters
+    ----------
+    A, b : sparse matrix, ndarray
+        The augmented system from :func:`_augmented_system` (or an
+        equivalent assembly with the same meaning).
+    tol : float, optional
+        Relative residual target (default ``ITERATIVE_DEFAULT_TOL``).
+    max_iter : int, optional
+        Inner-iteration budget (default ``GMRES_DEFAULT_MAX_ITER``);
+        rounded up to whole restart cycles of length ``GMRES_RESTART``.
+    x0 : ndarray, optional
+        Initial guess.  When omitted and *cache* holds a same-length
+        ``"pi0"`` (the previous solve of the family), that warm start is
+        used — on dense sweep grids this cuts the iteration count to a
+        handful per point.
+    cache : dict, optional
+        A :class:`SolverCache` shared by a family of same-pattern systems.
+        The ILU preconditioner is stored under ``"ilu"`` and reused across
+        solves (a stale ILU is still a valid preconditioner — it costs
+        iterations, never correctness — and is dropped for rebuild once a
+        solve needs more than ``ILU_REFRESH_ITERATIONS`` iterations or 3x
+        the fresh-ILU iteration count); the solution lands under ``"pi0"``
+        for the next warm start.
+    use_ilu : bool
+        Disable to run unpreconditioned GMRES (mainly for tests and for
+        chains whose ILU factors would not fit in memory).
+    drop_tol, fill_factor : float, optional
+        ILU strength (defaults :data:`ILU_DROP_TOL` /
+        :data:`ILU_FILL_FACTOR` — deliberately weak; see the constants).
+        Callers with narrow-banded patterns gain from much stronger
+        settings, which then amortise across a warm-started sweep.
+
+    Returns
+    -------
+    (x, iterations) : ndarray, int
+        The raw solution (un-normalised; pass through ``_finalize_pi``)
+        and the inner iteration count.
+
+    Raises
+    ------
+    ConvergenceError
+        If the residual has not reached *tol* within the budget.
+    """
+    n = len(b)
+    if tol is None:
+        tol = ITERATIVE_DEFAULT_TOL
+    if max_iter is None:
+        max_iter = GMRES_DEFAULT_MAX_ITER
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    if x0 is None and cache is not None:
+        pi0 = cache.get("pi0")
+        if pi0 is not None and np.shape(pi0) == (n,):
+            x0 = np.asarray(pi0, dtype=np.float64)
+    # cache["ilu"] holds the preconditioner, or None recording an earlier
+    # failed factorisation (don't re-pay the failed attempt per point)
+    known_failed = False
+    M = None
+    if use_ilu and cache is not None and "ilu" in cache:
+        M = cache["ilu"]
+        if M is None:
+            known_failed = True
+        elif M.shape != (n, n):
+            M = None  # pattern family changed size: rebuild
+    fresh_ilu = False
+    if M is None and use_ilu and not known_failed:
+        try:
+            ilu = spilu(
+                sparse.csc_matrix(A),
+                drop_tol=ILU_DROP_TOL if drop_tol is None else drop_tol,
+                fill_factor=(
+                    ILU_FILL_FACTOR if fill_factor is None else fill_factor
+                ),
+            )
+            M = LinearOperator((n, n), ilu.solve)
+            fresh_ilu = True
+        except RuntimeError:
+            # zero pivot in the incomplete factorisation (usually a
+            # reducible chain): fall through unpreconditioned and let the
+            # convergence check speak
+            M = None
+        if cache is not None:
+            cache["ilu"] = M
+
+    iterations = 0
+
+    def _count(_: float) -> None:
+        nonlocal iterations
+        iterations += 1
+
+    restart = max(1, min(GMRES_RESTART, max_iter, n))
+    outer = max(1, -(-max_iter // restart))  # ceil division
+    x, info = gmres(
+        A,
+        b,
+        x0=x0,
+        rtol=tol,
+        atol=0.0,
+        restart=restart,
+        maxiter=outer,
+        M=M,
+        callback=_count,
+        callback_type="pr_norm",
+    )
+    if info != 0:
+        residual = float(np.linalg.norm(A @ x - b) / np.linalg.norm(b))
+        raise ConvergenceError("gmres", iterations, residual, tol)
+    if cache is not None:
+        cache["pi0"] = np.asarray(x, dtype=np.float64).copy()
+        if fresh_ilu:
+            cache["ilu_iters0"] = iterations
+        elif not known_failed and iterations > max(
+            ILU_REFRESH_ITERATIONS, 3 * cache.get("ilu_iters0", 0)
+        ):
+            # drifted too far from the ILU's operating point: rebuild next
+            cache.pop("ilu", None)
+            cache.pop("ilu_iters0", None)
+    return x, iterations
+
+
+def gmres_steady_state(
+    Q: Union[np.ndarray, sparse.spmatrix],
+    tol: Optional[float] = None,
+    max_iter: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    cache: Optional[Dict] = None,
+    use_ilu: bool = True,
+    reorder: bool = True,
+) -> np.ndarray:
+    """Solve ``pi Q = 0, sum(pi) = 1`` by ILU-preconditioned GMRES.
+
+    Builds the augmented system (``Q^T`` with the last balance row
+    replaced by the normalisation row) and solves it with restarted GMRES,
+    preconditioned by an incomplete LU factorisation.  Unlike the direct
+    solve this never forms complete LU factors, so memory stays bounded by
+    the ILU fill budget — the path that keeps chains far past
+    :data:`ITERATIVE_AUTO_THRESHOLD` states tractable.
+
+    The states are reordered by reverse Cuthill-McKee first (*reorder*;
+    near-free, cached per pattern family) — reachability exploration
+    emits breadth-first state orders whose ILU factors are much weaker
+    than the same budget spent on a bandwidth-reduced ordering.  Warm
+    starts and the returned distribution stay in the caller's original
+    state order; the permutation is internal.
+
+    See :func:`gmres_augmented_solve` for the remaining parameter
+    semantics (*cache* carries warm starts and the shared preconditioner
+    across a sweep).  Assumes an irreducible chain; unlike the LU path, a
+    reducible chain may surface as :class:`ConvergenceError` rather than
+    ``ValueError``, or converge to one of its stationary distributions.
+
+    Returns
+    -------
+    ndarray
+        The stationary distribution.
+    """
+    if not sparse.issparse(Q):
+        Q = sparse.csr_matrix(np.asarray(Q, dtype=np.float64))
+    Q = Q.tocsr()
+    n = Q.shape[0]
+    perm: Optional[np.ndarray] = None
+    if reorder and n > 2:
+        perm = cache.get("rcm_perm") if cache is not None else None
+        if perm is not None and np.shape(perm) != (n,):
+            perm = None  # pattern family changed size: re-order
+        if perm is None:
+            perm = np.asarray(reverse_cuthill_mckee(Q, symmetric_mode=False))
+            if cache is not None:
+                cache["rcm_perm"] = perm
+        Q = Q[perm][:, perm].tocsr()
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=np.float64)[perm]
+        elif cache is not None:
+            pi0 = cache.get("pi0")
+            if pi0 is not None and np.shape(pi0) == (n,):
+                x0 = np.asarray(pi0, dtype=np.float64)[perm]
+    A, b = _augmented_system(Q)
+    x, _ = gmres_augmented_solve(
+        A, b, tol=tol, max_iter=max_iter, x0=x0, cache=cache, use_ilu=use_ilu
+    )
+    if perm is not None:
+        x_orig = np.empty(n)
+        x_orig[perm] = x
+        x = x_orig
+        if cache is not None:
+            # keep the warm start in original coordinates (the permuted
+            # copy stored by the inner solve is translated on every read)
+            cache["pi0"] = x.copy()
+    return _finalize_pi(x)
+
+
+def power_steady_state(
+    Q: Union[np.ndarray, sparse.spmatrix],
+    tol: Optional[float] = None,
+    max_iter: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    cache: Optional[Dict] = None,
+) -> np.ndarray:
+    """Solve ``pi Q = 0, sum(pi) = 1`` by power iteration on the
+    uniformized DTMC.
+
+    With ``Lambda = 1.05 * max_i |Q_ii|`` the uniformized matrix
+    ``P = I + Q / Lambda`` is a strictly aperiodic stochastic matrix whose
+    unique fixed point (for irreducible chains) is the CTMC's stationary
+    distribution; iterating ``x <- x P`` converges geometrically at the
+    chain's mixing rate.  Each sweep is one CSR matvec and nothing beyond
+    the generator is ever stored — the lowest-memory solver in the family,
+    at the price of slow convergence for stiff or slowly mixing chains.
+
+    Parameters
+    ----------
+    Q : ndarray or sparse matrix
+        Generator (rows sum to zero).
+    tol : float, optional
+        Successive-iterate 1-norm target (default
+        ``ITERATIVE_DEFAULT_TOL``).
+    max_iter : int, optional
+        Sweep budget (default ``POWER_DEFAULT_MAX_ITER``).
+    x0 : ndarray, optional
+        Starting distribution; defaults to the *cache*'s ``"pi0"`` warm
+        start when present, else uniform.
+    cache : dict, optional
+        :class:`SolverCache` shared across a family; the solution is
+        stored under ``"pi0"`` for the next warm start.
+
+    Returns
+    -------
+    ndarray
+        The stationary distribution.
+
+    Raises
+    ------
+    ConvergenceError
+        If the successive-iterate difference is still above *tol* after
+        *max_iter* sweeps.
+    ValueError
+        If every state is absorbing (no uniformization constant exists).
+    """
+    if not sparse.issparse(Q):
+        Q = sparse.csr_matrix(np.asarray(Q, dtype=np.float64))
+    Q = Q.tocsr()
+    n = Q.shape[0]
+    if tol is None:
+        tol = ITERATIVE_DEFAULT_TOL
+    if max_iter is None:
+        max_iter = POWER_DEFAULT_MAX_ITER
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    lam = float(-Q.diagonal().min())
+    if lam <= 0.0:
+        raise ValueError(
+            "power iteration needs at least one non-absorbing state"
+        )
+    lam *= 1.05  # keep self-loop mass: guarantees aperiodicity
+    PT = (sparse.eye(n, format="csr") + Q.T.tocsr() / lam).tocsr()
+    if x0 is None and cache is not None:
+        pi0 = cache.get("pi0")
+        if pi0 is not None and np.shape(pi0) == (n,):
+            x0 = np.asarray(pi0, dtype=np.float64)
+    if x0 is None:
+        x = np.full(n, 1.0 / n)
+    else:
+        x = np.clip(np.asarray(x0, dtype=np.float64), 0.0, None)
+        total = x.sum()
+        x = x / total if total > 0.0 else np.full(n, 1.0 / n)
+    diff = math.inf
+    for iteration in range(1, max_iter + 1):
+        x_new = PT @ x
+        total = x_new.sum()
+        if not (math.isfinite(total) and total > 0.0):
+            raise ValueError("power iteration produced a non-distribution")
+        x_new /= total
+        diff = float(np.abs(x_new - x).sum())
+        x = x_new
+        if diff <= tol:
+            break
+    else:
+        raise ConvergenceError("power", max_iter, diff, tol)
+    if cache is not None:
+        cache["pi0"] = x.copy()
+    return _finalize_pi(x)
+
+
 def sparse_steady_state(
     Q: sparse.spmatrix, perm_c: Optional[np.ndarray] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -143,12 +604,7 @@ def sparse_steady_state(
         the wrong length.
     """
     n = Q.shape[0]
-    QT = Q.transpose().tocsr()
-    A = sparse.vstack(
-        [QT[:-1, :], sparse.csr_matrix(np.ones((1, n)))], format="csc"
-    )
-    b = np.zeros(n)
-    b[-1] = 1.0
+    A, b = _augmented_system(Q)
     if perm_c is None:
         pi, perm_c = lu_analyse_solve(A, b)
     else:
@@ -262,8 +718,10 @@ class CTMC:
         if len(self._index) != n:
             raise ValueError("labels must be unique")
 
-        # solver caches (the generator is immutable after construction)
-        self._pi: Optional[np.ndarray] = None
+        # solver caches (the generator is immutable after construction);
+        # steady-state solutions are cached per resolved method so method
+        # comparisons exercise genuinely independent solves
+        self._pi_cache: Dict[str, np.ndarray] = {}
         self._unif: Optional[Tuple[float, Callable[[np.ndarray], np.ndarray]]] = None
         self._factor_cache = factor_cache
 
@@ -333,23 +791,127 @@ class CTMC:
     # ------------------------------------------------------------------ #
     # solutions
     # ------------------------------------------------------------------ #
-    def steady_state(self) -> np.ndarray:
+    def steady_state(
+        self,
+        method: str = "auto",
+        tol: Optional[float] = None,
+        max_iter: Optional[int] = None,
+        x0: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Stationary distribution ``pi`` with ``pi Q = 0`` and ``sum = 1``.
 
-        Solved by replacing one balance equation with the normalisation
-        constraint — densely via LU, or sparsely via SuperLU with the
-        system assembled directly in CSC form.  Requires the chain to have
-        a single recurrent class reachable from everywhere (an
-        irreducibility-equivalent condition); a singular system raises
-        ``ValueError`` on *both* backends.  The solution is cached; a copy
-        is returned.
-        """
-        if self._pi is None:
-            self._pi = self._solve_steady_state()
-        return self._pi.copy()
+        Parameters
+        ----------
+        method : {"auto", "lu", "gmres", "power"}
+            Steady-state solver.
 
-    def _solve_steady_state(self) -> np.ndarray:
+            - ``"lu"`` — direct solve of the augmented system (one balance
+              equation replaced by the normalisation constraint), densely
+              via LAPACK or sparsely via SuperLU depending on the chain's
+              ``backend``.  Exact to machine precision; memory grows with
+              LU fill.
+            - ``"gmres"`` — restarted GMRES with an ILU preconditioner on
+              the same augmented system (:func:`gmres_steady_state`).
+              Memory bounded by the ILU fill budget; the path for chains
+              the direct factorisation cannot hold.
+            - ``"power"`` — power iteration on the uniformized DTMC
+              (:func:`power_steady_state`).  Lowest memory (the generator
+              plus two vectors), slowest convergence.
+            - ``"auto"`` — ``"lu"`` up to
+              :data:`ITERATIVE_AUTO_THRESHOLD` (20 000) states, then
+              ``"gmres"`` (see :func:`resolve_steady_state_method` and
+              docs/solvers.md).
+        tol : float, optional
+            Convergence tolerance of the iterative methods (default
+            ``1e-10``); ignored by ``"lu"``, which is direct.
+        max_iter : int, optional
+            Iteration budget of the iterative methods (GMRES inner
+            iterations / power sweeps); ignored by ``"lu"``.
+        x0 : ndarray, optional
+            Warm start for the iterative methods.  When omitted, the
+            chain's ``factor_cache`` provides the previous same-pattern
+            solution (``"pi0"``), which is what makes dense sweep grids
+            converge in a handful of iterations per point.
+
+        Returns
+        -------
+        ndarray
+            The stationary distribution (a copy).  Solutions are cached
+            per resolved method — but only for default-argument solves: a
+            call with an explicit *tol*, *max_iter* or *x0* always solves
+            fresh (and is not cached), so asking for a tighter tolerance
+            can never be answered with an earlier, looser vector.
+
+        Raises
+        ------
+        ValueError
+            Unknown *method*, or a singular (reducible) chain under the
+            direct solver.
+        ConvergenceError
+            An iterative method stalled before reaching *tol*; the error
+            carries the iteration count and final residual.
+
+        Notes
+        -----
+        The direct solver detects reducible chains (singular system); the
+        iterative methods assume irreducibility and may instead stall or
+        converge to one of several stationary distributions.  Requires a
+        single recurrent class reachable from everywhere for the result
+        to be *the* stationary distribution.
+        """
+        resolved = self.resolve_method(method)
+        default_solve = tol is None and max_iter is None and x0 is None
+        if default_solve:
+            cached = self._pi_cache.get(resolved)
+            if cached is not None:
+                return cached.copy()
+        pi = self._solve_steady_state(resolved, tol, max_iter, x0)
+        if default_solve:
+            self._pi_cache[resolved] = pi
+        return pi.copy()
+
+    def resolve_method(self, method: str = "auto") -> str:
+        """The concrete solver *method* denotes for this chain's size."""
+        return resolve_steady_state_method(self.n, method)
+
+    def seed_steady_state(self, pi: np.ndarray) -> None:
+        """Install an externally solved stationary vector.
+
+        Every method's cache is seeded — the vector *is* the stationary
+        distribution, however it was obtained (e.g. a sweep backend's
+        shared-template solve).
+        """
+        pi = np.asarray(pi, dtype=np.float64)
+        if pi.shape != (self.n,):
+            raise ValueError(f"pi must have shape ({self.n},)")
+        solved = pi.copy()
+        for name in STEADY_STATE_METHODS[1:]:
+            self._pi_cache[name] = solved
+
+    def _solve_steady_state(
+        self,
+        method: str,
+        tol: Optional[float],
+        max_iter: Optional[int],
+        x0: Optional[np.ndarray],
+    ) -> np.ndarray:
         n = self.n
+        if method == "gmres":
+            return gmres_steady_state(
+                self.Q_sparse,
+                tol=tol,
+                max_iter=max_iter,
+                x0=x0,
+                cache=self._factor_cache,
+            )
+        if method == "power":
+            return power_steady_state(
+                self.Q_sparse,
+                tol=tol,
+                max_iter=max_iter,
+                x0=x0,
+                cache=self._factor_cache,
+            )
         if self.backend == "sparse":
             # A = Q^T with the last row replaced by the normalisation row,
             # factorised via SuperLU with the symbolic analysis shared

@@ -35,7 +35,12 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.markov.ctmc import CTMC, SPARSE_AUTO_THRESHOLD
+from repro.markov.ctmc import (
+    CTMC,
+    SPARSE_AUTO_THRESHOLD,
+    SolverCache,
+    resolve_steady_state_method,
+)
 from repro.petri.analysis import (
     ReachabilityGraph,
     ReachabilityOptions,
@@ -54,8 +59,10 @@ class GSPNSolution:
 
     ``rates`` maps each exponential transition name to the rate the chain
     was assembled with (the net's own rates, unless they were re-bound via
-    :meth:`GSPNSolver.solve`).  The steady-state vector is solved once and
-    cached — every query method reuses it.
+    :meth:`GSPNSolver.solve`).  The steady-state vector is solved once —
+    with the ``solver_method``/``solver_tol``/``solver_max_iter`` the
+    solution was created with (see :meth:`CTMC.steady_state`) — and
+    cached; every query method reuses it.
     """
 
     ctmc: CTMC
@@ -63,6 +70,9 @@ class GSPNSolution:
     initial_distribution: np.ndarray
     graph: ReachabilityGraph
     rates: Dict[str, float] = field(default_factory=dict)
+    solver_method: str = "auto"
+    solver_tol: Optional[float] = None
+    solver_max_iter: Optional[int] = None
     _pi: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     _enabled_rows: Dict[str, np.ndarray] = field(
         default_factory=dict, repr=False, compare=False
@@ -80,7 +90,11 @@ class GSPNSolution:
     def _pi_vector(self) -> np.ndarray:
         """The stationary vector, solved once per solution instance."""
         if self._pi is None:
-            self._pi = self.ctmc.steady_state()
+            self._pi = self.ctmc.steady_state(
+                method=self.solver_method,
+                tol=self.solver_tol,
+                max_iter=self.solver_max_iter,
+            )
         return self._pi
 
     def steady_state(self) -> Dict[Marking, float]:
@@ -242,8 +256,10 @@ class GSPNSolver:
             self._base_rates[i] = compiled.transitions[i].rate
 
         # shared across every sparse per-point CTMC: the sparsity pattern is
-        # rate-independent, so one symbolic LU analysis serves a whole sweep
-        self._factor_cache: Dict[str, np.ndarray] = {}
+        # rate-independent, so one symbolic LU analysis — or one ILU
+        # preconditioner plus the previous point's warm-start vector under
+        # the iterative methods — serves a whole sweep
+        self._factor_cache: SolverCache = SolverCache()
 
     @property
     def exponential_transitions(self) -> List[str]:
@@ -284,30 +300,44 @@ class GSPNSolver:
         self,
         rates: Optional[Mapping[str, float]] = None,
         backend: str = "auto",
+        method: str = "auto",
+        tol: Optional[float] = None,
+        max_iter: Optional[int] = None,
     ) -> GSPNSolution:
         """Assemble and wrap the CTMC for *rates* (no re-exploration).
 
         Parameters
         ----------
-        rates:
+        rates : mapping, optional
             ``{transition name: new exponential rate}`` overrides; omitted
             transitions keep the rate from the net definition.
-        backend:
-            CTMC backend (``"auto"``/``"dense"``/``"sparse"``); ``"auto"``
-            goes sparse past :data:`~repro.markov.ctmc.SPARSE_AUTO_THRESHOLD`
-            states.
+        backend : {"auto", "dense", "sparse"}
+            CTMC linear-algebra backend; ``"auto"`` goes sparse past
+            :data:`~repro.markov.ctmc.SPARSE_AUTO_THRESHOLD` states.
+        method : {"auto", "lu", "gmres", "power"}
+            Steady-state solver (see :meth:`CTMC.steady_state`).  The
+            iterative methods always run on the sparse generator and share
+            this solver's warm-start cache, so consecutive solves of a
+            sweep start from the previous point's solution.
+        tol, max_iter : float, int, optional
+            Convergence tolerance / iteration budget of the iterative
+            methods; ignored by ``"lu"``.
         """
+        resolved = resolve_steady_state_method(self.n, method)
         rate_vec = self._rate_vector(rates)
         Q = self._assemble(rate_vec)
-        if backend == "dense" or (
-            backend == "auto" and self.n <= SPARSE_AUTO_THRESHOLD
+        if resolved == "lu" and (
+            backend == "dense"
+            or (backend == "auto" and self.n <= SPARSE_AUTO_THRESHOLD)
         ):
             ctmc = CTMC(Q.toarray(), labels=self.markings, backend="dense")
         else:
+            # iterative methods always solve sparsely and warm-start from
+            # the shared cache, whatever the requested dense/sparse backend
             ctmc = CTMC(
                 Q,
                 labels=self.markings,
-                backend=backend,
+                backend="sparse" if resolved != "lu" else backend,
                 factor_cache=self._factor_cache,
             )
         effective = {name: float(rate_vec[i]) for name, i in self._exp_names.items()}
@@ -317,6 +347,9 @@ class GSPNSolver:
             initial_distribution=self._init.copy(),
             graph=self.graph,
             rates=effective,
+            solver_method=method,
+            solver_tol=tol,
+            solver_max_iter=max_iter,
         )
 
 

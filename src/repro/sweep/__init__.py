@@ -40,7 +40,12 @@ from repro.sweep.backends import (
     make_backend,
 )
 from repro.sweep.grid import SweepGrid, parse_axis
-from repro.sweep.nets import DEMO_NETS, build_cpu_gspn_net, build_mm1k_net
+from repro.sweep.nets import (
+    DEMO_NETS,
+    build_cpu_gspn_net,
+    build_mm1k_net,
+    build_wsn_cluster_net,
+)
 from repro.sweep.results import SweepResult
 from repro.sweep.runner import Metric, SweepRunner, evaluate_metric, metric_name
 
@@ -57,6 +62,7 @@ __all__ = [
     "SweepRunner",
     "build_cpu_gspn_net",
     "build_mm1k_net",
+    "build_wsn_cluster_net",
     "evaluate_metric",
     "make_backend",
     "metric_name",

@@ -153,7 +153,31 @@ class SweepBackend(abc.ABC):
     Subclasses set ``name``, ``steady_kinds`` and ``transient_kinds`` and
     implement the template/solve/metric hooks.  Instances must stay
     picklable (the runner ships them to worker processes once per pool);
-    keep any unpicklable per-solve state on the solution objects instead.
+    keep any unpicklable per-solve state on the solution objects, or in a
+    :class:`~repro.markov.ctmc.SolverCache`, which drops its
+    process-local entries (ILU handles and the like) at the pickle
+    boundary instead.
+
+    Attributes
+    ----------
+    name : str
+        Registry name, e.g. ``"gspn"`` (what the CLI's ``--model`` takes).
+    steady_kinds : tuple of str
+        Steady-state metric kinds :meth:`evaluate` accepts.
+    transient_kinds : tuple of str
+        Transient metric kinds (evaluated with an ``@t`` horizon).
+
+    Notes
+    -----
+    The lifecycle is: :meth:`prepare` builds the rate-independent
+    *template* exactly once (idempotent — state space, sparsity pattern,
+    symbolic factorisation analysis); :meth:`solve` binds one grid
+    point's values to the template and returns a *solution*;
+    :meth:`evaluate` turns a solution plus a metric spec into one
+    result-table cell.  Backends with a linear-algebra core additionally
+    accept a steady-state solver ``method`` (``"auto"``/``"lu"``/
+    ``"gmres"``/``"power"``) — see ``docs/solvers.md`` for the selection
+    guide.
     """
 
     #: registry name, e.g. ``"gspn"``

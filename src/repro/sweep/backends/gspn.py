@@ -21,10 +21,11 @@ the first solve is reused by every later one (see
 
 from __future__ import annotations
 
-from typing import List, Mapping
+from typing import List, Mapping, Optional
 
 import numpy as np
 
+from repro.markov.ctmc import resolve_steady_state_method
 from repro.petri.analysis import ReachabilityOptions
 from repro.petri.ctmc_export import GSPNSolution, GSPNSolver
 from repro.petri.net import PetriNet
@@ -57,14 +58,24 @@ class GSPNBackend(SweepBackend):
 
     Parameters
     ----------
-    net:
+    net : PetriNet
         Exponential-only net; explored once, eagerly (construction *is*
         the prepare step, so errors surface where the net is named).
-    options:
-        Reachability exploration limits.
-    ctmc_backend:
-        Linear-algebra backend forwarded to every per-point CTMC
-        (``"auto"``/``"dense"``/``"sparse"``).
+    options : ReachabilityOptions
+        Reachability exploration limits (``max_markings`` bounds the
+        state-space exploration).
+    ctmc_backend : {"auto", "dense", "sparse"}
+        Linear-algebra backend forwarded to every per-point CTMC.
+    method : {"auto", "lu", "gmres", "power"}
+        Steady-state solver forwarded to every per-point solve (see
+        :meth:`repro.markov.ctmc.CTMC.steady_state`).  The iterative
+        methods warm-start each grid point from the previous point's
+        solution through the solver's shared cache.
+    tol : float, optional
+        Convergence tolerance of the iterative methods (default
+        ``1e-10``); ignored by ``"lu"``.
+    max_iter : int, optional
+        Iteration budget of the iterative methods; ignored by ``"lu"``.
     """
 
     name = "gspn"
@@ -76,16 +87,29 @@ class GSPNBackend(SweepBackend):
         net: PetriNet,
         options: ReachabilityOptions = ReachabilityOptions(),
         ctmc_backend: str = "auto",
+        method: str = "auto",
+        tol: Optional[float] = None,
+        max_iter: Optional[int] = None,
     ) -> None:
+        resolve_steady_state_method(1, method)  # validate the name eagerly
         self.solver = GSPNSolver(net, options)
         self.ctmc_backend = ctmc_backend
+        self.method = method
+        self.tol = tol
+        self.max_iter = max_iter
         self._place_names = tuple(self.solver.markings[0].place_names)
 
     def _prepare(self) -> GSPNSolver:
         return self.solver
 
     def solve(self, point: Mapping[str, float]) -> GSPNSolution:
-        return self.solver.solve(rates=point, backend=self.ctmc_backend)
+        return self.solver.solve(
+            rates=point,
+            backend=self.ctmc_backend,
+            method=self.method,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
 
     def axis_names(self) -> List[str]:
         return self.solver.exponential_transitions
@@ -95,7 +119,11 @@ class GSPNBackend(SweepBackend):
         return self.solver.n
 
     def describe(self) -> str:
-        return f"{self.solver.n} tangible markings, graph explored once"
+        solver = resolve_steady_state_method(self.solver.n, self.method)
+        return (
+            f"{self.solver.n} tangible markings, graph explored once, "
+            f"{solver} steady state"
+        )
 
     # ------------------------------------------------------------------ #
     def _steady_metric(self, solution: GSPNSolution, spec: MetricSpec) -> float:

@@ -50,9 +50,13 @@ from repro.core.phase_type import (
 )
 from repro.markov.ctmc import (
     CTMC,
+    SolverCache,
     _finalize_pi,
+    gmres_augmented_solve,
     lu_analyse_solve,
     lu_resolve_permuted,
+    power_steady_state,
+    resolve_steady_state_method,
 )
 from repro.sweep.backends.base import (
     CPUParamsAxesMixin,
@@ -64,6 +68,15 @@ __all__ = ["PhaseTypeBackend", "PhaseTypeSweepSolution", "PhaseTypeTemplate"]
 
 #: stage-structure state kinds -> canonical StateFractions names
 _KIND_TO_STATE = {"busy": "active", "powerup": "powerup", "standby": "standby", "idle": "idle"}
+
+#: ILU strength for the GMRES path.  The stage-expanded chain is
+#: narrow-banded in its natural state order, so a *strong* incomplete
+#: factorisation stays cheap to build (unlike on lattice-like reachability
+#: graphs, where ``repro.markov.ctmc``'s weak defaults are the right call)
+#: and pays for itself across a warm-started grid: per-point solves drop
+#: to a handful of iterations.
+_ILU_DROP_TOL = 1e-5
+_ILU_FILL_FACTOR = 20
 
 
 @dataclass(frozen=True)
@@ -121,7 +134,7 @@ class PhaseTypeSweepSolution:
         """The point's CTMC (built lazily; only transient metrics need it)."""
         if self._ctmc is None:
             self._ctmc = CTMC(self.Q, backend="sparse")
-            self._ctmc._pi = self.pi.copy()  # already solved; share it
+            self._ctmc.seed_steady_state(self.pi)  # already solved; share it
         return self._ctmc
 
     def fractions(self) -> StateFractions:
@@ -146,20 +159,40 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
 
     Parameters
     ----------
-    params:
-        Base :class:`CPUModelParams`; grid points override individual
-        fields (axes: ``arrival_rate``/``AR``, ``service_rate``/``SR``,
-        ``power_down_threshold``/``T``/``PDT``, ``power_up_delay``/``D``/
-        ``PUT``).  Both deterministic delays must be positive — the stage
-        structure needs their state blocks to exist at every grid point.
-    stages, stages_powerup, stages_idle:
-        Erlang stage counts (accuracy knob; see ``PhaseTypeModel``).
-    n_max:
+    params : CPUModelParams, optional
+        Base parameters (defaults to the paper's); grid points override
+        individual fields (axes: ``arrival_rate``/``AR``,
+        ``service_rate``/``SR``, ``power_down_threshold``/``T``/``PDT``,
+        ``power_up_delay``/``D``/``PUT``).  Both deterministic delays must
+        be positive — the stage structure needs their state blocks to
+        exist at every grid point.
+    stages : int
+        Erlang stage count per deterministic delay (accuracy knob; the
+        approximation error vanishes as it grows — see
+        ``PhaseTypeModel``).
+    stages_powerup, stages_idle : int, optional
+        Per-delay overrides of *stages* for the power-up delay ``D`` and
+        the idle threshold ``T`` respectively.
+    n_max : int, optional
         Queue truncation level, **fixed across the whole grid** so the
         sparsity pattern is too; defaults to ``PhaseTypeModel``'s choice
         for the base parameters.  When sweeping toward heavier load, pass
-        an ``n_max`` sized for the heaviest point and check
-        ``truncation_mass`` stays negligible.
+        an ``n_max`` sized for the heaviest point and check the
+        ``truncation_mass`` metric stays negligible.  State count grows
+        as ``1 + stages * n_max + n_max + stages`` — deep buffers are
+        exactly where the iterative solvers earn their keep.
+    method : {"auto", "lu", "gmres", "power"}
+        Steady-state solver (see
+        :meth:`repro.markov.ctmc.CTMC.steady_state`).  ``"lu"`` runs the
+        affine-map symbolic-LU path; the iterative methods warm-start
+        each grid point from the previous point's solution and share one
+        ILU preconditioner across the grid.  ``"auto"`` picks by state
+        count (LU up to 20 000 states, then GMRES).
+    tol : float, optional
+        Convergence tolerance of the iterative methods (default
+        ``1e-10``); ignored by ``"lu"``.
+    max_iter : int, optional
+        Iteration budget of the iterative methods; ignored by ``"lu"``.
     """
 
     name = "phase-type"
@@ -178,7 +211,11 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
         stages_powerup: Optional[int] = None,
         stages_idle: Optional[int] = None,
         n_max: Optional[int] = None,
+        method: str = "auto",
+        tol: Optional[float] = None,
+        max_iter: Optional[int] = None,
     ) -> None:
+        resolve_steady_state_method(1, method)  # validate the name eagerly
         if params is None:
             params = CPUModelParams.paper_defaults()
         if params.power_up_delay <= 0.0 or params.power_down_threshold <= 0.0:
@@ -200,7 +237,10 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
         self.k_d = model.k_d
         self.k_t = model.k_t
         self.n_max = model.n_max
-        self._factor_cache: Dict[str, np.ndarray] = {}
+        self.method = method
+        self.tol = tol
+        self.max_iter = max_iter
+        self._factor_cache: SolverCache = SolverCache()
         self._A_perm: Optional[sparse.csc_matrix] = None
 
     # ------------------------------------------------------------------ #
@@ -330,6 +370,62 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
     ) -> np.ndarray:
         """Solve ``pi Q = 0`` through the template's fixed CSC system.
 
+        Dispatches on the backend's ``method``: the LU path below, or the
+        iterative solvers (GMRES on the same augmented CSC system, power
+        iteration on the generator), which warm-start from the previous
+        grid point's solution held in the shared cache.
+        """
+        method = resolve_steady_state_method(tpl.n_states, self.method)
+        if method == "gmres":
+            return self._gmres_steady_state(tpl, rate_vec)
+        if method == "power":
+            return self._power_steady_state(tpl, rate_vec)
+        return self._lu_steady_state(tpl, rate_vec)
+
+    def _gmres_steady_state(
+        self, tpl: PhaseTypeTemplate, rate_vec: np.ndarray
+    ) -> np.ndarray:
+        """ILU-GMRES on the affine-map augmented system (no permutation)."""
+        n = tpl.n_states
+        A = sparse.csc_matrix(
+            (tpl.A_G @ rate_vec + tpl.A_c0, tpl.A_indices, tpl.A_indptr),
+            shape=(n, n),
+        )
+        b = np.zeros(n)
+        b[-1] = 1.0
+        x, _ = gmres_augmented_solve(
+            A,
+            b,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            cache=self._factor_cache,
+            drop_tol=_ILU_DROP_TOL,
+            fill_factor=_ILU_FILL_FACTOR,
+        )
+        return _finalize_pi(x)
+
+    def _power_steady_state(
+        self, tpl: PhaseTypeTemplate, rate_vec: np.ndarray
+    ) -> np.ndarray:
+        """Power iteration on the uniformized point generator."""
+        n = tpl.n_states
+        off = sparse.csr_matrix(
+            (rate_vec[tpl.rate_pick], tpl.indices, tpl.indptr), shape=(n, n)
+        )
+        exit_rates = np.asarray(off.sum(axis=1)).ravel()
+        Q = (off - sparse.diags(exit_rates)).tocsr()
+        return power_steady_state(
+            Q,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            cache=self._factor_cache,
+        )
+
+    def _lu_steady_state(
+        self, tpl: PhaseTypeTemplate, rate_vec: np.ndarray
+    ) -> np.ndarray:
+        """Direct solve through the shared symbolic LU.
+
         The first point pays the symbolic COLAMD analysis and caches both
         the column permutation and the data-slot shuffle that applies it;
         every later point reassembles pre-permuted in ``O(nnz)`` and
@@ -383,15 +479,26 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
             )
         return self._A_perm
 
+    def reset_solver_state(self) -> None:
+        """Drop warm starts and cached factorisations (force cold solves).
+
+        The next solve pays the full symbolic analysis / preconditioner
+        build again — what a sweep amortises.  Mainly for benchmarks and
+        tests that compare warm against cold iteration.
+        """
+        self._factor_cache.clear()
+        self._A_perm = None
+
     @property
     def n_states(self) -> int:
         return self.prepare().n_states
 
     def describe(self) -> str:
+        solver = resolve_steady_state_method(self.n_states, self.method)
         return (
             f"{self.n_states} phase-type states "
             f"(k_d={self.k_d}, k_t={self.k_t}, n_max={self.n_max}), "
-            "structure built once"
+            f"structure built once, {solver} steady state"
         )
 
     # ------------------------------------------------------------------ #

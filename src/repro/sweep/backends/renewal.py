@@ -48,6 +48,17 @@ class RenewalBackend(CPUParamsAxesMixin, SweepBackend):
     Axes match the phase-type backend (``AR``/``SR``/``T``/``D`` and their
     long spellings), so the same :class:`~repro.sweep.grid.SweepGrid` can
     drive both and the result tables line up row for row.
+
+    There is no state space and no linear solve — each point is a few
+    scalar formulas — so the backend takes no solver ``method``/``tol``
+    knobs; see ``docs/solvers.md`` for where the closed form wins over
+    every matrix method.
+
+    Parameters
+    ----------
+    params : CPUModelParams, optional
+        Base parameters (defaults to the paper's); grid points override
+        individual fields through the shared CPU axis aliases.
     """
 
     name = "renewal"

@@ -1,6 +1,6 @@
 """Demo GSPNs for the sweep CLI and examples.
 
-Two exponential-only seed nets:
+Three exponential-only seed nets:
 
 - ``mm1k`` — the M/M/1/K queue as a two-place net (the same net the CTMC
   export is validated against in the test suite), scaled up so sweeps have
@@ -9,7 +9,14 @@ Two exponential-only seed nets:
   transitions (PDT, PUT) replaced by exponentials of the same mean.  This
   is the "naive Markov" baseline (Erlang-1 phase-type) of the paper's
   Section 4.1 discussion: solvable exactly as a GSPN, so rate sweeps over
-  arrival/service/threshold rates run through the batched analytical path.
+  arrival/service/threshold rates run through the batched analytical path;
+- ``wsn-cluster`` — a multi-node composition: ``n_nodes`` sensor nodes,
+  each with its own bounded sample buffer, contending for one shared
+  radio channel.  Its state space is a *product* space
+  (``(K+1)^n * (n+1)`` markings), so modest knobs produce chains deep in
+  iterative-solver territory — the demo scenario for the GMRES/power
+  steady-state methods (``repro-experiments steady --net wsn-cluster
+  --solver gmres``).
 
 Each registry entry carries default sweep metrics so the CLI can run a
 meaningful sweep with nothing but ``--net`` and ``--rate``.
@@ -25,7 +32,12 @@ from repro.des.distributions import Exponential
 from repro.petri.net import PetriNet
 from repro.petri.transitions import TimedTransition
 
-__all__ = ["build_mm1k_net", "build_cpu_gspn_net", "DEMO_NETS"]
+__all__ = [
+    "build_mm1k_net",
+    "build_cpu_gspn_net",
+    "build_wsn_cluster_net",
+    "DEMO_NETS",
+]
 
 
 def build_mm1k_net(lam: float = 1.0, mu: float = 2.0, K: int = 40) -> PetriNet:
@@ -69,6 +81,57 @@ def build_cpu_gspn_net(
     return net
 
 
+def build_wsn_cluster_net(
+    n_nodes: int = 3,
+    buffer_capacity: int = 12,
+    arrival_rate: float = 0.8,
+    send_rate: float = 2.0,
+    release_rate: float = 8.0,
+) -> PetriNet:
+    """``n_nodes`` sensor nodes sharing one radio channel.
+
+    Each node ``i`` samples readings into a bounded buffer ``buf<i>``
+    (exponential arrivals ``arr<i>``; arrivals block while the buffer is
+    full) and drains it over the radio: ``snd<i>`` grabs the single
+    ``ch`` (channel) token and moves one reading into transmission
+    (``tx<i>``), ``rel<i>`` completes the transmission and releases the
+    channel.  Channel contention couples the nodes, so the chain does not
+    factor into independent queues.
+
+    The tangible state space is the product of the per-node buffer levels
+    times the channel owner — ``(buffer_capacity + 1)**n_nodes *
+    (n_nodes + 1)`` markings — which makes this the scaling scenario for
+    the iterative steady-state solvers: the defaults give ~8.8k states,
+    ``n_nodes=3, buffer_capacity=30`` already ~119k (past any comfortable
+    direct-LU size), every one of them an exponential-only GSPN solvable
+    through :class:`~repro.petri.ctmc_export.GSPNSolver`.
+
+    Sweepable axes are the per-node rates (``arr0``, ``snd0``, ``rel0``,
+    ...).
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if buffer_capacity < 1:
+        raise ValueError(
+            f"buffer_capacity must be >= 1, got {buffer_capacity}"
+        )
+    net = PetriNet("wsn_cluster")
+    net.add_place("ch", initial=1)
+    for i in range(n_nodes):
+        net.add_place(f"buf{i}", capacity=buffer_capacity)
+        net.add_place(f"tx{i}")
+        net.add_timed_transition(f"arr{i}", Exponential(arrival_rate))
+        net.add_output_arc(f"arr{i}", f"buf{i}")
+        net.add_timed_transition(f"snd{i}", Exponential(send_rate))
+        net.add_input_arc(f"buf{i}", f"snd{i}")
+        net.add_input_arc("ch", f"snd{i}")
+        net.add_output_arc(f"snd{i}", f"tx{i}")
+        net.add_timed_transition(f"rel{i}", Exponential(release_rate))
+        net.add_input_arc(f"tx{i}", f"rel{i}")
+        net.add_output_arc(f"rel{i}", "ch")
+    return net
+
+
 #: name -> (net factory, default sweep metrics)
 DEMO_NETS: Dict[str, Tuple[Callable[[], PetriNet], Tuple[str, ...]]] = {
     "mm1k": (
@@ -78,5 +141,9 @@ DEMO_NETS: Dict[str, Tuple[Callable[[], PetriNet], Tuple[str, ...]]] = {
     "cpu-gspn": (
         build_cpu_gspn_net,
         ("mean_tokens:Active", "mean_tokens:Stand_By", "throughput:SR"),
+    ),
+    "wsn-cluster": (
+        build_wsn_cluster_net,
+        ("mean_tokens:buf0", "probability_positive:ch", "throughput:rel0"),
     ),
 }

@@ -33,3 +33,82 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSolverFlags:
+    def test_sweep_accepts_solver_flags(self, capsys):
+        assert main([
+            "sweep", "--net", "mm1k", "--rate", "arrive=0.5,1.0",
+            "--solver", "gmres", "--tol", "1e-9", "--max-iter", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gmres steady state" in out
+
+    def test_sweep_solver_rejected_for_renewal(self, capsys):
+        assert main([
+            "sweep", "--model", "renewal", "--rate", "T=0.2,0.4",
+            "--solver", "gmres",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--solver" in err and "renewal" in err
+
+    def test_sweep_phase_type_solver_threading(self, capsys):
+        assert main([
+            "sweep", "--model", "phase-type", "--rate", "T=0.2,0.4",
+            "--stages", "4", "--n-max", "8", "--solver", "power",
+            "--metric", "power",
+        ]) == 0
+        assert "power steady state" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--rate", "AR=1", "--solver", "qr"]
+            )
+
+
+class TestSteadyCommand:
+    def test_default_wsn_cluster(self, capsys):
+        assert main(["steady", "--buffer", "2", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "wsn-cluster steady state" in out
+        assert "mean_tokens:buf0" in out
+        assert "states solved with" in out
+
+    def test_explicit_solver_and_net(self, capsys):
+        assert main([
+            "steady", "--net", "mm1k", "--buffer", "12",
+            "--solver", "gmres", "--tol", "1e-9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mm1k steady state" in out
+        assert "solved with gmres" in out
+
+    def test_phase_type_model(self, capsys):
+        assert main([
+            "steady", "--model", "phase-type", "--stages", "4",
+            "--n-max", "8", "--solver", "lu",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase-type steady state" in out
+        assert "fraction:standby" in out
+
+    def test_gspn_rejects_phase_type_flags(self, capsys):
+        assert main(["steady", "--net", "mm1k", "--n-max", "5"]) == 2
+        assert "--n-max" in capsys.readouterr().err
+
+    def test_phase_type_rejects_net_flags(self, capsys):
+        assert main(["steady", "--model", "phase-type", "--buffer", "5"]) == 2
+        assert "--buffer" in capsys.readouterr().err
+
+    def test_nodes_rejected_for_single_queue_nets(self, capsys):
+        assert main(["steady", "--net", "mm1k", "--nodes", "3"]) == 2
+        assert "--nodes" in capsys.readouterr().err
+
+    def test_nonconvergence_reported_as_error(self, capsys):
+        assert main([
+            "steady", "--net", "mm1k", "--buffer", "12",
+            "--solver", "power", "--tol", "1e-15", "--max-iter", "2",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "did not converge" in err

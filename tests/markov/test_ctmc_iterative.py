@@ -1,0 +1,278 @@
+"""Iterative steady-state solvers: GMRES, power iteration, auto policy."""
+
+import pickle
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.markov.ctmc import (
+    CTMC,
+    ITERATIVE_AUTO_THRESHOLD,
+    STEADY_STATE_METHODS,
+    ConvergenceError,
+    SolverCache,
+    gmres_steady_state,
+    power_steady_state,
+    resolve_steady_state_method,
+)
+
+
+def _cyclic_chain(n=6, fast=5.0, slow=0.01):
+    """An irreducible ring with one slow link (mixes slowly)."""
+    rates = {}
+    for i in range(n):
+        rates[(i, (i + 1) % n)] = slow if i == 0 else fast
+        rates[(i, (i - 1) % n)] = fast
+    return CTMC.from_rates(rates)
+
+
+class TestMethodAgreement:
+    def test_all_methods_agree_small_dense(self):
+        Q = [[-1.0, 0.6, 0.4], [0.5, -1.5, 1.0], [0.2, 0.3, -0.5]]
+        pi = {
+            m: CTMC(Q).steady_state(method=m, tol=1e-13)
+            for m in ("lu", "gmres", "power")
+        }
+        np.testing.assert_allclose(pi["gmres"], pi["lu"], rtol=0, atol=1e-9)
+        np.testing.assert_allclose(pi["power"], pi["lu"], rtol=0, atol=1e-8)
+
+    def test_all_methods_agree_sparse_backend(self):
+        chain = _cyclic_chain()
+        pi_lu = chain.steady_state(method="lu")
+        pi_gmres = CTMC(chain.Q_sparse, backend="sparse").steady_state(
+            method="gmres", tol=1e-12
+        )
+        pi_power = CTMC(chain.Q_sparse, backend="sparse").steady_state(
+            method="power", tol=1e-13
+        )
+        np.testing.assert_allclose(pi_gmres, pi_lu, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(pi_power, pi_lu, rtol=0, atol=1e-7)
+
+    def test_results_cached_per_method(self):
+        chain = _cyclic_chain()
+        a = chain.steady_state(method="gmres")
+        b = chain.steady_state(method="gmres")
+        np.testing.assert_array_equal(a, b)
+        b[0] = 123.0  # a copy is returned: mutating it must not poison
+        np.testing.assert_array_equal(a, chain.steady_state(method="gmres"))
+
+    def test_module_level_solvers_accept_dense_arrays(self):
+        Q = np.array([[-2.0, 2.0], [1.0, -1.0]])
+        expect = np.array([1.0 / 3.0, 2.0 / 3.0])
+        np.testing.assert_allclose(gmres_steady_state(Q), expect, atol=1e-9)
+        np.testing.assert_allclose(
+            power_steady_state(Q, tol=1e-14), expect, atol=1e-9
+        )
+
+
+class TestAutoPolicy:
+    def test_resolution_is_deterministic_in_state_count(self):
+        assert resolve_steady_state_method(1) == "lu"
+        assert resolve_steady_state_method(ITERATIVE_AUTO_THRESHOLD) == "lu"
+        assert (
+            resolve_steady_state_method(ITERATIVE_AUTO_THRESHOLD + 1)
+            == "gmres"
+        )
+
+    def test_explicit_methods_resolve_to_themselves(self):
+        for m in ("lu", "gmres", "power"):
+            assert resolve_steady_state_method(10**9, m) == m
+
+    def test_unknown_method_raises_with_menu(self):
+        with pytest.raises(ValueError, match="auto"):
+            resolve_steady_state_method(10, "cholesky")
+        with pytest.raises(ValueError, match="cholesky"):
+            CTMC([[-1.0, 1.0], [1.0, -1.0]]).steady_state(method="cholesky")
+
+    def test_ctmc_resolve_method_uses_own_size(self):
+        chain = CTMC([[-1.0, 1.0], [1.0, -1.0]])
+        assert chain.resolve_method() == "lu"
+        assert chain.resolve_method("power") == "power"
+
+    def test_methods_tuple_is_documented_set(self):
+        assert STEADY_STATE_METHODS == ("auto", "lu", "gmres", "power")
+
+
+class TestConvergenceError:
+    def test_power_stall_raises_with_diagnostics(self):
+        chain = _cyclic_chain()
+        with pytest.raises(ConvergenceError) as exc_info:
+            chain.steady_state(method="power", max_iter=2, tol=1e-15)
+        err = exc_info.value
+        assert err.method == "power"
+        assert err.iterations == 2
+        assert err.residual > err.tol
+        message = str(err)
+        assert "2 iterations" in message
+        assert f"{err.residual:.3e}" in message
+        assert "method='lu'" in message
+
+    def test_gmres_stall_raises_with_diagnostics(self):
+        # unpreconditioned with a 2-iteration budget on a 40-state ring:
+        # cannot converge, must raise rather than return the junk vector
+        chain = _cyclic_chain(n=40)
+        with pytest.raises(ConvergenceError) as exc_info:
+            gmres_steady_state(
+                chain.Q_sparse, max_iter=2, tol=1e-12, use_ilu=False
+            )
+        err = exc_info.value
+        assert err.method == "gmres"
+        assert err.iterations >= 1
+        assert err.residual > err.tol
+
+    def test_stalled_solve_is_not_cached(self):
+        chain = _cyclic_chain()
+        with pytest.raises(ConvergenceError):
+            chain.steady_state(method="power", max_iter=1, tol=1e-15)
+        pi = chain.steady_state(method="power", tol=1e-13)  # fresh solve
+        np.testing.assert_allclose(
+            pi, chain.steady_state(method="lu"), atol=1e-7
+        )
+
+    def test_bad_max_iter_rejected(self):
+        chain = _cyclic_chain()
+        with pytest.raises(ValueError, match="max_iter"):
+            chain.steady_state(method="gmres", max_iter=0)
+        with pytest.raises(ValueError, match="max_iter"):
+            chain.steady_state(method="power", max_iter=0)
+
+    def test_power_rejects_all_absorbing(self):
+        with pytest.raises(ValueError, match="absorbing"):
+            power_steady_state(np.zeros((3, 3)))
+
+
+class TestWarmStartCache:
+    def test_cache_carries_warm_start_between_chains(self):
+        cache = SolverCache()
+        chain_a = _cyclic_chain()
+        pi_a = gmres_steady_state(chain_a.Q_sparse, cache=cache)
+        assert "pi0" in cache and "ilu" in cache
+        # a same-pattern chain with slightly different rates reuses both
+        chain_b = _cyclic_chain(fast=5.5)
+        pi_b = gmres_steady_state(chain_b.Q_sparse, cache=cache)
+        np.testing.assert_allclose(
+            pi_b, chain_b.steady_state(method="lu"), atol=1e-8
+        )
+        assert not np.allclose(pi_a, pi_b)
+
+    def test_wrong_size_cache_entries_ignored(self):
+        cache = SolverCache(pi0=np.ones(3) / 3.0)
+        chain = _cyclic_chain(n=8)
+        pi = gmres_steady_state(chain.Q_sparse, cache=cache)
+        np.testing.assert_allclose(
+            pi, chain.steady_state(method="lu"), atol=1e-8
+        )
+
+    def test_explicit_x0_wins_over_cache(self):
+        chain = _cyclic_chain()
+        pi_lu = chain.steady_state(method="lu")
+        pi = gmres_steady_state(
+            chain.Q_sparse, x0=np.full(chain.n, 1.0 / chain.n)
+        )
+        np.testing.assert_allclose(pi, pi_lu, atol=1e-8)
+
+    def test_ctmc_factor_cache_shared_by_iterative_methods(self):
+        cache = SolverCache()
+        chain = CTMC(_cyclic_chain().Q_sparse, factor_cache=cache)
+        chain.steady_state(method="gmres")
+        assert "pi0" in cache
+
+    def test_pickling_drops_process_local_entries(self):
+        cache = SolverCache()
+        chain = _cyclic_chain()
+        gmres_steady_state(chain.Q_sparse, cache=cache)
+        revived = pickle.loads(pickle.dumps(cache))
+        assert isinstance(revived, SolverCache)
+        assert "ilu" not in revived
+        np.testing.assert_array_equal(revived["pi0"], cache["pi0"])
+
+    def test_power_updates_warm_start(self):
+        cache = SolverCache()
+        chain = _cyclic_chain()
+        pi = power_steady_state(chain.Q_sparse, tol=1e-13, cache=cache)
+        np.testing.assert_allclose(cache["pi0"], pi, atol=1e-12)
+
+
+class TestSeededSteadyState:
+    def test_seed_serves_every_method(self):
+        chain = _cyclic_chain()
+        seeded = np.full(chain.n, 1.0 / chain.n)
+        chain.seed_steady_state(seeded)
+        for m in ("lu", "gmres", "power"):
+            np.testing.assert_array_equal(chain.steady_state(method=m), seeded)
+
+    def test_seed_shape_checked(self):
+        chain = _cyclic_chain()
+        with pytest.raises(ValueError, match="shape"):
+            chain.seed_steady_state(np.ones(2))
+
+
+class TestLargerChainSanity:
+    def test_gmres_on_block_tridiagonal_chain(self):
+        # a 900-state lattice random walk: sparse backend, auto -> lu at
+        # this size, but gmres must agree when asked for explicitly
+        n = 30
+        rng = np.random.default_rng(7)
+        rows, cols, data = [], [], []
+        for i in range(n):
+            for j in range(n):
+                s = i * n + j
+                for di, dj in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+                    ni, nj = i + di, j + dj
+                    if 0 <= ni < n and 0 <= nj < n:
+                        rows.append(s)
+                        cols.append(ni * n + nj)
+                        data.append(rng.uniform(0.5, 2.0))
+        off = sparse.coo_matrix((data, (rows, cols)), shape=(n * n, n * n))
+        Q = (off - sparse.diags(np.asarray(off.sum(axis=1)).ravel())).tocsr()
+        chain = CTMC(Q, backend="sparse")
+        np.testing.assert_allclose(
+            chain.steady_state(method="gmres"),
+            chain.steady_state(method="lu"),
+            rtol=0,
+            atol=1e-9,
+        )
+
+
+class TestReviewRegressions:
+    def test_convergence_error_survives_pickling(self):
+        err = ConvergenceError("gmres", 42, 1e-3, 1e-10)
+        revived = pickle.loads(pickle.dumps(err))
+        assert isinstance(revived, ConvergenceError)
+        assert (revived.method, revived.iterations) == ("gmres", 42)
+        assert (revived.residual, revived.tol) == (1e-3, 1e-10)
+        assert "42 iterations" in str(revived)
+
+    def test_tighter_tolerance_is_never_served_from_a_looser_cache(self):
+        chain = _cyclic_chain()
+        loose = chain.steady_state(method="power", tol=1e-1)
+        tight = chain.steady_state(method="power", tol=1e-13)
+        pi_lu = chain.steady_state(method="lu")
+        # the loose solve must not have poisoned the tight one
+        assert np.abs(tight - pi_lu).max() < 1e-7
+        assert np.abs(tight - pi_lu).max() <= np.abs(loose - pi_lu).max()
+
+    def test_explicit_arg_solves_are_not_cached(self):
+        chain = _cyclic_chain()
+        chain.steady_state(method="power", tol=1e-1)
+        assert "power" not in chain._pi_cache
+        chain.steady_state(method="power")
+        assert "power" in chain._pi_cache
+
+    def test_failed_ilu_is_attempted_once_per_cache(self, monkeypatch):
+        import repro.markov.ctmc as ctmc_mod
+
+        calls = {"n": 0}
+
+        def failing_spilu(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("Factor is exactly singular")
+
+        monkeypatch.setattr(ctmc_mod, "spilu", failing_spilu)
+        cache = SolverCache()
+        chain = _cyclic_chain()
+        for _ in range(3):  # three same-family solves, one failed attempt
+            gmres_steady_state(chain.Q_sparse, cache=cache)
+        assert calls["n"] == 1
+        assert cache["ilu"] is None

@@ -148,9 +148,9 @@ class TestSteadyStateCache:
         calls = {"n": 0}
         original = CTMC._solve_steady_state
 
-        def counting(self):
+        def counting(self, *args):
             calls["n"] += 1
-            return original(self)
+            return original(self, *args)
 
         monkeypatch.setattr(CTMC, "_solve_steady_state", counting)
         c.steady_state()

@@ -112,9 +112,9 @@ class TestSolutionCaching:
         calls = {"n": 0}
         original = CTMC._solve_steady_state
 
-        def counting(self):
+        def counting(self, *args):
             calls["n"] += 1
-            return original(self)
+            return original(self, *args)
 
         monkeypatch.setattr(CTMC, "_solve_steady_state", counting)
         sol = ctmc_from_net(mm1k_net(1.0, 2.0))

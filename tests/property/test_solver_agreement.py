@@ -1,0 +1,92 @@
+"""Property tests: the steady-state solver family agrees on ergodic chains,
+and the ``auto`` selection policy is a deterministic function of size."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.ctmc import (
+    CTMC,
+    ITERATIVE_AUTO_THRESHOLD,
+    SPARSE_AUTO_THRESHOLD,
+    resolve_steady_state_method,
+)
+
+rate_values = st.floats(min_value=0.1, max_value=5.0)
+
+
+@st.composite
+def ergodic_generators(draw):
+    """Random dense generators with strictly positive off-diagonals.
+
+    Every state reaches every other in one jump, so the chain is
+    irreducible (hence ergodic: finite + irreducible) by construction.
+    """
+    n = draw(st.integers(min_value=2, max_value=10))
+    flat = draw(
+        st.lists(rate_values, min_size=n * (n - 1), max_size=n * (n - 1))
+    )
+    Q = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                Q[i, j] = flat[k]
+                k += 1
+    np.fill_diagonal(Q, -Q.sum(axis=1))
+    return Q
+
+
+class TestSolverAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(ergodic_generators())
+    def test_all_methods_agree_on_random_ergodic_chains(self, Q):
+        pi_lu = CTMC(Q).steady_state(method="lu")
+        pi_gmres = CTMC(Q).steady_state(method="gmres", tol=1e-12)
+        pi_power = CTMC(Q).steady_state(method="power", tol=1e-13)
+        np.testing.assert_allclose(pi_gmres, pi_lu, rtol=0, atol=1e-8)
+        np.testing.assert_allclose(pi_power, pi_lu, rtol=0, atol=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ergodic_generators())
+    def test_solutions_are_distributions(self, Q):
+        for method in ("lu", "gmres", "power"):
+            pi = CTMC(Q).steady_state(method=method)
+            assert np.all(pi >= 0.0)
+            assert abs(pi.sum() - 1.0) < 1e-9
+            # stationarity: pi Q = 0 up to solver precision
+            assert np.abs(pi @ Q).max() < 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(ergodic_generators())
+    def test_warm_start_from_lu_answer_converges_immediately(self, Q):
+        chain = CTMC(Q)
+        pi_lu = chain.steady_state(method="lu")
+        pi_warm = CTMC(Q).steady_state(method="gmres", x0=pi_lu)
+        np.testing.assert_allclose(pi_warm, pi_lu, rtol=0, atol=1e-8)
+
+
+class TestAutoPolicyDeterminism:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=10**7))
+    def test_auto_is_a_pure_threshold_function_of_n(self, n):
+        # the rule documented in docs/solvers.md: lu up to the threshold,
+        # gmres strictly above it — nothing else ever
+        expected = "lu" if n <= ITERATIVE_AUTO_THRESHOLD else "gmres"
+        assert resolve_steady_state_method(n) == expected
+        # repeated calls agree (no hidden state)
+        assert resolve_steady_state_method(n) == resolve_steady_state_method(n)
+
+    def test_documented_thresholds(self):
+        # the numbers cited in docs/solvers.md; a change here must update
+        # the guide (and vice versa)
+        assert ITERATIVE_AUTO_THRESHOLD == 20_000
+        assert SPARSE_AUTO_THRESHOLD == 500
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10**7),
+        st.sampled_from(["lu", "gmres", "power"]),
+    )
+    def test_explicit_methods_ignore_size(self, n, method):
+        assert resolve_steady_state_method(n, method) == method

@@ -1,0 +1,178 @@
+"""Solver-method threading through the sweep subsystem and the demo nets."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CPUModelParams
+from repro.markov.ctmc import ConvergenceError
+from repro.petri.ctmc_export import GSPNSolver
+from repro.sweep import (
+    PhaseTypeBackend,
+    SweepGrid,
+    SweepRunner,
+    build_mm1k_net,
+    build_wsn_cluster_net,
+)
+from repro.sweep.backends import GSPNBackend
+
+PARAMS = CPUModelParams.paper_defaults(T=0.3, D=0.05)
+
+
+class TestGSPNMethodThreading:
+    def test_solver_methods_agree_on_mm1k(self):
+        solver = GSPNSolver(build_mm1k_net(K=15))
+        lu = solver.solve(method="lu")
+        gmres = solver.solve(method="gmres")
+        power = solver.solve(method="power", tol=1e-13)
+        ref = lu.mean_tokens("queue")
+        assert abs(gmres.mean_tokens("queue") - ref) < 1e-8
+        assert abs(power.mean_tokens("queue") - ref) < 1e-7
+
+    def test_unknown_method_rejected_before_assembly(self):
+        solver = GSPNSolver(build_mm1k_net(K=5))
+        with pytest.raises(ValueError, match="qr"):
+            solver.solve(method="qr")
+
+    def test_backend_forwards_method_and_budget(self):
+        backend = GSPNBackend(
+            build_mm1k_net(K=15), method="power", tol=1e-15, max_iter=1
+        )
+        with pytest.raises(ConvergenceError):
+            backend.solve({}).mean_tokens("queue")
+
+    def test_backend_describe_names_solver(self):
+        backend = GSPNBackend(build_mm1k_net(K=5), method="gmres")
+        assert "gmres" in backend.describe()
+
+    def test_runner_forwards_solver_to_wrapped_net(self):
+        runner = SweepRunner(
+            build_mm1k_net(K=10), ["mean_tokens:queue"], method="gmres"
+        )
+        result = runner.run(SweepGrid({"arrive": [0.5, 1.0, 1.5]}))
+        reference = SweepRunner(
+            build_mm1k_net(K=10), ["mean_tokens:queue"]
+        ).run(SweepGrid({"arrive": [0.5, 1.0, 1.5]}))
+        np.testing.assert_allclose(
+            result.column("mean_tokens:queue"),
+            reference.column("mean_tokens:queue"),
+            rtol=0,
+            atol=1e-8,
+        )
+
+    def test_runner_rejects_solver_args_with_backend_instance(self):
+        backend = GSPNBackend(build_mm1k_net(K=5))
+        with pytest.raises(ValueError, match="configure the backend"):
+            SweepRunner(backend, ["mean_tokens:queue"], method="gmres")
+        with pytest.raises(ValueError, match="configure the backend"):
+            SweepRunner(backend, ["mean_tokens:queue"], tol=1e-8)
+
+    def test_gmres_sweep_warm_starts_through_shared_cache(self):
+        backend = GSPNBackend(build_mm1k_net(K=15), method="gmres")
+        SweepRunner(backend, ["mean_tokens:queue"]).run(
+            SweepGrid({"arrive": [0.5, 1.0, 1.5]})
+        )
+        assert "pi0" in backend.solver._factor_cache
+
+
+class TestPhaseTypeMethodThreading:
+    def test_methods_agree_to_1e8(self):
+        kwargs = dict(stages=8, n_max=25)
+        pi_lu = PhaseTypeBackend(PARAMS, method="lu", **kwargs).solve({}).pi
+        pi_gmres = (
+            PhaseTypeBackend(PARAMS, method="gmres", **kwargs).solve({}).pi
+        )
+        pi_power = (
+            PhaseTypeBackend(PARAMS, method="power", tol=1e-13, **kwargs)
+            .solve({})
+            .pi
+        )
+        np.testing.assert_allclose(pi_gmres, pi_lu, rtol=0, atol=1e-8)
+        np.testing.assert_allclose(pi_power, pi_lu, rtol=0, atol=1e-8)
+
+    def test_gmres_sweep_matches_lu_sweep(self):
+        grid = SweepGrid({"T": [0.2, 0.3, 0.4, 0.5]})
+        metrics = ["power", "fraction:standby"]
+        lu = SweepRunner(
+            PhaseTypeBackend(PARAMS, stages=8, n_max=25, method="lu"), metrics
+        ).run(grid)
+        gmres = SweepRunner(
+            PhaseTypeBackend(PARAMS, stages=8, n_max=25, method="gmres"),
+            metrics,
+        ).run(grid)
+        for m in metrics:
+            np.testing.assert_allclose(
+                gmres.column(m), lu.column(m), rtol=0, atol=1e-7
+            )
+
+    def test_unknown_method_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="cholesky"):
+            PhaseTypeBackend(PARAMS, method="cholesky")
+
+    def test_convergence_error_carries_budget(self):
+        backend = PhaseTypeBackend(
+            PARAMS, stages=8, n_max=25, method="power", tol=1e-15, max_iter=3
+        )
+        with pytest.raises(ConvergenceError) as exc_info:
+            backend.solve({})
+        assert exc_info.value.iterations == 3
+
+    def test_reset_solver_state_forces_cold_solves(self):
+        backend = PhaseTypeBackend(PARAMS, stages=8, n_max=25, method="gmres")
+        backend.solve({})
+        assert backend._factor_cache
+        backend.reset_solver_state()
+        assert not backend._factor_cache
+        backend.solve({})  # still solvable from cold
+        assert "pi0" in backend._factor_cache
+
+    def test_describe_names_solver(self):
+        backend = PhaseTypeBackend(PARAMS, stages=8, n_max=25, method="power")
+        assert "power steady state" in backend.describe()
+
+    def test_transient_metrics_reuse_iterative_solution(self):
+        backend = PhaseTypeBackend(PARAMS, stages=8, n_max=20, method="gmres")
+        solution = backend.solve({})
+        energy = backend.evaluate(solution, "energy@5")
+        reference = PhaseTypeBackend(PARAMS, stages=8, n_max=20, method="lu")
+        assert (
+            abs(energy - reference.evaluate(reference.solve({}), "energy@5"))
+            < 1e-6
+        )
+
+
+class TestWSNClusterNet:
+    def test_state_space_is_the_product_formula(self):
+        solver = GSPNSolver(build_wsn_cluster_net(n_nodes=2, buffer_capacity=3))
+        assert solver.n == (3 + 1) ** 2 * (2 + 1)
+
+    def test_solves_and_channel_is_conserved(self):
+        solver = GSPNSolver(build_wsn_cluster_net(n_nodes=2, buffer_capacity=4))
+        solution = solver.solve(method="gmres")
+        # the channel token is either free or held by exactly one tx place
+        for marking in solution.tangible_markings:
+            held = sum(marking[f"tx{i}"] for i in range(2))
+            assert marking["ch"] + held == 1
+        # stationary solve agrees with lu
+        lu = solver.solve(method="lu")
+        assert (
+            abs(solution.mean_tokens("buf0") - lu.mean_tokens("buf0")) < 1e-8
+        )
+
+    def test_nodes_contend_for_the_channel(self):
+        # with contention, a node's throughput is below its solo service
+        # capacity even at light load; sanity-check both are positive
+        solver = GSPNSolver(build_wsn_cluster_net(n_nodes=3, buffer_capacity=2))
+        solution = solver.solve()
+        for i in range(3):
+            assert solution.throughput(f"rel{i}") > 0.0
+
+    def test_axes_are_per_node_rates(self):
+        backend = GSPNBackend(build_wsn_cluster_net(n_nodes=2, buffer_capacity=2))
+        axes = backend.axis_names()
+        assert {"arr0", "snd0", "rel0", "arr1", "snd1", "rel1"} <= set(axes)
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            build_wsn_cluster_net(n_nodes=0)
+        with pytest.raises(ValueError, match="buffer_capacity"):
+            build_wsn_cluster_net(buffer_capacity=0)
