@@ -165,7 +165,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=None,
-        help="fan points out over this many worker processes",
+        help="fan points out over this many worker processes (one machine)",
+    )
+    sweep_p.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "shard the grid over TCP-connected workers (coordinator/worker "
+            "fan-out with requeue-on-death and checkpointing; see "
+            "docs/distributed.md)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "local worker processes to launch under --distributed "
+            "(default 2; 0 waits for external 'repro-experiments worker "
+            "--connect' processes)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "coordinator bind address under --distributed (default "
+            "127.0.0.1:0; bind a routable address to accept workers from "
+            "other machines — trusted networks only)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "journal completed rows to FILE under --distributed; an "
+            "interrupted sweep re-run with the same grid resumes from it"
+        ),
     )
     sweep_p.add_argument(
         "--backend",
@@ -249,7 +288,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_flags(steady_p)
     steady_p.set_defaults(func=_cmd_steady)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="join a distributed sweep as a worker",
+        description=(
+            "Connect to a sweep coordinator (a 'sweep --distributed' "
+            "process, possibly on another machine), receive the model "
+            "template, and solve chunks of grid points until the sweep "
+            "finishes.  Example: repro-experiments worker --connect "
+            "10.0.0.5:7777"
+        ),
+    )
+    worker_p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by 'sweep --distributed')",
+    )
+    worker_p.set_defaults(func=_cmd_worker)
     return parser
+
+
+def _parse_hostport(spec: str, flag: str) -> tuple:
+    """Split ``HOST:PORT``, diagnosing the exact malformed piece."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"{flag} must look like HOST:PORT, got {spec!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"{flag}: port {port_text!r} in {spec!r} must be an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"{flag}: port must be in [0, 65535], got {port}")
+    return host, port
 
 
 def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
@@ -359,10 +435,42 @@ def _check_sweep_flags(args: argparse.Namespace) -> None:
             )
 
 
+def _check_distributed_flags(args: argparse.Namespace) -> None:
+    """Reject fan-out flag combinations that would silently do nothing."""
+    if not args.distributed:
+        for flag, value in (
+            ("--shards", args.shards),
+            ("--bind", args.bind),
+            ("--checkpoint", args.checkpoint),
+        ):
+            if value is not None:
+                raise ValueError(f"{flag} requires --distributed")
+        return
+    if args.jobs is not None:
+        raise ValueError(
+            "--jobs does not apply with --distributed (use --shards for "
+            "local workers, or 'repro-experiments worker' for remote ones)"
+        )
+    if args.shards is not None and args.shards < 0:
+        raise ValueError(f"--shards must be >= 0, got {args.shards}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     solver = args.solver if args.solver is not None else "auto"
+    # keep the distributed package (asyncio/multiprocessing machinery) off
+    # the startup path of plain sweeps: its error type joins the handler
+    # only when --distributed is in play
+    error_types: tuple = (KeyError, ValueError, ConvergenceError)
+    if args.distributed:
+        from repro.sweep.distributed import DistributedSweepError
+
+        error_types = error_types + (
+            DistributedSweepError,  # e.g. every worker died mid-sweep
+            OSError,  # e.g. --bind address already in use
+        )
     try:
         _check_sweep_flags(args)
+        _check_distributed_flags(args)
         runner_solver_kwargs = {}
         if args.model == "gspn":
             net = args.net if args.net is not None else "cpu-gspn"
@@ -391,25 +499,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.metric if args.metric else list(default_metrics)
         )
         grid = SweepGrid.from_specs(args.rate)
-        runner = SweepRunner(
-            model,
-            metrics,
-            backend=args.backend if args.backend is not None else "auto",
-            n_workers=args.jobs,
-            **runner_solver_kwargs,
-        )
+        if args.distributed:
+            from repro.sweep.distributed import DistributedSweepRunner
+
+            host, port = _parse_hostport(
+                args.bind if args.bind is not None else "127.0.0.1:0",
+                "--bind",
+            )
+            shards = args.shards if args.shards is not None else 2
+            runner: SweepRunner = DistributedSweepRunner(
+                model,
+                metrics,
+                backend=args.backend if args.backend is not None else "auto",
+                n_shards=shards,
+                host=host,
+                port=port,
+                checkpoint=args.checkpoint,
+                **runner_solver_kwargs,
+            )
+            bound_host, bound_port = runner.address
+            if shards == 0:
+                print(
+                    f"[coordinator listening on {bound_host}:{bound_port} — "
+                    f"start workers with: repro-experiments worker "
+                    f"--connect {bound_host}:{bound_port}]"
+                )
+        else:
+            runner = SweepRunner(
+                model,
+                metrics,
+                backend=args.backend if args.backend is not None else "auto",
+                n_workers=args.jobs,
+                **runner_solver_kwargs,
+            )
         t0 = time.perf_counter()
         result = runner.run(grid)
         elapsed = time.perf_counter() - t0
-    except (KeyError, ValueError, ConvergenceError) as exc:
+    except error_types as exc:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
     print(result.render(title=f"{title} ({len(result)} points)"))
+    fanout = (
+        f", {runner.describe_fanout()}" if args.distributed else ""  # type: ignore[attr-defined]
+    )
     print(
         f"\n[{len(result)} points in {elapsed:.3f} s — "
-        f"{runner.model.describe()}]"
+        f"{runner.model.describe()}{fanout}]"
     )
+    if result.errors:
+        print(
+            f"[{result.n_failed} point(s) failed and carry NaN rows — "
+            "see the table footer]",
+            file=sys.stderr,
+        )
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
         path = result.write_csv(args.csv_dir)
@@ -496,6 +639,23 @@ def _cmd_steady(args: argparse.Namespace) -> int:
         f"\n[{n} states solved with {resolve_steady_state_method(n, solver)} "
         f"in {elapsed:.3f} s — {backend.describe()}]"
     )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.sweep.distributed import ProtocolError, worker_main
+
+    try:
+        host, port = _parse_hostport(args.connect, "--connect")
+        solved = worker_main(host, port)
+    except (ValueError, OSError, EOFError, ProtocolError) as exc:
+        # OSError covers refused/reset connections; EOFError covers
+        # asyncio.IncompleteReadError when the coordinator dies (or is
+        # Ctrl-C'd) mid-conversation — a routine event, not a traceback
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    print(f"[worker solved {solved} point(s)]")
     return 0
 
 

@@ -20,6 +20,7 @@ from repro.markov.birth_death import BirthDeathChain
 from repro.markov.ctmc import (
     CTMC,
     ConvergenceError,
+    NumericalSolveError,
     SolverCache,
     gmres_steady_state,
     power_steady_state,
@@ -49,6 +50,7 @@ __all__ = [
     "MM1KQueue",
     "MM1Queue",
     "MMcQueue",
+    "NumericalSolveError",
     "SolverCache",
     "SupplementaryVariableStage",
     "gmres_steady_state",

@@ -49,6 +49,7 @@ __all__ = [
     "CTMC",
     "ConvergenceError",
     "ITERATIVE_AUTO_THRESHOLD",
+    "NumericalSolveError",
     "SPARSE_AUTO_THRESHOLD",
     "STEADY_STATE_METHODS",
     "SolverCache",
@@ -100,6 +101,18 @@ ILU_FILL_FACTOR = 2
 ILU_REFRESH_ITERATIONS = 8
 
 _BACKENDS = ("auto", "dense", "sparse")
+
+
+class NumericalSolveError(ValueError):
+    """A steady-state solve failed *numerically*.
+
+    Raised for singular systems (reducible chains), non-finite or
+    negative solution entries, and failed normalisations.  Subclasses
+    ``ValueError`` for backward compatibility, but gives callers a type
+    to distinguish a chain that cannot be solved from an API misuse —
+    the sweep runner treats the former as one bad grid point (NaN row)
+    and the latter as a configuration error that aborts the sweep.
+    """
 
 
 class ConvergenceError(RuntimeError):
@@ -167,6 +180,17 @@ class SolverCache(dict):
         kept = {k: v for k, v in self.items() if k not in _PROCESS_LOCAL_KEYS}
         return (SolverCache, (kept,))
 
+    def drop_warm_start(self) -> None:
+        """Forget the previous solution (``"pi0"``).
+
+        Pattern-level state — the column permutation, the RCM ordering,
+        the ILU preconditioner — is point-independent and stays.  Sweep
+        fan-out calls this at chunk boundaries: a warm start carried over
+        from a far-away grid point can slow or stall the iterative
+        methods, whereas the cold uniform start is merely unexciting.
+        """
+        self.pop("pi0", None)
+
 
 def resolve_steady_state_method(n: int, method: str = "auto") -> str:
     """The concrete solver ``method`` denotes for an *n*-state chain.
@@ -204,17 +228,19 @@ def resolve_steady_state_method(n: int, method: str = "auto") -> str:
 def _finalize_pi(pi: np.ndarray) -> np.ndarray:
     """Validate and normalise a raw steady-state solve result."""
     if not np.all(np.isfinite(pi)):
-        raise ValueError("steady-state solve produced non-finite entries")
+        raise NumericalSolveError(
+            "steady-state solve produced non-finite entries"
+        )
     pi = np.where(np.abs(pi) < 1e-13, 0.0, pi)
     if np.any(pi < -1e-9):
-        raise ValueError(
+        raise NumericalSolveError(
             "steady-state solve produced negative probabilities; "
             "the chain is likely reducible"
         )
     pi = np.clip(pi, 0.0, None)
     total = pi.sum()
     if not math.isfinite(total) or total <= 0.0:
-        raise ValueError("steady-state normalisation failed")
+        raise NumericalSolveError("steady-state normalisation failed")
     return pi / total
 
 
@@ -235,7 +261,7 @@ def lu_analyse_solve(
         # invert it so reuse can *pre*-permute the columns
         return lu.solve(b), np.argsort(lu.perm_c)
     except RuntimeError as exc:  # "Factor is exactly singular"
-        raise ValueError(f"singular generator: {exc}") from exc
+        raise NumericalSolveError(f"singular generator: {exc}") from exc
 
 
 def lu_resolve_permuted(
@@ -252,7 +278,7 @@ def lu_resolve_permuted(
     try:
         y = splu(A_permuted, permc_spec="NATURAL").solve(b)
     except RuntimeError as exc:  # "Factor is exactly singular"
-        raise ValueError(f"singular generator: {exc}") from exc
+        raise NumericalSolveError(f"singular generator: {exc}") from exc
     x = np.empty(len(b))
     x[perm_c] = y
     return x
@@ -562,7 +588,9 @@ def power_steady_state(
         x_new = PT @ x
         total = x_new.sum()
         if not (math.isfinite(total) and total > 0.0):
-            raise ValueError("power iteration produced a non-distribution")
+            raise NumericalSolveError(
+                "power iteration produced a non-distribution"
+            )
         x_new /= total
         diff = float(np.abs(x_new - x).sum())
         x = x_new
@@ -931,7 +959,7 @@ class CTMC:
         try:
             pi = np.linalg.solve(A, b)
         except np.linalg.LinAlgError as exc:
-            raise ValueError(f"singular generator: {exc}") from exc
+            raise NumericalSolveError(f"singular generator: {exc}") from exc
         return _finalize_pi(pi)
 
     def steady_state_dict(self) -> Dict[Hashable, float]:

@@ -266,6 +266,15 @@ class GSPNSolver:
         """Names of the transitions whose rates :meth:`solve` can re-bind."""
         return list(self._exp_names)
 
+    def reset_warm_start(self) -> None:
+        """Drop the iterative methods' warm-start vector.
+
+        Called by sweep fan-out at chunk boundaries, where the previous
+        solve belongs to a non-adjacent grid point; the shared symbolic
+        analysis and preconditioner survive (they are rate-independent).
+        """
+        self._factor_cache.drop_warm_start()
+
     def _rate_vector(self, rates: Optional[Mapping[str, float]]) -> np.ndarray:
         vec = self._base_rates.copy()
         if rates:

@@ -17,7 +17,11 @@ package makes those sweeps cheap:
   form), plus the transient metric grammar (``energy@t``,
   ``fraction:active@t``, ``time_to_threshold:0.01``);
 - :class:`~repro.sweep.results.SweepResult` — a row-per-point table with
-  ASCII rendering, CSV export, and argmin/argmax queries;
+  ASCII rendering, CSV export, argmin/argmax queries, and per-point
+  error records (failed points get NaN rows, not aborted sweeps);
+- :mod:`~repro.sweep.distributed` — the coordinator/worker layer that
+  shards one grid across processes or hosts over an asyncio TCP job
+  queue, with requeue-on-worker-death and checkpoint/resume;
 - :mod:`~repro.sweep.nets` — demo nets (M/M/1/K, the exponentialised
   Figure 3 CPU) wired into ``repro-experiments sweep``.
 
@@ -46,8 +50,15 @@ from repro.sweep.nets import (
     build_mm1k_net,
     build_wsn_cluster_net,
 )
-from repro.sweep.results import SweepResult
-from repro.sweep.runner import Metric, SweepRunner, evaluate_metric, metric_name
+from repro.sweep.results import PointFailure, SweepResult
+from repro.sweep.runner import (
+    Metric,
+    SweepRunner,
+    contiguous_chunks,
+    evaluate_metric,
+    metric_name,
+    solve_point_row,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -55,6 +66,7 @@ __all__ = [
     "GSPNBackend",
     "Metric",
     "PhaseTypeBackend",
+    "PointFailure",
     "RenewalBackend",
     "SweepBackend",
     "SweepGrid",
@@ -63,8 +75,10 @@ __all__ = [
     "build_cpu_gspn_net",
     "build_mm1k_net",
     "build_wsn_cluster_net",
+    "contiguous_chunks",
     "evaluate_metric",
     "make_backend",
     "metric_name",
     "parse_axis",
+    "solve_point_row",
 ]

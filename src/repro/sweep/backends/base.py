@@ -213,6 +213,19 @@ class SweepBackend(abc.ABC):
     def solve(self, point: Mapping[str, float]) -> Any:
         """Bind one grid point to the template and solve it."""
 
+    def reset_point_state(self) -> None:
+        """Forget state carried from the previously solved point.
+
+        Sweep fan-out hands each worker *contiguous, axis-ordered* chunks
+        so iterative warm starts stay adjacent — and calls this at every
+        chunk boundary, where the previous solve belongs to a far-away
+        grid point.  Backends that warm-start (e.g. through a
+        :class:`~repro.markov.ctmc.SolverCache`) drop the previous
+        solution here; pattern-level state (symbolic analyses,
+        preconditioners) is point-independent and should survive.  The
+        default is a no-op.
+        """
+
     # ------------------------------------------------------------------ #
     # axes
     # ------------------------------------------------------------------ #

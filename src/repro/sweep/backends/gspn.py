@@ -114,6 +114,9 @@ class GSPNBackend(SweepBackend):
     def axis_names(self) -> List[str]:
         return self.solver.exponential_transitions
 
+    def reset_point_state(self) -> None:
+        self.solver.reset_warm_start()
+
     @property
     def n_states(self) -> int:
         return self.solver.n

@@ -479,6 +479,15 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
             )
         return self._A_perm
 
+    def reset_point_state(self) -> None:
+        """Drop the previous point's warm start (chunk-boundary hook).
+
+        The symbolic LU analysis, the data-slot permutation, and the ILU
+        preconditioner are rate-independent and survive; only the
+        iterative methods' starting vector is forgotten.
+        """
+        self._factor_cache.drop_warm_start()
+
     def reset_solver_state(self) -> None:
         """Drop warm starts and cached factorisations (force cold solves).
 

@@ -1,0 +1,265 @@
+"""Row-level checkpointing for distributed sweeps.
+
+The coordinator appends every completed row to a JSONL file as it
+arrives, so an interrupted sweep (coordinator crash, every worker lost,
+Ctrl-C) resumes from what finished instead of restarting.  The format is
+deliberately plain text:
+
+- line 1 — header::
+
+    {"kind": "header", "version": 1, "fingerprint": "<sha256>",
+     "axis_names": [...], "metric_names": [...], "n_points": N}
+
+- then one line per completed row, in completion (not grid) order::
+
+    {"kind": "row", "index": 17, "values": [0.4, 1.2]}
+    {"kind": "row", "index": 18, "values": [NaN, NaN],
+     "error": {"stage": "solve", "error_type": "ConvergenceError", ...}}
+
+- plus one line per worker death blamed on a point::
+
+    {"kind": "requeue", "index": 5}
+
+  Requeue counts survive resumes, so a point that deterministically
+  crashes its worker converges to a poison verdict (NaN row) across
+  restarts instead of re-killing the fleet forever.
+
+The fingerprint hashes the axis names, metric names, every grid point,
+and the model's type + description, so a checkpoint is only ever resumed
+against the *same* sweep; a mismatch raises instead of silently merging
+incompatible tables.
+Floats round-trip exactly (JSON uses ``repr``), so a resumed table is
+bit-identical to an uninterrupted run.  A torn final line (the
+interruption happened mid-write) is ignored on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.sweep.results import PointFailure
+
+__all__ = ["CheckpointMismatchError", "SweepCheckpoint", "sweep_fingerprint"]
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint on disk belongs to a different sweep."""
+
+
+def sweep_fingerprint(
+    axis_names: Sequence[str],
+    metric_names: Sequence[str],
+    points: Sequence[Mapping[str, float]],
+    model: Optional[object] = None,
+) -> str:
+    """Content hash identifying one sweep (axes, metrics, every point).
+
+    When *model* is given its type and one-line description (state count,
+    solver, truncation level…) join the hash, so a checkpoint written
+    against ``--buffer 10`` refuses to resume a ``--buffer 20`` sweep
+    whose grid happens to look identical.  The description — not the
+    pickle — is hashed: pickle bytes can vary across processes (set
+    iteration order under hash randomisation), which would break every
+    cross-process resume.
+    """
+    digest = hashlib.sha256()
+    payload = {
+        "axis_names": list(axis_names),
+        "metric_names": list(metric_names),
+        "points": [[float(p[a]) for a in axis_names] for p in points],
+    }
+    if model is not None:
+        describe = getattr(model, "describe", None)
+        payload["model"] = (
+            f"{type(model).__name__}: "
+            f"{describe() if callable(describe) else ''}"
+        )
+    digest.update(json.dumps(payload, separators=(",", ":")).encode())
+    return digest.hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep rows.
+
+    Parameters
+    ----------
+    path:
+        Journal location; parent directories are created on first write.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def load(
+        self,
+        axis_names: Sequence[str],
+        metric_names: Sequence[str],
+        points: Sequence[Mapping[str, float]],
+        model: Optional[object] = None,
+    ) -> Tuple[
+        Dict[int, List[float]], Dict[int, PointFailure], Dict[int, int]
+    ]:
+        """Validate the journal against this sweep and return its state.
+
+        Returns ``(rows, errors, requeues)`` keyed by point index — all
+        empty when the file does not exist yet.  Raises
+        :class:`CheckpointMismatchError` when the header does not match
+        the sweep being run (different grid, metrics, axis order, or
+        model — see :func:`sweep_fingerprint`).
+        """
+        if not self.path.exists():
+            return {}, {}, {}
+        want = sweep_fingerprint(axis_names, metric_names, points, model)
+        rows: Dict[int, List[float]] = {}
+        errors: Dict[int, PointFailure] = {}
+        requeues: Dict[int, int] = {}
+        with self.path.open() as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return {}, {}, {}
+        header = self._decode(lines[0], line_no=1, last=len(lines) == 1)
+        if header is None:
+            # the journal died mid-write of its very first line: no
+            # state was ever recorded — treat as empty, not corrupt
+            return {}, {}, {}
+        if header.get("kind") != "header":
+            raise CheckpointMismatchError(
+                f"{self.path} does not start with a checkpoint header"
+            )
+        if header.get("fingerprint") != want:
+            raise CheckpointMismatchError(
+                f"{self.path} belongs to a different sweep "
+                f"(axes {header.get('axis_names')}, metrics "
+                f"{header.get('metric_names')}, {header.get('n_points')} "
+                "points); delete it or point --checkpoint elsewhere"
+            )
+        for line_no, line in enumerate(lines[1:], start=2):
+            record = self._decode(line, line_no, last=line_no == len(lines))
+            if record is None:  # torn final line
+                continue
+            kind = record.get("kind")
+            if kind not in ("row", "requeue"):
+                raise CheckpointMismatchError(
+                    f"{self.path}:{line_no}: unexpected record kind {kind!r}"
+                )
+            index = int(record["index"])
+            if not 0 <= index < len(points):
+                raise CheckpointMismatchError(
+                    f"{self.path}:{line_no}: row index {index} outside the "
+                    f"{len(points)}-point grid"
+                )
+            if kind == "requeue":
+                requeues[index] = requeues.get(index, 0) + 1
+                continue
+            rows[index] = [float(v) for v in record["values"]]
+            if record.get("error") is not None:
+                errors[index] = PointFailure.from_dict(record["error"])
+            else:
+                errors.pop(index, None)
+        return rows, errors, requeues
+
+    def _decode(self, line: str, line_no: int, last: bool) -> Optional[dict]:
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            if last:  # interrupted mid-append: drop the torn line
+                return None
+            raise CheckpointMismatchError(
+                f"{self.path}:{line_no}: corrupt checkpoint line"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def open_for_append(
+        self,
+        axis_names: Sequence[str],
+        metric_names: Sequence[str],
+        points: Sequence[Mapping[str, float]],
+        has_state: bool,
+        model: Optional[object] = None,
+    ) -> None:
+        """Open the journal, writing the header if it is new/empty.
+
+        *has_state* is whether :meth:`load` recovered anything — rows
+        **or** requeue blame counts.  A journal holding only requeue
+        records must be appended to, not truncated: losing the counts
+        would reset poison convergence on every resume.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not (has_state and self.path.exists())
+        if not fresh:
+            self._trim_torn_tail()
+        self._fh = self.path.open("w" if fresh else "a")
+        if fresh:
+            self._append(
+                {
+                    "kind": "header",
+                    "version": CHECKPOINT_VERSION,
+                    "fingerprint": sweep_fingerprint(
+                        axis_names, metric_names, points, model
+                    ),
+                    "axis_names": list(axis_names),
+                    "metric_names": list(metric_names),
+                    "n_points": len(points),
+                }
+            )
+
+    def _trim_torn_tail(self) -> None:
+        """Drop a torn (unterminated) final line before appending.
+
+        :meth:`load` tolerates the torn line by skipping it; appending
+        *onto* it would weld two records into one corrupt mid-file line
+        and poison every later resume.
+        """
+        data = self.path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            keep = data.rfind(b"\n") + 1
+            with self.path.open("rb+") as fh:
+                fh.truncate(keep)
+
+    def append_row(
+        self,
+        index: int,
+        values: Sequence[float],
+        error: Optional[PointFailure] = None,
+    ) -> None:
+        """Journal one completed row (flushed immediately)."""
+        record: Dict[str, object] = {
+            "kind": "row",
+            "index": int(index),
+            "values": [float(v) for v in values],
+        }
+        if error is not None:
+            record["error"] = error.to_dict()
+        self._append(record)
+
+    def append_requeue(self, index: int) -> None:
+        """Journal one worker-death blame on *index* (counts survive
+        resumes, so deterministic killer points eventually poison)."""
+        self._append({"kind": "requeue", "index": int(index)})
+
+    def _append(self, record: Mapping[str, object]) -> None:
+        assert self._fh is not None, "checkpoint not opened for append"
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

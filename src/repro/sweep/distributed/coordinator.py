@@ -1,0 +1,520 @@
+"""The sweep coordinator: shard, dispatch, collect, survive.
+
+:class:`SweepCoordinator` owns the authoritative state of one distributed
+sweep — which points are done, which are pending, how often each has been
+requeued — and serves any number of workers over an asyncio TCP server.
+Scheduling is pull-based: an idle worker checks out the next pending
+chunk; there is no static assignment, so a slow host simply takes fewer
+chunks.
+
+Sharding preserves the grid's axis order: pending points are split into
+*contiguous* chunks (:func:`~repro.sweep.runner.contiguous_chunks`), so
+iterative warm starts inside a chunk stay adjacent on the parameter grid
+and the merged table is ordered exactly like the serial runner's.
+
+Fault model
+-----------
+
+- **A point fails numerically** — the worker streams a NaN row with a
+  :class:`~repro.sweep.results.PointFailure`; the sweep continues.
+- **A worker dies mid-chunk** (crash, kill, network partition) — rows
+  stream per point, so the coordinator requeues exactly the unfinished
+  suffix of the chunk at the *front* of the queue; surviving workers pick
+  it up.
+- **A point keeps killing workers** — after ``max_requeues`` requeues it
+  is poisoned: NaN row, ``stage="worker"`` error record, sweep continues.
+- **Every worker is gone** — the supervisor aborts with
+  :class:`DistributedSweepError`; completed rows are already in the
+  checkpoint (when one is configured), so the next run resumes instead of
+  restarting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import socket as socket_module
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.sweep.backends.base import Metric
+from repro.sweep.distributed.checkpoint import SweepCheckpoint
+from repro.sweep.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.sweep.results import PointFailure
+from repro.sweep.runner import contiguous_chunks
+
+__all__ = ["DistributedSweepError", "SweepCoordinator"]
+
+logger = logging.getLogger(__name__)
+
+#: How often one point may be requeued after killing its worker before it
+#: is poisoned (NaN row + error record) instead of retried.
+DEFAULT_MAX_REQUEUES = 2
+
+
+class DistributedSweepError(RuntimeError):
+    """The distributed sweep cannot make progress (e.g. all workers died)."""
+
+
+@dataclass
+class _Chunk:
+    """One contiguous span of pending grid points."""
+
+    chunk_id: int
+    indices: List[int]
+    points: List[Dict[str, float]]
+
+
+class SweepCoordinator:
+    """Authoritative state + worker protocol handler of one sweep.
+
+    Parameters
+    ----------
+    model, metrics:
+        The prepared sweep backend template and metric specs shipped to
+        every worker.
+    points:
+        All grid points in enumeration order (the row indices of the
+        result table).
+    done_rows, done_errors:
+        Rows already completed (e.g. loaded from a checkpoint); only the
+        remaining points are sharded.
+    done_requeues:
+        Worker-death blame counts carried over from a checkpoint, so a
+        point that crashed workers in a previous run keeps its record
+        and eventually poisons instead of re-killing the fleet forever.
+    n_chunks:
+        Target chunk count across the whole sweep (oversubscribe workers
+        ~4x so pull-scheduling can balance load).
+    checkpoint:
+        Optional open :class:`~repro.sweep.distributed.checkpoint.SweepCheckpoint`
+        to journal every completed row.
+    max_requeues:
+        Worker-death retries per point before poisoning it.
+    """
+
+    def __init__(
+        self,
+        model,
+        metrics: Sequence[Metric],
+        points: Sequence[Mapping[str, float]],
+        *,
+        n_chunks: int,
+        done_rows: Optional[Dict[int, List[float]]] = None,
+        done_errors: Optional[Dict[int, PointFailure]] = None,
+        done_requeues: Optional[Dict[int, int]] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+    ) -> None:
+        self.model = model
+        self.metrics = list(metrics)
+        self.points = [dict(p) for p in points]
+        self.max_requeues = max_requeues
+        self._checkpoint = checkpoint
+        self._rows: Dict[int, List[float]] = dict(done_rows or {})
+        self._errors: Dict[int, PointFailure] = dict(done_errors or {})
+        self._requeues: Dict[int, int] = dict(done_requeues or {})
+        self._chunk_ids = itertools.count()
+        self._pending: Deque[_Chunk] = deque(
+            self._shard([i for i in range(len(points)) if i not in self._rows],
+                        n_chunks)
+        )
+        self._cond = asyncio.Condition()
+        self._failure: Optional[BaseException] = None
+        self._n_connected = 0
+        self._n_ever_connected = 0
+
+    # ------------------------------------------------------------------ #
+    # sharding
+    # ------------------------------------------------------------------ #
+    def _shard(self, remaining: List[int], n_chunks: int) -> List[_Chunk]:
+        """Contiguous chunks over the remaining indices.
+
+        After a checkpoint resume the remaining indices may have gaps;
+        each maximal contiguous run is chunked separately so no chunk
+        ever spans a gap (warm starts stay adjacent).
+        """
+        if not remaining:
+            return []
+        runs: List[List[int]] = [[remaining[0]]]
+        for index in remaining[1:]:
+            if index == runs[-1][-1] + 1:
+                runs[-1].append(index)
+            else:
+                runs.append([index])
+        chunks: List[_Chunk] = []
+        total = len(remaining)
+        for run in runs:
+            share = max(1, round(n_chunks * len(run) / total))
+            for start, stop in contiguous_chunks(len(run), share):
+                indices = run[start:stop]
+                chunks.append(
+                    _Chunk(
+                        chunk_id=next(self._chunk_ids),
+                        indices=indices,
+                        points=[self.points[i] for i in indices],
+                    )
+                )
+        return chunks
+
+    # ------------------------------------------------------------------ #
+    # progress
+    # ------------------------------------------------------------------ #
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_completed(self) -> int:
+        """Rows done so far (including checkpointed and poisoned ones)."""
+        return len(self._rows)
+
+    @property
+    def n_connected(self) -> int:
+        return self._n_connected
+
+    @property
+    def n_ever_connected(self) -> int:
+        return self._n_ever_connected
+
+    def _complete(self) -> bool:
+        return len(self._rows) == len(self.points)
+
+    def result_rows(
+        self,
+    ) -> Tuple[Dict[int, List[float]], Dict[int, PointFailure]]:
+        """The merged ``index -> row`` / ``index -> failure`` maps."""
+        return dict(self._rows), dict(self._errors)
+
+    async def abort(self, exc: BaseException) -> None:
+        """Fail the sweep: :meth:`wait` raises, workers get shut down."""
+        async with self._cond:
+            if self._failure is None:
+                self._failure = exc
+            self._cond.notify_all()
+
+    async def wait(self) -> None:
+        """Block until every row is in (or the sweep aborted)."""
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self._failure is not None or self._complete()
+            )
+            if self._failure is not None:
+                raise DistributedSweepError(
+                    f"distributed sweep failed with "
+                    f"{self.n_points - self.n_completed} of {self.n_points} "
+                    f"points unfinished: {self._failure}"
+                ) from self._failure
+
+    async def drain(self, timeout: float = 5.0) -> None:
+        """Give connected workers time to complete the shutdown handshake.
+
+        Called after :meth:`wait` succeeds, before the server closes —
+        otherwise the final ``chunk_done``/``shutdown`` exchange races
+        the teardown and healthy workers see their connection die.
+        """
+        async def _all_gone() -> None:
+            async with self._cond:
+                await self._cond.wait_for(lambda: self._n_connected == 0)
+
+        try:
+            await asyncio.wait_for(_all_gone(), timeout)
+        except asyncio.TimeoutError:
+            logger.warning(
+                "%d worker(s) still connected after the %.1fs shutdown "
+                "grace period; closing anyway",
+                self._n_connected,
+                timeout,
+            )
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping (call while holding self._cond)
+    # ------------------------------------------------------------------ #
+    def _store_row(
+        self,
+        index: int,
+        values: Sequence[float],
+        error: Optional[PointFailure],
+    ) -> None:
+        if index in self._rows:
+            return  # duplicate delivery (requeue race): first write wins
+        self._rows[index] = [float(v) for v in values]
+        if error is not None:
+            self._errors[index] = error
+        if self._checkpoint is not None:
+            self._checkpoint.append_row(index, values, error)
+
+    def _poison(self, index: int) -> None:
+        count = self._requeues.get(index, 0)
+        logger.warning(
+            "point %d requeued %d times after killing its worker; "
+            "recording a NaN row and moving on",
+            index,
+            count,
+        )
+        self._store_row(
+            index,
+            [float("nan")] * len(self.metrics),
+            PointFailure(
+                index=index,
+                point=self.points[index],
+                stage="worker",
+                error_type="WorkerDied",
+                message=(
+                    f"worker died on this point {count} time(s); "
+                    f"gave up after max_requeues={self.max_requeues}"
+                ),
+            ),
+        )
+
+    def _pop_live_chunk(self) -> Optional[_Chunk]:
+        """Next chunk with poisoned points filtered out (may finish sweep)."""
+        while self._pending:
+            chunk = self._pending.popleft()
+            live_indices: List[int] = []
+            for index in chunk.indices:
+                if index in self._rows:
+                    continue  # completed elsewhere (duplicate after requeue)
+                if self._requeues.get(index, 0) > self.max_requeues:
+                    self._poison(index)
+                else:
+                    live_indices.append(index)
+            if live_indices:
+                return _Chunk(
+                    chunk_id=next(self._chunk_ids),
+                    indices=live_indices,
+                    points=[self.points[i] for i in live_indices],
+                )
+        return None
+
+    async def _checkout_chunk(self) -> Optional[_Chunk]:
+        async with self._cond:
+            while True:
+                if self._failure is not None:
+                    return None
+                chunk = self._pop_live_chunk()
+                if chunk is not None:
+                    return chunk
+                if self._complete():
+                    self._cond.notify_all()
+                    return None
+                # no pending work, sweep unfinished: another worker holds
+                # the remaining chunks — wait in case it dies and they
+                # come back
+                await self._cond.wait()
+
+    async def _requeue(
+        self,
+        chunk: _Chunk,
+        done: Set[int],
+        reason: BaseException,
+        blame: bool = True,
+    ) -> None:
+        async with self._cond:
+            unfinished = [
+                i for i in chunk.indices
+                if i not in done and i not in self._rows
+            ]
+            if unfinished:
+                # rows stream per point in order, so the first unfinished
+                # index is the one being solved when the worker died —
+                # blame it alone; the healthy tail of the chunk must not
+                # inherit retry counts (it would get poisoned wholesale).
+                # No blame at all when the chunk never reached the worker
+                # (dispatch to an already-dead socket): no point was
+                # being solved, so none earned a strike.
+                if blame:
+                    self._requeues[unfinished[0]] = (
+                        self._requeues.get(unfinished[0], 0) + 1
+                    )
+                    if self._checkpoint is not None:
+                        self._checkpoint.append_requeue(unfinished[0])
+                self._pending.appendleft(
+                    _Chunk(
+                        chunk_id=next(self._chunk_ids),
+                        indices=unfinished,
+                        points=[self.points[i] for i in unfinished],
+                    )
+                )
+                logger.warning(
+                    "worker died mid-chunk (%s); requeued %d unfinished "
+                    "point(s) starting at index %d",
+                    reason,
+                    len(unfinished),
+                    unfinished[0],
+                )
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # the per-worker protocol handler (asyncio server callback)
+    # ------------------------------------------------------------------ #
+    async def handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            hello = await recv_message(reader)
+            if hello.get("kind") != "hello":
+                raise ProtocolError(f"expected hello, got {hello.get('kind')!r}")
+            if hello.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"protocol version mismatch: coordinator "
+                    f"{PROTOCOL_VERSION}, worker {hello.get('version')}"
+                )
+            await send_message(
+                writer,
+                {
+                    "kind": "template",
+                    "model": self.model,
+                    "metrics": self.metrics,
+                },
+            )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            ProtocolError,
+        ) as exc:
+            logger.warning("worker %s rejected during handshake: %s", peer, exc)
+            if isinstance(exc, ProtocolError):
+                # tell the worker *why* (version mismatch, bad hello) —
+                # otherwise its operator only sees a dropped connection
+                # while the diagnosis sits in a log on another machine
+                try:
+                    await send_message(
+                        writer, {"kind": "reject", "message": str(exc)}
+                    )
+                except (ConnectionError, OSError):
+                    pass
+            writer.close()
+            return
+        worker_label = hello.get("worker", str(peer))
+        logger.info("worker %s joined", worker_label)
+        async with self._cond:
+            self._n_connected += 1
+            self._n_ever_connected += 1
+            self._cond.notify_all()
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # kernel-level dead-peer detection: a silent partition (no
+            # RST ever arrives) still surfaces as a connection error
+            # instead of hanging the chunk forever.  Tighten the probe
+            # schedule where the platform allows it — the Linux default
+            # (2h idle) would stall a sweep for hours first.
+            sock.setsockopt(
+                socket_module.SOL_SOCKET, socket_module.SO_KEEPALIVE, 1
+            )
+            for option, value in (
+                ("TCP_KEEPIDLE", 30),
+                ("TCP_KEEPINTVL", 10),
+                ("TCP_KEEPCNT", 6),
+            ):
+                if hasattr(socket_module, option):
+                    sock.setsockopt(
+                        socket_module.IPPROTO_TCP,
+                        getattr(socket_module, option),
+                        value,
+                    )
+        chunk: Optional[_Chunk] = None
+        chunk_sent = False
+        done_in_chunk: Set[int] = set()
+        try:
+            while True:
+                chunk = await self._checkout_chunk()
+                if chunk is None:
+                    try:
+                        await send_message(writer, {"kind": "shutdown"})
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                done_in_chunk = set()
+                chunk_sent = False
+                await send_message(
+                    writer,
+                    {
+                        "kind": "chunk",
+                        "chunk_id": chunk.chunk_id,
+                        "indices": chunk.indices,
+                        "points": chunk.points,
+                    },
+                )
+                chunk_sent = True
+                expected = set(chunk.indices)
+                while True:
+                    message = await recv_message(reader)
+                    if message["kind"] == "row":
+                        index = message["index"]
+                        if index not in expected:
+                            raise ProtocolError(
+                                f"row for index {index} outside chunk "
+                                f"{chunk.chunk_id}"
+                            )
+                        done_in_chunk.add(index)
+                        async with self._cond:
+                            self._store_row(
+                                index, message["values"], message.get("error")
+                            )
+                            self._cond.notify_all()
+                    elif message["kind"] == "fatal":
+                        # a configuration error: every point and every
+                        # worker would fail identically — abort the sweep
+                        # with the worker's diagnosis
+                        await self.abort(
+                            RuntimeError(
+                                f"worker {worker_label} hit a configuration "
+                                f"error on point {message.get('index')}: "
+                                f"{message.get('error_type')}: "
+                                f"{message.get('message')}"
+                            )
+                        )
+                        chunk = None
+                        break
+                    elif message["kind"] == "chunk_done":
+                        missing = expected - done_in_chunk
+                        if missing:
+                            raise ProtocolError(
+                                f"worker finished chunk {chunk.chunk_id} but "
+                                f"never sent rows for {sorted(missing)}"
+                            )
+                        chunk = None
+                        break
+                    else:
+                        raise ProtocolError(
+                            f"unexpected message {message['kind']!r} "
+                            "while a chunk is out"
+                        )
+        except asyncio.CancelledError:
+            # event-loop teardown (the sweep is already decided); exit
+            # quietly so the cancellation is not logged as a server error
+            pass
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            ProtocolError,
+        ) as exc:
+            logger.warning("worker %s lost: %s", worker_label, exc)
+            if chunk is not None:
+                await self._requeue(chunk, done_in_chunk, exc, blame=chunk_sent)
+        finally:
+            async with self._cond:
+                self._n_connected -= 1
+                self._cond.notify_all()
+            writer.close()
+            logger.info("worker %s left", worker_label)

@@ -1,0 +1,107 @@
+"""Length-prefixed pickle framing for the coordinator/worker TCP channel.
+
+Every message is one Python object (a ``dict`` with a ``"kind"`` key)
+serialised with pickle and framed as an 8-byte big-endian length prefix
+followed by the payload.  Pickle is what lets the coordinator ship the
+*sweep backend template itself* — a prepared
+:class:`~repro.sweep.backends.base.SweepBackend` — to every worker in one
+message, exactly as the in-machine process pool does through its
+initializer.
+
+Message kinds
+-------------
+
+======================  =========  ==========================================
+kind                    direction  payload
+======================  =========  ==========================================
+``hello``               w -> c     ``version``, ``worker`` (host:pid label)
+``template``            c -> w     ``model`` (backend), ``metrics``
+``reject``              c -> w     ``message`` — handshake refused (e.g.
+                                   protocol version mismatch)
+``fatal``               w -> c     ``index``, ``error_type``, ``message`` —
+                                   a configuration error; aborts the sweep
+``chunk``               c -> w     ``chunk_id``, ``indices``, ``points`` —
+                                   one *contiguous, axis-ordered* span
+``row``                 w -> c     ``index``, ``values``, optional ``error``
+                                   (a ``PointFailure``) — streamed per point
+``chunk_done``          w -> c     ``chunk_id``
+``shutdown``            c -> w     —
+======================  =========  ==========================================
+
+Rows stream back *per point*, not per chunk: when a worker dies
+mid-chunk the coordinator knows exactly which points of that chunk
+finished and requeues only the unfinished suffix.
+
+.. warning::
+   Pickle executes arbitrary code on load, so the channel is only as
+   trustworthy as its peers.  The coordinator binds ``127.0.0.1`` by
+   default; bind non-loopback addresses only on networks where every
+   host is trusted (see ``docs/distributed.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, Dict
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "recv_message",
+    "send_message",
+]
+
+#: Bumped on incompatible wire changes; the coordinator refuses
+#: mismatched workers (with a ``reject`` message naming the versions).
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (a template for a very large state space is
+#: tens of MB; a corrupted length prefix would otherwise ask for petabytes).
+MAX_FRAME_BYTES = 1 << 31
+
+_LEN = struct.Struct(">Q")
+
+
+class ProtocolError(RuntimeError):
+    """A peer sent a malformed or unexpected message."""
+
+
+async def send_message(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    """Frame and send one message, draining the transport."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    writer.write(_LEN.pack(len(payload)) + payload)
+    await writer.drain()
+
+
+async def recv_message(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Receive one framed message.
+
+    Raises
+    ------
+    asyncio.IncompleteReadError
+        If the peer closed the connection (cleanly or not) mid-frame —
+        the coordinator treats this as worker death.
+    ProtocolError
+        If the frame is oversized or does not decode to a ``dict`` with a
+        ``"kind"`` key.
+    """
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "limit (corrupt stream?)"
+        )
+    payload = await reader.readexactly(length)
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "kind" not in message:
+        raise ProtocolError(
+            f"expected a message dict with a 'kind', got {type(message).__name__}"
+        )
+    return message

@@ -1,0 +1,236 @@
+"""Sweep workers: the solve side of the distributed fan-out.
+
+A worker connects to a coordinator (same machine or across the network),
+receives the sweep backend template once, then loops: take one
+contiguous chunk of grid points, reset the warm start
+(:meth:`~repro.sweep.backends.base.SweepBackend.reset_point_state` — the
+previous chunk may be a far-away span of the grid), solve the chunk's
+points in order through the same
+:func:`~repro.sweep.runner.solve_point_row` plumbing as the serial path,
+and stream one ``row`` message per point.  Per-point numerical failures
+become NaN rows with error records, exactly like the serial runner;
+they never kill the worker.
+
+Three ways to run one:
+
+- ``repro-experiments worker --connect HOST:PORT`` — a separate process,
+  possibly on another machine;
+- :func:`launch_local_workers` — forked local processes (what
+  ``sweep --distributed --shards N`` uses);
+- ``asyncio.create_task(run_worker(...))`` — in-process, sharing the
+  coordinator's event loop (tests and docs; no parallelism, full
+  protocol).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import os
+import socket as socket_module
+from typing import List, Optional, Tuple
+
+from repro.sweep.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.sweep.runner import solve_point_row
+
+__all__ = ["launch_local_workers", "run_worker", "worker_main"]
+
+logger = logging.getLogger(__name__)
+
+#: Connection retry schedule: the coordinator may still be binding when a
+#: freshly forked worker first dials.
+CONNECT_RETRIES = 40
+CONNECT_RETRY_DELAY = 0.25
+
+
+async def _connect(
+    host: str, port: int, retries: int, delay: float
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    last_error: Optional[Exception] = None
+    for attempt in range(retries):
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError as exc:
+            last_error = exc
+            await asyncio.sleep(delay)
+    raise ConnectionError(
+        f"could not reach coordinator at {host}:{port} after "
+        f"{retries} attempts: {last_error}"
+    )
+
+
+async def run_worker(
+    host: str,
+    port: int,
+    *,
+    connect_retries: int = CONNECT_RETRIES,
+    connect_retry_delay: float = CONNECT_RETRY_DELAY,
+    die_after_rows: Optional[int] = None,
+    die_at_index: Optional[int] = None,
+) -> int:
+    """Serve one coordinator until it sends ``shutdown``.
+
+    Returns the number of rows solved.  *die_after_rows* /
+    *die_at_index* are fault-injection hooks for tests and benchmarks:
+    the worker aborts its connection (RST, no goodbye — indistinguishable
+    from a crash on the coordinator side) after streaming that many rows,
+    or just before solving that global point index.
+    """
+    reader, writer = await _connect(
+        host, port, connect_retries, connect_retry_delay
+    )
+    label = f"{socket_module.gethostname()}:{os.getpid()}"
+    rows_sent = 0
+    try:
+        await send_message(
+            writer,
+            {"kind": "hello", "version": PROTOCOL_VERSION, "worker": label},
+        )
+        template = await recv_message(reader)
+        if template["kind"] == "reject":
+            raise ConnectionError(
+                f"coordinator rejected this worker: {template.get('message')}"
+            )
+        if template["kind"] != "template":
+            raise ProtocolError(
+                f"expected a template, got {template['kind']!r}"
+            )
+        model = template["model"]
+        metrics = template["metrics"]
+        model.prepare()
+        logger.info("worker %s ready (%s)", label, model.describe())
+        while True:
+            message = await recv_message(reader)
+            if message["kind"] == "shutdown":
+                break
+            if message["kind"] != "chunk":
+                raise ProtocolError(
+                    f"expected a chunk, got {message['kind']!r}"
+                )
+            # chunk boundary: the previous chunk may be far away on the
+            # grid — never warm-start across it
+            model.reset_point_state()
+            for index, point in zip(message["indices"], message["points"]):
+                if (die_after_rows is not None and rows_sent >= die_after_rows) or (
+                    die_at_index is not None and index == die_at_index
+                ):
+                    logger.warning(
+                        "worker %s: injected fault before point %d",
+                        label,
+                        index,
+                    )
+                    writer.transport.abort()
+                    return rows_sent
+                try:
+                    row, failure = solve_point_row(model, metrics, point, index)
+                except (KeyError, ValueError, TypeError) as exc:
+                    # a *configuration* error (bad metric spec, unknown
+                    # place) — it would fail on every point and every
+                    # worker.  Report the diagnosis so the coordinator
+                    # aborts the sweep with it instead of watching the
+                    # whole fleet die one connection-reset at a time.
+                    # Worker-local failures (MemoryError, OSError…)
+                    # deliberately propagate instead: this worker dies
+                    # and the point is requeued to roomier survivors.
+                    await send_message(
+                        writer,
+                        {
+                            "kind": "fatal",
+                            "index": index,
+                            "error_type": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                    )
+                    return rows_sent
+                await send_message(
+                    writer,
+                    {
+                        "kind": "row",
+                        "index": index,
+                        "values": row,
+                        "error": failure,
+                    },
+                )
+                rows_sent += 1
+            await send_message(
+                writer, {"kind": "chunk_done", "chunk_id": message["chunk_id"]}
+            )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return rows_sent
+
+
+def worker_main(
+    host: str,
+    port: int,
+    *,
+    die_after_rows: Optional[int] = None,
+) -> int:
+    """Synchronous entry point: run one worker to completion.
+
+    What the ``repro-experiments worker`` subcommand and
+    :func:`launch_local_workers` execute.  Returns the number of rows
+    solved; connection failures propagate as ``ConnectionError``.
+    """
+    return asyncio.run(
+        run_worker(host, port, die_after_rows=die_after_rows)
+    )
+
+
+def _worker_process_main(
+    host: str, port: int, die_after_rows: Optional[int], hard_exit: bool
+) -> None:
+    try:
+        rows = worker_main(host, port, die_after_rows=die_after_rows)
+    except Exception as exc:  # worker processes die quietly, coordinator requeues
+        logger.warning("sweep worker failed: %s", exc)
+        raise SystemExit(1)
+    if die_after_rows is not None and hard_exit:
+        # simulate a crash for fault-injection benchmarks: no cleanup
+        os._exit(17)
+    raise SystemExit(0)
+
+
+def launch_local_workers(
+    n: int,
+    host: str,
+    port: int,
+    *,
+    die_after_rows: Optional[int] = None,
+    die_worker: Optional[int] = None,
+) -> List[multiprocessing.Process]:
+    """Fork *n* local worker processes pointed at ``host:port``.
+
+    Uses the ``fork`` start method when the platform has it (workers
+    inherit the loaded interpreter — startup is milliseconds, not a full
+    reimport) and falls back to ``spawn`` elsewhere.  *die_after_rows*
+    arms the fault-injection hook on worker *die_worker* (default: the
+    first) — that worker hard-exits mid-sweep, which is how the
+    fault-tolerance benchmark kills a worker deterministically.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    processes: List[multiprocessing.Process] = []
+    for i in range(n):
+        inject = die_after_rows if i == (die_worker or 0) else None
+        process = ctx.Process(
+            target=_worker_process_main,
+            args=(host, port, inject, True),
+            name=f"sweep-worker-{i}",
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    return processes

@@ -5,20 +5,84 @@ point, axis columns first, then one column per metric.  It renders as the
 repo's usual ASCII table, exports CSV, and supports simple queries
 (``column``, ``best``) so experiments can post-process sweeps without a
 dataframe dependency.
+
+Grid points whose solve failed (a stiff corner stalling GMRES, a
+reducible chain at a degenerate rate) keep their row — every metric cell
+is NaN — and carry a :class:`PointFailure` record in
+:attr:`SweepResult.errors`, so one bad point never hides the rest of the
+grid.  :meth:`SweepResult.assemble` builds a table from *partial* rows
+(an interrupted distributed sweep, a checkpoint), NaN-filling whatever is
+missing.
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.experiments.reporting import format_table
 
-__all__ = ["SweepResult"]
+__all__ = ["PointFailure", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One grid point that produced a NaN row instead of metric values.
+
+    Attributes
+    ----------
+    index : int
+        Row index of the point in the sweep's enumeration order.
+    point : dict
+        The axis values of the failed point.
+    stage : str
+        Where the failure happened: ``"solve"`` (the model solve raised),
+        ``"metric"`` (a metric evaluation raised), ``"worker"`` (a
+        distributed worker died on this point repeatedly), or
+        ``"merge"`` (the row was simply never produced).
+    error_type : str
+        Exception class name (e.g. ``"ConvergenceError"``).
+    message : str
+        The exception message.
+    metric : str, optional
+        The metric column being evaluated, for ``stage == "metric"``.
+    """
+
+    index: int
+    point: Dict[str, float]
+    stage: str
+    error_type: str
+    message: str
+    metric: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (used by the checkpoint file)."""
+        d: Dict[str, object] = {
+            "index": self.index,
+            "point": dict(self.point),
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+        if self.metric is not None:
+            d["metric"] = self.metric
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "PointFailure":
+        return cls(
+            index=int(d["index"]),
+            point={k: float(v) for k, v in dict(d["point"]).items()},
+            stage=str(d["stage"]),
+            error_type=str(d["error_type"]),
+            message=str(d["message"]),
+            metric=str(d["metric"]) if d.get("metric") is not None else None,
+        )
 
 
 @dataclass
@@ -29,10 +93,17 @@ class SweepResult:
     metric_names: List[str]
     points: List[Dict[str, float]]
     values: List[Dict[str, float]]
+    errors: List[PointFailure] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.points) != len(self.values):
             raise ValueError("points and values must have the same length")
+        for e in self.errors:
+            if not 0 <= e.index < len(self.points):
+                raise ValueError(
+                    f"error record index {e.index} outside the table "
+                    f"(have {len(self.points)} rows)"
+                )
 
     def __len__(self) -> int:
         return len(self.points)
@@ -41,12 +112,21 @@ class SweepResult:
     def columns(self) -> List[str]:
         return self.axis_names + self.metric_names
 
+    @property
+    def n_failed(self) -> int:
+        """Number of points that produced an error record (NaN rows)."""
+        return len(self.errors)
+
+    def failed_indices(self) -> List[int]:
+        """Row indices with an error record, ascending."""
+        return sorted(e.index for e in self.errors)
+
     def rows(self) -> List[Dict[str, float]]:
         """Merged ``{axis: value, metric: value}`` dicts, one per point."""
         return [{**p, **v} for p, v in zip(self.points, self.values)]
 
     def column(self, name: str) -> np.ndarray:
-        """One axis or metric column as a float array."""
+        """One axis or metric column as a float array (NaN where failed)."""
         if name in self.axis_names:
             return np.array([p[name] for p in self.points])
         if name in self.metric_names:
@@ -54,19 +134,88 @@ class SweepResult:
         raise KeyError(f"unknown column {name!r} (have {self.columns})")
 
     def best(self, metric: str, minimize: bool = True) -> Dict[str, float]:
-        """The row optimising *metric* (ties broken by enumeration order)."""
+        """The row optimising *metric* (ties broken by enumeration order).
+
+        NaN rows (failed points) never win: the argmin/argmax ignores
+        them.
+        """
         col = self.column(metric)
         if metric not in self.metric_names:
             raise KeyError(f"{metric!r} is not a metric column")
-        idx = int(np.argmin(col) if minimize else np.argmax(col))
+        if np.all(np.isnan(col)):
+            raise ValueError(f"every {metric!r} value is NaN (all points failed)")
+        idx = int(np.nanargmin(col) if minimize else np.nanargmax(col))
         return self.rows()[idx]
 
+    @classmethod
+    def assemble(
+        cls,
+        axis_names: Sequence[str],
+        metric_names: Sequence[str],
+        points: Sequence[Mapping[str, float]],
+        rows: Mapping[int, Sequence[float]],
+        errors: Optional[Mapping[int, PointFailure]] = None,
+    ) -> "SweepResult":
+        """Merge *partial* rows into a full, enumeration-ordered table.
+
+        *rows* maps point index to the metric values of that row (in
+        ``metric_names`` order); any index without a row gets all-NaN
+        cells and — unless *errors* already carries a record for it — a
+        ``stage="merge"`` :class:`PointFailure` marking it unproduced.
+        Utility for inspecting incomplete sweeps — e.g. the rows a
+        :class:`~repro.sweep.distributed.checkpoint.SweepCheckpoint`
+        journalled before an interruption; with every index present it
+        reduces to the plain constructor.
+        """
+        metric_names = list(metric_names)
+        err_map: Dict[int, PointFailure] = dict(errors or {})
+        values: List[Dict[str, float]] = []
+        for i, p in enumerate(points):
+            row = rows.get(i)
+            if row is None:
+                row = [math.nan] * len(metric_names)
+                err_map.setdefault(
+                    i,
+                    PointFailure(
+                        index=i,
+                        point={k: float(v) for k, v in p.items()},
+                        stage="merge",
+                        error_type="MissingRow",
+                        message="no result row was produced for this point",
+                    ),
+                )
+            elif len(row) != len(metric_names):
+                raise ValueError(
+                    f"row {i} has {len(row)} values for "
+                    f"{len(metric_names)} metrics"
+                )
+            values.append(
+                {m: float(v) for m, v in zip(metric_names, row)}
+            )
+        return cls(
+            axis_names=list(axis_names),
+            metric_names=metric_names,
+            points=[{k: float(v) for k, v in p.items()} for p in points],
+            values=values,
+            errors=[err_map[i] for i in sorted(err_map)],
+        )
+
     def render(self, title: str = "", float_fmt: str = "{:.6g}") -> str:
-        """ASCII table of the whole sweep."""
+        """ASCII table of the whole sweep (plus a failed-points footer)."""
         rows = [
             [row[c] for c in self.columns] for row in self.rows()
         ]
-        return format_table(self.columns, rows, title=title, float_fmt=float_fmt)
+        text = format_table(self.columns, rows, title=title, float_fmt=float_fmt)
+        if self.errors:
+            notes = "\n".join(
+                f"  row {e.index}: [{e.stage}] {e.error_type}: {e.message}"
+                for e in self.errors
+            )
+            text += (
+                f"\n{len(self.errors)} of {len(self)} point(s) failed "
+                f"(NaN rows):\n{notes}"
+            )
+        return text
 
     def write_csv(self, path: Union[str, Path]) -> Path:
         """Write the table to *path* (or ``<path>/sweep.csv`` if a directory)."""

@@ -20,36 +20,199 @@ backend's grammar — steady-state (``mean_tokens:<place>``,
 ``fraction:active@0.5``, ``time_to_threshold:0.01``); see
 :mod:`repro.sweep.backends.base`.
 
-Optional multiprocessing fan-out (``n_workers > 1``) distributes points
-over a process pool; the backend template is shipped to each worker once
-via the pool initializer.  Results are identical to, and ordered like, the
-serial path.  When the template cannot be pickled (e.g. a metric closure)
-the runner logs a warning and falls back to serial execution instead of
-crashing the pool.
+**Failure isolation.**  A grid point whose *solve* raises a numerical
+error (``ConvergenceError`` on a stiff corner, a singular chain at a
+degenerate rate) does not abort the sweep: the point gets an all-NaN row
+plus a :class:`~repro.sweep.results.PointFailure` record on the result,
+and the remaining points keep solving — identically in the serial, pool,
+and distributed paths.  Configuration errors (unknown axes, malformed
+metric specs, unknown places) still raise immediately; they would fail
+on every point.
+
+**Fan-out.**  ``n_workers > 1`` distributes *contiguous, axis-ordered
+chunks* of the grid over a process pool (the backend template ships to
+each worker once via the pool initializer).  Contiguity keeps iterative
+warm starts adjacent — each chunk starts cold
+(:meth:`~repro.sweep.backends.base.SweepBackend.reset_point_state`) and
+warm-starts within itself, so a GMRES start never comes from a far-away
+grid point.  Results are ordered like, and (for the direct solvers)
+bit-identical to, the serial path.  When the template cannot be pickled
+(e.g. a metric closure) the runner logs a warning and falls back to
+serial execution; if the pool itself breaks mid-run, the fallback
+resumes serially *from the unfinished points only* instead of re-solving
+the whole grid.  For sharding a grid across hosts, see
+:mod:`repro.sweep.distributed`.
 """
 
 from __future__ import annotations
 
 import logging
+import math
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+import numpy as np
+
+from repro.markov.ctmc import NumericalSolveError
 from repro.petri.analysis import ReachabilityOptions
 from repro.petri.net import PetriNet
 from repro.sweep.backends import GSPNBackend, SweepBackend, evaluate_gspn_metric
 from repro.sweep.backends.base import Metric, metric_name
 from repro.sweep.grid import SweepGrid
-from repro.sweep.results import SweepResult
+from repro.sweep.results import PointFailure, SweepResult
 
-__all__ = ["Metric", "SweepRunner", "evaluate_metric", "metric_name"]
+__all__ = [
+    "Metric",
+    "SweepRunner",
+    "contiguous_chunks",
+    "evaluate_metric",
+    "metric_name",
+    "solve_missing_rows",
+    "solve_point_row",
+]
 
 logger = logging.getLogger(__name__)
 
 #: Back-compat alias: the GSPN steady-state metric evaluator this module
 #: historically exported.
 evaluate_metric = evaluate_gspn_metric
+
+#: Chunks handed out per pool worker: oversubscription for load balance
+#: while each chunk stays one contiguous span of the axis-ordered grid.
+CHUNKS_PER_WORKER = 4
+
+#: Exception types treated as a *per-point solve failure* (NaN row + error
+#: record).  ``ValueError`` covers singular/reducible chains surfacing
+#: from the direct solvers (including ``numpy.linalg.LinAlgError``, a
+#: ``ValueError`` subclass) and ``RuntimeError`` covers
+#: ``ConvergenceError``; anything else (``KeyError`` for bad axes,
+#: ``TypeError``…) is a configuration bug and propagates.
+SOLVE_FAILURE_TYPES = (
+    ValueError,
+    ArithmeticError,
+    RuntimeError,
+)
+
+#: Exception types treated as a per-point failure during *metric
+#: evaluation* (GSPN backends solve their steady state lazily, at the
+#: first steady metric).  Deliberately excludes plain ``ValueError``: a
+#: malformed metric spec is a configuration error that would fail on
+#: every point and must raise, whereas a lazily-triggered solve stall
+#: (:class:`~repro.markov.ctmc.ConvergenceError` is a ``RuntimeError``),
+#: a singular chain (:class:`~repro.markov.ctmc.NumericalSolveError`),
+#: or a dense-factorisation failure (``numpy.linalg.LinAlgError``) is
+#: point-local — the latter two are the only ``ValueError`` subclasses
+#: caught here.
+METRIC_FAILURE_TYPES = (
+    ArithmeticError,
+    RuntimeError,
+    np.linalg.LinAlgError,
+    NumericalSolveError,
+)
+
+
+def contiguous_chunks(n: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most *n_chunks* contiguous spans.
+
+    Returns ``(start, stop)`` pairs that cover ``range(n)`` in order,
+    pairwise disjoint, with sizes differing by at most one.  Contiguity is
+    the point: sweep grids enumerate row-major (last axis fastest), so a
+    contiguous span of indices is a neighbourhood of the parameter grid
+    and iterative warm starts stay adjacent within a chunk.
+
+    >>> contiguous_chunks(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    >>> contiguous_chunks(2, 8)
+    [(0, 1), (1, 2)]
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return []
+    n_chunks = max(1, min(n, n_chunks))
+    base, extra = divmod(n, n_chunks)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for k in range(n_chunks):
+        size = base + (1 if k < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def solve_missing_rows(
+    model: SweepBackend,
+    metrics: Sequence[Metric],
+    points: Sequence[Mapping[str, float]],
+    missing: Iterable[int],
+):
+    """Serially solve *missing* indices, yielding ``(index, row, failure)``.
+
+    The shared resume loop of the broken-pool fallback and the
+    distributed runner's serial paths.  *missing* must be ascending; the
+    warm start is reset whenever consecutive indices are not adjacent —
+    completed work interleaves the gaps, and a warm start must never
+    cross one.
+    """
+    previous: Optional[int] = None
+    for index in missing:
+        if previous is not None and index != previous + 1:
+            model.reset_point_state()
+        previous = index
+        yield (index, *solve_point_row(model, metrics, points[index], index))
+
+
+def solve_point_row(
+    model: SweepBackend,
+    metrics: Sequence[Metric],
+    point: Mapping[str, float],
+    index: int,
+) -> Tuple[List[float], Optional[PointFailure]]:
+    """Solve one grid point into a metric row, isolating numerical failures.
+
+    The shared per-point plumbing of every execution path (serial, process
+    pool, distributed workers).  Returns ``(row, failure)``: on success the
+    metric values and ``None``; on a recoverable numerical failure (see
+    :data:`SOLVE_FAILURE_TYPES` / :data:`METRIC_FAILURE_TYPES`) an all-NaN
+    row plus the :class:`~repro.sweep.results.PointFailure` record.
+    Configuration errors propagate.
+    """
+    nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
+    try:
+        solution = model.solve(point)
+    except SOLVE_FAILURE_TYPES as exc:
+        return nan_row(), PointFailure(
+            index=index,
+            point={k: float(v) for k, v in point.items()},
+            stage="solve",
+            error_type=type(exc).__name__,
+            message=str(exc),
+        )
+    row: List[float] = []
+    for i, m in enumerate(metrics):
+        try:
+            row.append(model.evaluate(solution, m))
+        except METRIC_FAILURE_TYPES as exc:
+            return nan_row(), PointFailure(
+                index=index,
+                point={k: float(v) for k, v in point.items()},
+                stage="metric",
+                error_type=type(exc).__name__,
+                message=str(exc),
+                metric=metric_name(m, i),
+            )
+    return row, None
 
 
 # -- process-pool plumbing: the template lands in each worker exactly once --
@@ -61,11 +224,26 @@ def _init_worker(model: SweepBackend, metrics: Sequence[Metric]) -> None:
     _WORKER_STATE = (model, list(metrics))
 
 
-def _solve_point(point: Mapping[str, float]) -> List[float]:
+def _solve_chunk(
+    start: int, chunk_points: Sequence[Mapping[str, float]]
+) -> Tuple[int, List[List[float]], List[PointFailure]]:
+    """Solve one contiguous chunk inside a pool worker.
+
+    The warm start is reset at the chunk boundary — the previous chunk
+    this worker solved may be a far-away span of the grid — then carried
+    point-to-point within the chunk.
+    """
     assert _WORKER_STATE is not None, "worker used before initialisation"
     model, metrics = _WORKER_STATE
-    solution = model.solve(point)
-    return [model.evaluate(solution, m) for m in metrics]
+    model.reset_point_state()
+    rows: List[List[float]] = []
+    errors: List[PointFailure] = []
+    for offset, point in enumerate(chunk_points):
+        row, failure = solve_point_row(model, metrics, point, start + offset)
+        rows.append(row)
+        if failure is not None:
+            errors.append(failure)
+    return start, rows, errors
 
 
 class SweepRunner:
@@ -95,8 +273,8 @@ class SweepRunner:
         configuration, so passing these with one raises ``ValueError``
         instead of silently ignoring them.
     n_workers:
-        ``None``/``0``/``1`` solves serially; ``>= 2`` fans points out over
-        a process pool of that size.
+        ``None``/``0``/``1`` solves serially; ``>= 2`` fans contiguous
+        chunks of points out over a process pool of that size.
     """
 
     def __init__(
@@ -157,62 +335,117 @@ class SweepRunner:
             raise ValueError("empty sweep grid")
         self.model.check_axes(axis_names)
 
-        if self.n_workers and self.n_workers > 1 and len(points) > 1:
-            values = self._run_parallel(points)
-        else:
-            values = self._run_serial(points)
+        values, errors = self._execute(axis_names, points)
         return SweepResult(
             axis_names=axis_names,
             metric_names=list(self.metric_names),
             points=[{k: float(v) for k, v in p.items()} for p in points],
             values=[dict(zip(self.metric_names, row)) for row in values],
+            errors=errors,
         )
 
     def solve_point(self, point: Mapping[str, float]):
         """Solve a single grid point (for ad-hoc inspection)."""
         return self.model.solve(point)
 
-    def _run_serial(self, points: Sequence[Mapping[str, float]]) -> List[List[float]]:
-        rows: List[List[float]] = []
-        for point in points:
-            solution = self.model.solve(point)
-            rows.append([self.model.evaluate(solution, m) for m in self.metrics])
-        return rows
+    # ------------------------------------------------------------------ #
+    # execution strategies (the distributed runner overrides _execute)
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self, axis_names: Sequence[str], points: Sequence[Mapping[str, float]]
+    ) -> Tuple[List[List[float]], List[PointFailure]]:
+        if self.n_workers and self.n_workers > 1 and len(points) > 1:
+            return self._run_parallel(points)
+        return self._run_serial(points)
 
-    def _run_parallel(self, points: Sequence[Mapping[str, float]]) -> List[List[float]]:
-        assert self.n_workers is not None
+    def _run_serial(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> Tuple[List[List[float]], List[PointFailure]]:
+        rows: List[List[float]] = []
+        errors: List[PointFailure] = []
+        for index, point in enumerate(points):
+            row, failure = solve_point_row(self.model, self.metrics, point, index)
+            rows.append(row)
+            if failure is not None:
+                errors.append(failure)
+        return rows, errors
+
+    def _template_ships(self) -> bool:
+        """Pre-flight: can the template reach workers (pool or wire)?
+
+        Probed before paying for pool/coordinator startup so closures
+        degrade deterministically on every start method; shared by the
+        in-machine pool and the distributed runner.
+        """
         try:
-            # pre-flight: the pool initializer must be able to ship the
-            # template; probe before paying for pool startup so closures
-            # degrade deterministically on every start method
             pickle.dumps((self.model, self.metrics))
+            return True
         except Exception as exc:
+            logger.warning("sweep template is not picklable (%s)", exc)
+            return False
+
+    def _run_parallel(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> Tuple[List[List[float]], List[PointFailure]]:
+        assert self.n_workers is not None
+        if not self._template_ships():
             logger.warning(
-                "sweep template is not picklable (%s); solving %d points "
-                "serially instead",
-                exc,
-                len(points),
+                "solving %d points serially instead", len(points)
             )
             return self._run_serial(points)
         workers = min(self.n_workers, len(points))
-        chunk = max(1, len(points) // (4 * workers))
+        spans = contiguous_chunks(len(points), CHUNKS_PER_WORKER * workers)
+        rows: List[Optional[List[float]]] = [None] * len(points)
+        error_map: Dict[int, PointFailure] = {}
+
+        def harvest(result) -> None:
+            start, chunk_rows, chunk_errors = result
+            rows[start : start + len(chunk_rows)] = chunk_rows
+            for failure in chunk_errors:
+                error_map[failure.index] = failure
+
+        futures = []
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
                 initargs=(self.model, self.metrics),
             ) as pool:
-                return [list(row) for row in pool.map(
-                    _solve_point, points, chunksize=chunk
-                )]
+                futures = [
+                    pool.submit(_solve_chunk, start, list(points[start:stop]))
+                    for start, stop in spans
+                ]
+                for future in futures:
+                    harvest(future.result())
         except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
-            # the pool could not start or ship the template — degrade to
-            # serial; genuine per-point errors propagate with their own
-            # traceback
+            # the pool broke or could not ship the template.  Keep every
+            # chunk that did complete and resume serially from the
+            # unfinished points only — on a mostly-done grid the fallback
+            # costs the remainder, not a full re-solve.  Genuine
+            # configuration errors propagate with their own traceback.
+            for future in futures:
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    harvest(future.result())
+            missing = [i for i, row in enumerate(rows) if row is None]
             logger.warning(
-                "sweep process pool failed (%s); solving %d points serially "
-                "instead",
+                "sweep process pool failed (%s); resuming %d of %d points "
+                "serially",
                 exc,
+                len(missing),
                 len(points),
             )
-            return self._run_serial(points)
+            for index, row, failure in solve_missing_rows(
+                self.model, self.metrics, points, missing
+            ):
+                rows[index] = row
+                if failure is not None:
+                    error_map[failure.index] = failure
+        assert all(row is not None for row in rows)
+        return (
+            [list(row) for row in rows],  # type: ignore[union-attr]
+            [error_map[i] for i in sorted(error_map)],
+        )
