@@ -3,6 +3,7 @@
 Examples::
 
     repro-experiments list
+    repro-experiments lint --net cpu-gspn
     repro-experiments run fig4
     repro-experiments run table4 --full --csv-dir results/
     repro-experiments run all --csv-dir results/
@@ -39,6 +40,7 @@ from repro.sweep import (
     SweepRunner,
 )
 from repro.sweep.backends import resolve_cpu_axis
+from repro.verify import LINT_LEVELS, lint_net
 
 __all__ = ["main", "build_parser"]
 
@@ -214,12 +216,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_flags(sweep_p)
     sweep_p.add_argument(
+        "--no-preflight",
+        action="store_true",
+        help=(
+            "skip the verification preflight (chain classification, grid "
+            "vetting) and solve a flagged configuration anyway"
+        ),
+    )
+    sweep_p.add_argument(
         "--csv-dir",
         type=Path,
         default=None,
         help="also write a sweep.csv into this directory",
     )
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="verify a net structurally before paying for its state space",
+        description=(
+            "Run the structural verification suite on a demo net and print "
+            "a diagnostic report with stable PN0xx/CH0xx codes (see "
+            "docs/verification.md).  The default 'standard' level proves "
+            "boundedness (P-invariants, capacities) and deadlock freedom "
+            "(Commoner's siphon/trap condition) with zero state-space "
+            "exploration; 'deep' additionally explores the reachability "
+            "graph and classifies the chain.  Example: repro-experiments "
+            "lint --net cpu-gspn --level standard --strict"
+        ),
+    )
+    lint_p.add_argument(
+        "--net",
+        choices=sorted(DEMO_NETS),
+        default="cpu-gspn",
+        help="demo net to lint (default: the exponentialised Figure 3 CPU)",
+    )
+    lint_p.add_argument(
+        "--level",
+        choices=list(LINT_LEVELS),
+        default="standard",
+        help=(
+            "quick: structure+bounds+conflicts; standard: +siphon/trap "
+            "deadlock check (default; no exploration); deep: +bounded "
+            "state-space exploration and chain classification"
+        ),
+    )
+    lint_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings (errors always exit 2)",
+    )
+    lint_p.add_argument(
+        "--max-markings",
+        type=int,
+        default=None,
+        help="exploration cap of --level deep (default 50000)",
+    )
+    lint_p.set_defaults(func=_cmd_lint)
 
     steady_p = sub.add_parser(
         "steady",
@@ -515,6 +568,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 host=host,
                 port=port,
                 checkpoint=args.checkpoint,
+                preflight=not args.no_preflight,
                 **runner_solver_kwargs,
             )
             bound_host, bound_port = runner.address
@@ -530,6 +584,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 metrics,
                 backend=args.backend if args.backend is not None else "auto",
                 n_workers=args.jobs,
+                preflight=not args.no_preflight,
                 **runner_solver_kwargs,
             )
         t0 = time.perf_counter()
@@ -639,6 +694,31 @@ def _cmd_steady(args: argparse.Namespace) -> int:
         f"\n[{n} states solved with {resolve_steady_state_method(n, solver)} "
         f"in {elapsed:.3f} s — {backend.describe()}]"
     )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        factory, _ = DEMO_NETS[args.net]
+        net = factory()
+        kwargs = {}
+        if args.max_markings is not None:
+            if args.level != "deep":
+                raise ValueError(
+                    "--max-markings applies only to --level deep "
+                    "(the other levels never explore the state space)"
+                )
+            kwargs["max_markings"] = args.max_markings
+        report = lint_net(net, level=args.level, **kwargs)
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    print(report.render(title=f"lint report: {args.net} ({args.level})"))
+    if report.errors:
+        return 2
+    if args.strict and report.warnings:
+        return 1
     return 0
 
 

@@ -893,7 +893,13 @@ class CTMC:
             cached = self._pi_cache.get(resolved)
             if cached is not None:
                 return cached.copy()
-        pi = self._solve_steady_state(resolved, tol, max_iter, x0)
+        try:
+            pi = self._solve_steady_state(resolved, tol, max_iter, x0)
+        except NumericalSolveError as exc:
+            diagnosis = self.reducibility_diagnosis()
+            if diagnosis is not None:
+                raise NumericalSolveError(f"{exc} — {diagnosis}") from exc
+            raise
         if default_solve:
             self._pi_cache[resolved] = pi
         return pi.copy()
@@ -901,6 +907,49 @@ class CTMC:
     def resolve_method(self, method: str = "auto") -> str:
         """The concrete solver *method* denotes for this chain's size."""
         return resolve_steady_state_method(self.n, method)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def communicating_classes(self):
+        """Strongly-connected-component structure of the transition graph.
+
+        Returns a :class:`repro.verify.chain.ChainClassification`; one
+        ``O(n + nnz)`` pass, independent of the rates' magnitudes (only
+        the sparsity pattern matters).
+        """
+        from repro.verify.chain import classify_states
+
+        coo = self.Q_sparse.tocoo()
+        mask = coo.data != 0.0
+        return classify_states(self.n, coo.row[mask], coo.col[mask])
+
+    def is_irreducible(self) -> bool:
+        """True when every state communicates with every other state."""
+        return self.communicating_classes().is_irreducible
+
+    def reducibility_diagnosis(self) -> Optional[str]:
+        """Why ``pi Q = 0`` has no unique root, or ``None`` if it does.
+
+        Names the closed communicating classes by their state labels so a
+        failed steady-state solve can report *which* parts of the chain
+        fragment, instead of the bare ``singular generator``.
+        """
+        classification = self.communicating_classes()
+        if classification.has_unique_stationary:
+            return None
+        closed = classification.closed_members()
+        parts = [
+            f"class of {self.labels[members[0]]!r} ({len(members)} state(s))"
+            for members in closed[:3]
+        ]
+        if len(closed) > 3:
+            parts.append(f"+{len(closed) - 3} more")
+        return (
+            f"the chain is reducible: {len(closed)} closed communicating "
+            f"classes ({'; '.join(parts)}), so no unique stationary "
+            "distribution exists"
+        )
 
     def seed_steady_state(self, pi: np.ndarray) -> None:
         """Install an externally solved stationary vector.

@@ -60,20 +60,38 @@ from repro.petri.analysis import (
 from repro.petri.ctmc_export import GSPNSolution, GSPNSolver, ctmc_from_net
 from repro.petri.dot_export import to_dot
 from repro.petri.invariants import (
+    InvariantSearchResult,
     incidence_matrix,
     invariant_report,
     p_invariants,
+    p_invariants_detailed,
     t_invariants,
+    t_invariants_detailed,
     verify_p_invariant,
 )
 from repro.petri.pnml import from_pnml, load_pnml, save_pnml, to_pnml
+from repro.petri.structural import (
+    CommonerResult,
+    ConflictSet,
+    SiphonSearchResult,
+    commoner_check,
+    immediate_conflicts,
+    maximal_trap_within,
+    minimal_siphons,
+    minimal_traps,
+    structural_bounds,
+    structurally_dead_transitions,
+)
 
 __all__ = [
     "Arc",
     "ArcKind",
+    "CommonerResult",
+    "ConflictSet",
     "GSPNSolution",
     "GSPNSolver",
     "ImmediateTransition",
+    "InvariantSearchResult",
     "Marking",
     "MemoryPolicy",
     "NetStructureError",
@@ -83,17 +101,27 @@ __all__ = [
     "ReachabilityGraph",
     "ReachabilityOptions",
     "SimulationResult",
+    "SiphonSearchResult",
     "TimedTransition",
     "Transition",
+    "commoner_check",
     "ctmc_from_net",
     "explore_reachability",
     "from_pnml",
+    "immediate_conflicts",
     "incidence_matrix",
     "invariant_report",
     "load_pnml",
+    "maximal_trap_within",
+    "minimal_siphons",
+    "minimal_traps",
     "p_invariants",
+    "p_invariants_detailed",
     "save_pnml",
+    "structural_bounds",
+    "structurally_dead_transitions",
     "t_invariants",
+    "t_invariants_detailed",
     "to_dot",
     "to_pnml",
     "verify_p_invariant",

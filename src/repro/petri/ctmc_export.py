@@ -266,6 +266,17 @@ class GSPNSolver:
         """Names of the transitions whose rates :meth:`solve` can re-bind."""
         return list(self._exp_names)
 
+    def tangible_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Off-diagonal ``(rows, cols)`` of the tangible rate template.
+
+        The template's sparsity pattern is rate-independent: an edge
+        exists for *any* positive rates iff it exists here.  Chain-level
+        preflight (:mod:`repro.verify`) classifies the communicating
+        classes of exactly this graph, so diagnosing a sweep costs one
+        linear pass instead of a solve.
+        """
+        return self._rows.copy(), self._cols.copy()
+
     def reset_warm_start(self) -> None:
         """Drop the iterative methods' warm-start vector.
 

@@ -20,11 +20,18 @@ skeleton of the net's steady-state cycles.
 Limitations (documented, standard): the computed basis spans the invariant
 space; minimal-support semi-positive invariants are extracted heuristically
 by searching small non-negative combinations, which is sufficient for the
-modest nets this library targets.
+modest nets this library targets.  The combination search is **budgeted**:
+with ``b`` basis vectors it would otherwise enumerate ``O((2b)^3)``
+candidate sums, so it stops after :data:`COMBINATION_BUDGET` candidates and
+reports the truncation (``InvariantSearchResult.truncated``) instead of
+silently returning a partial family — the lint layer
+(:mod:`repro.verify`) surfaces that as diagnostic ``PN006``.
 """
 
 from __future__ import annotations
 
+import logging
+from dataclasses import dataclass
 from fractions import Fraction
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,12 +41,52 @@ import numpy as np
 from repro.petri.net import PetriNet
 
 __all__ = [
+    "COMBINATION_BUDGET",
+    "InvariantSearchResult",
     "incidence_matrix",
-    "p_invariants",
-    "t_invariants",
     "invariant_report",
+    "p_invariants",
+    "p_invariants_detailed",
+    "t_invariants",
+    "t_invariants_detailed",
     "verify_p_invariant",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Cap on candidate combinations the semi-positive extraction considers.
+#: The search sums up to ``max_terms`` of the ``2b`` signed basis vectors,
+#: i.e. ``C(2b, 2) + C(2b, 3)`` candidates for the default ``max_terms=3``
+#: — about 43k at ``b = 16``, far past any net this library models.  When
+#: the cap is hit the result is *flagged truncated*, never silently short.
+COMBINATION_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class InvariantSearchResult:
+    """Semi-positive invariants plus the search's own honesty report.
+
+    Attributes
+    ----------
+    invariants:
+        ``{node name: weight}`` per invariant (places for P-invariants,
+        transitions for T-invariants), minimal-support first.
+    truncated:
+        The combination search hit :data:`COMBINATION_BUDGET` before
+        exhausting the candidate space — the family may be incomplete,
+        so a *missing* invariant proves nothing.
+    candidates_tried:
+        Combination sums actually considered.
+    basis_size:
+        Dimension of the exact (rational) invariant space; when this is
+        0 the net provably has no invariants at all and ``truncated`` is
+        always ``False``.
+    """
+
+    invariants: Tuple[Dict[str, int], ...]
+    truncated: bool
+    candidates_tried: int
+    basis_size: int
 
 
 def incidence_matrix(net: PetriNet) -> np.ndarray:
@@ -109,14 +156,20 @@ def _to_integer_vector(vec: Sequence[Fraction]) -> np.ndarray:
 
 
 def _semi_positive_combinations(
-    basis: List[np.ndarray], max_terms: int = 3
-) -> List[np.ndarray]:
+    basis: List[np.ndarray],
+    max_terms: int = 3,
+    budget: int = COMBINATION_BUDGET,
+) -> Tuple[List[np.ndarray], bool, int]:
     """Search small integer combinations of basis vectors that are >= 0.
 
     Tries each vector and its negation, then pairwise/triple sums — enough
-    to recover the unit invariants of practically structured nets.
+    to recover the unit invariants of practically structured nets.  The
+    enumeration stops after *budget* candidate sums; the returned triple is
+    ``(minimal_invariants, truncated, candidates_tried)``.
     """
     candidates: List[np.ndarray] = []
+    tried = 0
+    truncated = False
 
     def consider(vec: np.ndarray) -> None:
         if not np.any(vec):
@@ -132,10 +185,17 @@ def _semi_positive_combinations(
     for b in basis:
         signed.append(b)
         signed.append(-b)
+        tried += 2
         consider(b)
         consider(-b)
     for k in range(2, max_terms + 1):
+        if truncated:
+            break
         for combo in combinations(signed, k):
+            if tried >= budget:
+                truncated = True
+                break
+            tried += 1
             consider(np.sum(combo, axis=0))
     # prefer small supports, then small weights
     candidates.sort(key=lambda v: (np.count_nonzero(v), int(np.abs(v).sum())))
@@ -146,30 +206,64 @@ def _semi_positive_combinations(
         if any(set(np.nonzero(m)[0]) <= support for m in minimal):
             continue
         minimal.append(v)
-    return minimal
+    return minimal, truncated, tried
+
+
+def p_invariants_detailed(
+    net: PetriNet, budget: int = COMBINATION_BUDGET
+) -> InvariantSearchResult:
+    """Semi-positive P-invariants with the search's truncation report.
+
+    Every returned weighting satisfies ``weights . M = weights . M0`` for
+    all reachable markings M (checked exactly against the incidence
+    matrix before returning).  ``truncated=True`` means the heuristic
+    extraction gave up before covering the candidate space — callers
+    doing boundedness proofs must treat missing coverage as *unknown*,
+    not as *unbounded* (the lint layer emits ``PN006`` for this).
+    """
+    C = incidence_matrix(net)
+    basis = [_to_integer_vector(v) for v in _rational_nullspace(C.T)]
+    names = net.compile().place_names
+    vectors, truncated, tried = _semi_positive_combinations(
+        basis, budget=budget
+    )
+    result = []
+    for vec in vectors:
+        assert np.all(vec @ C == 0)
+        result.append(
+            {names[i]: int(w) for i, w in enumerate(vec) if w != 0}
+        )
+    if truncated:
+        logger.warning(
+            "p_invariants: combination search truncated after %d candidates "
+            "(budget %d, basis size %d); the invariant family may be "
+            "incomplete",
+            tried,
+            budget,
+            len(basis),
+        )
+    return InvariantSearchResult(
+        invariants=tuple(result),
+        truncated=truncated,
+        candidates_tried=tried,
+        basis_size=len(basis),
+    )
 
 
 def p_invariants(net: PetriNet) -> List[Dict[str, int]]:
     """Semi-positive P-invariants as ``{place: weight}`` dictionaries.
 
-    Every returned weighting satisfies ``weights . M = weights . M0`` for
-    all reachable markings M (checked exactly against the incidence
-    matrix before returning).
+    Compatibility wrapper over :func:`p_invariants_detailed`; a truncated
+    search is logged there rather than raised, so prefer the detailed
+    variant when the *completeness* of the family matters.
     """
-    C = incidence_matrix(net)
-    basis = [_to_integer_vector(v) for v in _rational_nullspace(C.T)]
-    names = net.compile().place_names
-    result = []
-    for vec in _semi_positive_combinations(basis):
-        assert np.all(vec @ C == 0)
-        result.append(
-            {names[i]: int(w) for i, w in enumerate(vec) if w != 0}
-        )
-    return result
+    return list(p_invariants_detailed(net).invariants)
 
 
-def t_invariants(net: PetriNet) -> List[Dict[str, int]]:
-    """Semi-positive T-invariants as ``{transition: count}`` dictionaries.
+def t_invariants_detailed(
+    net: PetriNet, budget: int = COMBINATION_BUDGET
+) -> InvariantSearchResult:
+    """Semi-positive T-invariants with the search's truncation report.
 
     A T-invariant is a multiset of firings whose net marking effect is
     zero — firing them (in some realisable order) returns to the start.
@@ -177,13 +271,37 @@ def t_invariants(net: PetriNet) -> List[Dict[str, int]]:
     C = incidence_matrix(net)
     basis = [_to_integer_vector(v) for v in _rational_nullspace(C)]
     names = [t.name for t in net.compile().transitions]
+    vectors, truncated, tried = _semi_positive_combinations(
+        basis, budget=budget
+    )
     result = []
-    for vec in _semi_positive_combinations(basis):
+    for vec in vectors:
         assert np.all(C @ vec == 0)
         result.append(
             {names[i]: int(w) for i, w in enumerate(vec) if w != 0}
         )
-    return result
+    if truncated:
+        logger.warning(
+            "t_invariants: combination search truncated after %d candidates "
+            "(budget %d, basis size %d)",
+            tried,
+            budget,
+            len(basis),
+        )
+    return InvariantSearchResult(
+        invariants=tuple(result),
+        truncated=truncated,
+        candidates_tried=tried,
+        basis_size=len(basis),
+    )
+
+
+def t_invariants(net: PetriNet) -> List[Dict[str, int]]:
+    """Semi-positive T-invariants as ``{transition: count}`` dictionaries.
+
+    Compatibility wrapper over :func:`t_invariants_detailed`.
+    """
+    return list(t_invariants_detailed(net).invariants)
 
 
 def verify_p_invariant(

@@ -1,0 +1,470 @@
+"""Structural net analysis: siphons, traps, bounds, dead transitions.
+
+Everything in this module works on the *structure* of a net — incidence
+matrix, pre/post sets, invariants — and never explores the state space, so
+every check here costs milliseconds even when the reachability graph would
+have millions of markings.  This is the analytical front line the
+``repro.verify`` lint subsystem builds on:
+
+- **siphons and traps** — a *siphon* is a place set that, once empty,
+  stays empty (every transition producing into it also consumes from it);
+  a *trap* is the dual (once marked, stays marked).  Commoner's theorem
+  turns them into a deadlock-freedom proof: if every minimal siphon
+  contains an initially marked trap, an ordinary free-choice net cannot
+  deadlock (and for general ordinary nets the condition still implies
+  every siphon stays marked, ruling out the empty-siphon deadlocks);
+- **structural boundedness** — a place covered by a semi-positive
+  P-invariant ``y`` is bounded by ``floor(y . M0 / y_p)`` in *every*
+  reachable marking, no exploration required; declared capacities bound
+  places too (capacity semantics disable over-filling transitions);
+- **structurally dead transitions** — a transition whose input places can
+  never all be marked (by a token-flow over-approximation) can never fire;
+- **immediate-conflict detection** — equal-priority immediates sharing an
+  input place resolve by weight; leaving every weight at the 1.0 default
+  is the classic GSPN modelling bug (a silent 50/50 split), and
+  non-free-choice conflicts risk *confusion* (conflict resolution depends
+  on interleaving order).
+
+All analyses degrade honestly: the siphon search carries a node budget and
+reports ``complete=False`` instead of silently truncating, and every proof
+that only holds for the inhibitor-free/unit-weight skeleton says so via
+:class:`CommonerResult.qualifications`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.petri.invariants import p_invariants_detailed
+from repro.petri.net import PetriNet
+from repro.petri.transitions import ImmediateTransition
+
+__all__ = [
+    "CommonerResult",
+    "ConflictSet",
+    "SiphonSearchResult",
+    "commoner_check",
+    "immediate_conflicts",
+    "maximal_trap_within",
+    "minimal_siphons",
+    "minimal_traps",
+    "structural_bounds",
+    "structurally_dead_transitions",
+]
+
+#: Default node budget of the branch-and-bound siphon enumeration.  The
+#: search tree is exponential in the worst case (minimal-siphon counting is
+#: NP-hard); past this many expanded nodes the result is flagged
+#: ``complete=False`` instead of silently dropping siphons.
+SIPHON_NODE_BUDGET = 20_000
+
+
+# --------------------------------------------------------------------- #
+# pre/post structure
+# --------------------------------------------------------------------- #
+def _arc_sets(
+    net: PetriNet,
+) -> Tuple[List[str], List[Set[int]], List[Set[int]]]:
+    """``(place_names, inputs_of_transition, outputs_of_transition)``.
+
+    Sets of place indices; inhibitor arcs are not token flow and are
+    excluded (callers that need them qualify their proofs instead).
+    """
+    compiled = net.compile()
+    t_in = [set(p for p, _ in arcs) for arcs in compiled.inputs]
+    t_out = [set(p for p, _ in arcs) for arcs in compiled.outputs]
+    return list(compiled.place_names), t_in, t_out
+
+
+@dataclass(frozen=True)
+class SiphonSearchResult:
+    """Minimal siphons (or traps), with an honesty flag.
+
+    Attributes
+    ----------
+    sets:
+        Inclusion-minimal place-name sets, sorted smallest first.
+    complete:
+        ``False`` when the search hit its node budget — *sets* is then a
+        subset of the true minimal family and absence of a siphon proves
+        nothing.
+    nodes_expanded:
+        Search-tree nodes visited (for budget diagnostics).
+    """
+
+    sets: Tuple[FrozenSet[str], ...]
+    complete: bool
+    nodes_expanded: int
+
+
+def _minimal_closed_sets(
+    n_places: int,
+    t_in: Sequence[Set[int]],
+    t_out: Sequence[Set[int]],
+    budget: int,
+) -> Tuple[List[FrozenSet[int]], bool, int]:
+    """Enumerate minimal sets ``S`` with ``pre(S) subset-of post(S)``.
+
+    With ``t_in``/``t_out`` the transition input/output place sets this
+    yields siphons; with the roles swapped it yields traps.  Classic
+    branch-and-complete: seed ``S = {p}``; while some transition produces
+    into ``S`` without consuming from it, branch on which of its input
+    places to add (a transition with no inputs kills the branch — no
+    siphon can contain its outputs).
+    """
+    producers_into: List[List[int]] = [[] for _ in range(n_places)]
+    for ti, outs in enumerate(t_out):
+        for p in outs:
+            producers_into[p].append(ti)
+
+    found: List[FrozenSet[int]] = []
+    nodes = 0
+    complete = True
+
+    def violating(S: Set[int]) -> Optional[int]:
+        for p in S:
+            for ti in producers_into[p]:
+                if not (t_in[ti] & S):
+                    return ti
+        return None
+
+    for seed in range(n_places):
+        stack: List[Set[int]] = [{seed}]
+        while stack:
+            if nodes >= budget:
+                complete = False
+                stack.clear()
+                break
+            S = stack.pop()
+            nodes += 1
+            ti = violating(S)
+            if ti is None:
+                fs = frozenset(S)
+                if not any(existing <= fs for existing in found):
+                    found = [f for f in found if not fs <= f]
+                    found.append(fs)
+                continue
+            if not t_in[ti]:
+                continue  # source transition: no siphon contains its outputs
+            for p in sorted(t_in[ti]):
+                stack.append(S | {p})
+        if not complete:
+            break
+
+    found.sort(key=lambda s: (len(s), sorted(s)))
+    return found, complete, nodes
+
+
+def minimal_siphons(
+    net: PetriNet, budget: int = SIPHON_NODE_BUDGET
+) -> SiphonSearchResult:
+    """All inclusion-minimal siphons of *net* (up to the node *budget*).
+
+    A siphon is a non-empty place set ``S`` such that every transition
+    with an output arc into ``S`` also has an input arc from ``S`` — once
+    ``S`` is token-free it stays token-free forever.  An unavoidably
+    emptied siphon is how ordinary nets deadlock, which is what makes the
+    minimal-siphon family worth enumerating.
+    """
+    names, t_in, t_out = _arc_sets(net)
+    sets, complete, nodes = _minimal_closed_sets(
+        len(names), t_in, t_out, budget
+    )
+    return SiphonSearchResult(
+        sets=tuple(frozenset(names[p] for p in s) for s in sets),
+        complete=complete,
+        nodes_expanded=nodes,
+    )
+
+
+def minimal_traps(
+    net: PetriNet, budget: int = SIPHON_NODE_BUDGET
+) -> SiphonSearchResult:
+    """All inclusion-minimal traps of *net* (the arc-reversed dual).
+
+    A trap is a non-empty place set ``S`` such that every transition
+    consuming from ``S`` also produces into ``S`` — once marked, ``S``
+    can never be emptied again.
+    """
+    names, t_in, t_out = _arc_sets(net)
+    sets, complete, nodes = _minimal_closed_sets(
+        len(names), t_out, t_in, budget
+    )
+    return SiphonSearchResult(
+        sets=tuple(frozenset(names[p] for p in s) for s in sets),
+        complete=complete,
+        nodes_expanded=nodes,
+    )
+
+
+def maximal_trap_within(net: PetriNet, places: Sequence[str]) -> FrozenSet[str]:
+    """The unique maximal trap contained in *places* (possibly empty).
+
+    Fixpoint deletion: while some transition consumes from the candidate
+    set without producing into it, its consumed places cannot belong to
+    any trap inside *places* and are removed.
+    """
+    names, t_in, t_out = _arc_sets(net)
+    index = {name: i for i, name in enumerate(names)}
+    Q: Set[int] = set()
+    for name in places:
+        if name not in index:
+            raise KeyError(f"unknown place {name!r}")
+        Q.add(index[name])
+    changed = True
+    while changed and Q:
+        changed = False
+        for ti in range(len(t_in)):
+            taken = t_in[ti] & Q
+            if taken and not (t_out[ti] & Q):
+                Q -= taken
+                changed = True
+    return frozenset(names[p] for p in Q)
+
+
+# --------------------------------------------------------------------- #
+# Commoner's deadlock-freedom condition
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CommonerResult:
+    """Outcome of the siphon/trap (Commoner) deadlock-freedom check.
+
+    Attributes
+    ----------
+    holds:
+        Every minimal siphon contains an initially marked trap.  For an
+        *ordinary* net (unit arc weights, no inhibitors) this proves no
+        reachable marking is dead; :attr:`qualifications` lists the
+        features that restrict the proof to the net's skeleton.
+    siphons:
+        The minimal-siphon search result the verdict is based on.
+    unmarked_siphons:
+        Minimal siphons whose maximal internal trap is empty or initially
+        unmarked — the potential deadlock carriers.
+    marked_traps:
+        For each satisfied siphon, the marked trap inside it.
+    qualifications:
+        Net features (inhibitor arcs, guards, arc weights > 1) under
+        which the structural proof applies to the simplified skeleton
+        rather than the full EDSPN semantics.
+    """
+
+    holds: bool
+    siphons: SiphonSearchResult
+    unmarked_siphons: Tuple[FrozenSet[str], ...]
+    marked_traps: Dict[FrozenSet[str], FrozenSet[str]] = field(default_factory=dict)
+    qualifications: Tuple[str, ...] = ()
+
+
+def _skeleton_qualifications(net: PetriNet) -> Tuple[str, ...]:
+    """Features that limit structural proofs to the net's skeleton."""
+    compiled = net.compile()
+    quals: List[str] = []
+    if any(compiled.inhibitors):
+        quals.append(
+            "inhibitor arcs are ignored by siphon/trap analysis; the proof "
+            "covers the inhibitor-free skeleton"
+        )
+    if compiled.guarded_indices:
+        quals.append(
+            "transition guards are ignored; the proof covers the "
+            "guard-free skeleton"
+        )
+    if any(int(c) >= 0 for c in compiled.capacities):
+        quals.append(
+            "place capacities act as implicit inhibitors (a transition "
+            "that would overfill a place is disabled); the proof covers "
+            "the capacity-free skeleton"
+        )
+    if any(
+        mult > 1
+        for arcs in (compiled.inputs, compiled.outputs)
+        for arc in arcs
+        for _, mult in arc
+    ):
+        quals.append(
+            "arc multiplicities > 1 are treated as 1; siphon emptiness "
+            "is still permanent, but a marked siphon may hold too few "
+            "tokens to enable its transitions"
+        )
+    return tuple(quals)
+
+
+def commoner_check(
+    net: PetriNet, budget: int = SIPHON_NODE_BUDGET
+) -> CommonerResult:
+    """Check Commoner's condition: marked trap inside every minimal siphon.
+
+    When it holds (and the siphon search was complete) no siphon can ever
+    be emptied, which for ordinary nets rules out dead markings.  When it
+    fails, :attr:`CommonerResult.unmarked_siphons` names the candidate
+    deadlock carriers — the places whose joint emptiness would freeze
+    part of the net.
+    """
+    initial = {
+        p.name: p.initial for p in net.places
+    }
+    siphons = minimal_siphons(net, budget)
+    unmarked: List[FrozenSet[str]] = []
+    marked_traps: Dict[FrozenSet[str], FrozenSet[str]] = {}
+    for siphon in siphons.sets:
+        trap = maximal_trap_within(net, sorted(siphon))
+        if trap and any(initial[p] > 0 for p in trap):
+            marked_traps[siphon] = trap
+        else:
+            unmarked.append(siphon)
+    return CommonerResult(
+        holds=not unmarked and siphons.complete,
+        siphons=siphons,
+        unmarked_siphons=tuple(unmarked),
+        marked_traps=marked_traps,
+        qualifications=_skeleton_qualifications(net),
+    )
+
+
+# --------------------------------------------------------------------- #
+# structural boundedness
+# --------------------------------------------------------------------- #
+def structural_bounds(net: PetriNet) -> Dict[str, Optional[int]]:
+    """Per-place token bounds provable without exploration.
+
+    For every semi-positive P-invariant ``y`` and place ``p`` in its
+    support, ``M[p] <= floor(y . M0 / y_p)`` in every reachable marking;
+    a declared capacity bounds a place as well (capacity semantics
+    disable transitions that would overfill it).  Places provable by
+    neither route map to ``None`` — *not proven bounded*, which is weaker
+    than *unbounded*.
+
+    Note the invariant search is heuristic and budgeted
+    (:func:`repro.petri.invariants.p_invariants_detailed`): a ``None``
+    under a truncated search proves even less.
+    """
+    compiled = net.compile()
+    names = compiled.place_names
+    m0 = compiled.initial_marking
+    bounds: Dict[str, Optional[int]] = {}
+    for i, name in enumerate(names):
+        cap = int(compiled.capacities[i])
+        bounds[name] = cap if cap >= 0 else None
+    for inv in p_invariants_detailed(net).invariants:
+        total = sum(w * int(m0[names.index(p)]) for p, w in inv.items())
+        for p, w in inv.items():
+            bound = total // w
+            prev = bounds[p]
+            bounds[p] = bound if prev is None else min(prev, bound)
+    return bounds
+
+
+# --------------------------------------------------------------------- #
+# structurally dead transitions
+# --------------------------------------------------------------------- #
+def structurally_dead_transitions(net: PetriNet) -> List[str]:
+    """Transitions that can *never* fire, by token-flow over-approximation.
+
+    Fixpoint over "markable" places: a place is markable if it starts
+    marked or some transition whose input places are all markable outputs
+    into it.  The relaxation ignores inhibitors, guards, capacities and
+    arc multiplicities — each of which can only *disable* firings — so a
+    transition with a never-markable input place is dead under the real
+    semantics too.  (The converse does not hold: a reported-live
+    transition may still be dead behaviourally.)
+    """
+    names, t_in, t_out = _arc_sets(net)
+    compiled = net.compile()
+    markable = {
+        i for i in range(len(names)) if compiled.initial_marking[i] > 0
+    }
+    fireable: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for ti in range(len(t_in)):
+            if ti in fireable:
+                continue
+            if t_in[ti] <= markable:
+                fireable.add(ti)
+                new = t_out[ti] - markable
+                if new:
+                    markable |= new
+                changed = True
+    return [
+        compiled.transitions[ti].name
+        for ti in range(len(t_in))
+        if ti not in fireable
+    ]
+
+
+# --------------------------------------------------------------------- #
+# immediate-conflict / confusion detection
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ConflictSet:
+    """Equal-priority immediate transitions competing for a place.
+
+    Attributes
+    ----------
+    place:
+        The shared input place.
+    transitions:
+        The competing immediate transitions (name order).
+    priority:
+        Their common priority level.
+    weights:
+        Their weights, aligned with :attr:`transitions`.
+    untied_default_weights:
+        Every competitor still carries the 1.0 default weight — the
+        conflict resolves as a uniform split the modeller probably never
+        chose.
+    free_choice:
+        All competitors have this single place as their entire input set,
+        so the conflict is resolved by weights alone.  ``False`` means
+        *confusion* is possible: whether a competitor is enabled depends
+        on other places, so the outcome distribution depends on
+        interleaving order.
+    """
+
+    place: str
+    transitions: Tuple[str, ...]
+    priority: int
+    weights: Tuple[float, ...]
+    untied_default_weights: bool
+    free_choice: bool
+
+
+def immediate_conflicts(net: PetriNet) -> List[ConflictSet]:
+    """Detect weight-resolved conflicts among immediate transitions.
+
+    Groups immediates by shared input place and equal priority; a group of
+    two or more is a conflict the stochastic semantics resolves by weight.
+    """
+    compiled = net.compile()
+    by_place_priority: Dict[Tuple[int, int], List[int]] = {}
+    for ti in compiled.immediate_indices:
+        trans = compiled.transitions[ti]
+        assert isinstance(trans, ImmediateTransition)
+        for p, _ in compiled.inputs[ti]:
+            by_place_priority.setdefault((p, trans.priority), []).append(ti)
+    conflicts: List[ConflictSet] = []
+    for (p, priority), members in sorted(by_place_priority.items()):
+        if len(members) < 2:
+            continue
+        weights = tuple(
+            float(compiled.transitions[ti].weight) for ti in members  # type: ignore[attr-defined]
+        )
+        free_choice = all(
+            {q for q, _ in compiled.inputs[ti]} == {p} for ti in members
+        )
+        conflicts.append(
+            ConflictSet(
+                place=compiled.place_names[p],
+                transitions=tuple(
+                    compiled.transitions[ti].name for ti in members
+                ),
+                priority=priority,
+                weights=weights,
+                untied_default_weights=all(w == 1.0 for w in weights),
+                free_choice=free_choice,
+            )
+        )
+    return conflicts

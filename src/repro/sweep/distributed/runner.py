@@ -108,6 +108,7 @@ class DistributedSweepRunner(SweepRunner):
         method: str = "auto",
         tol: Optional[float] = None,
         max_iter: Optional[int] = None,
+        preflight: bool = True,
         *,
         n_shards: int = 2,
         worker_mode: str = "process",
@@ -126,6 +127,7 @@ class DistributedSweepRunner(SweepRunner):
             method=method,
             tol=tol,
             max_iter=max_iter,
+            preflight=preflight,
         )
         if n_shards < 0:
             raise ValueError(f"n_shards must be >= 0, got {n_shards}")

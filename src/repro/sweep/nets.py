@@ -18,6 +18,15 @@ Three exponential-only seed nets:
   steady-state methods (``repro-experiments steady --net wsn-cluster
   --solver gmres``).
 
+Plus one *deliberately broken* net:
+
+- ``deadlock`` — two processes acquiring two shared locks in opposite
+  order, the classic hold-and-wait deadlock.  It exists to demonstrate
+  the verification subsystem: ``repro-experiments lint --net deadlock``
+  flags the unmarked siphon (``PN004``) structurally, and any steady-state
+  sweep over it is aborted by the preflight (``CH001``: the dead marking
+  where each process holds one lock) before a single point is solved.
+
 Each registry entry carries default sweep metrics so the CLI can run a
 meaningful sweep with nothing but ``--net`` and ``--rate``.
 """
@@ -35,6 +44,7 @@ from repro.petri.transitions import TimedTransition
 __all__ = [
     "build_mm1k_net",
     "build_cpu_gspn_net",
+    "build_deadlock_net",
     "build_wsn_cluster_net",
     "DEMO_NETS",
 ]
@@ -132,6 +142,46 @@ def build_wsn_cluster_net(
     return net
 
 
+def build_deadlock_net(
+    acquire_rate: float = 1.0, release_rate: float = 2.0
+) -> PetriNet:
+    """Two processes, two locks, opposite acquisition order — deadlockable.
+
+    Process ``p`` takes ``lockA`` then ``lockB``; process ``q`` takes
+    ``lockB`` then ``lockA``; both release everything when done.  The
+    marking where each holds its first lock is dead: each waits forever
+    for the lock the other holds.  This net is *intentionally* broken —
+    it is the demo subject for ``repro-experiments lint`` (the siphon
+    ``{lockA, lockB, p_working, q_working}`` has no marked trap → PN004)
+    and for the sweep preflight, which names the dead marking (CH001)
+    and aborts before any grid point is solved.
+    """
+    net = PetriNet("deadlock")
+    net.add_place("lockA", initial=1)
+    net.add_place("lockB", initial=1)
+    for proc, first, second in (
+        ("p", "lockA", "lockB"),
+        ("q", "lockB", "lockA"),
+    ):
+        net.add_place(f"{proc}_idle", initial=1)
+        net.add_place(f"{proc}_has_first")
+        net.add_place(f"{proc}_working")
+        net.add_timed_transition(f"{proc}_get1", Exponential(acquire_rate))
+        net.add_input_arc(f"{proc}_idle", f"{proc}_get1")
+        net.add_input_arc(first, f"{proc}_get1")
+        net.add_output_arc(f"{proc}_get1", f"{proc}_has_first")
+        net.add_timed_transition(f"{proc}_get2", Exponential(acquire_rate))
+        net.add_input_arc(f"{proc}_has_first", f"{proc}_get2")
+        net.add_input_arc(second, f"{proc}_get2")
+        net.add_output_arc(f"{proc}_get2", f"{proc}_working")
+        net.add_timed_transition(f"{proc}_done", Exponential(release_rate))
+        net.add_input_arc(f"{proc}_working", f"{proc}_done")
+        net.add_output_arc(f"{proc}_done", first)
+        net.add_output_arc(f"{proc}_done", second)
+        net.add_output_arc(f"{proc}_done", f"{proc}_idle")
+    return net
+
+
 #: name -> (net factory, default sweep metrics)
 DEMO_NETS: Dict[str, Tuple[Callable[[], PetriNet], Tuple[str, ...]]] = {
     "mm1k": (
@@ -145,5 +195,9 @@ DEMO_NETS: Dict[str, Tuple[Callable[[], PetriNet], Tuple[str, ...]]] = {
     "wsn-cluster": (
         build_wsn_cluster_net,
         ("mean_tokens:buf0", "probability_positive:ch", "throughput:rel0"),
+    ),
+    "deadlock": (
+        build_deadlock_net,
+        ("mean_tokens:p_working", "probability_positive:lockA", "throughput:p_done"),
     ),
 }

@@ -20,6 +20,16 @@ backend's grammar — steady-state (``mean_tokens:<place>``,
 ``fraction:active@0.5``, ``time_to_threshold:0.01``); see
 :mod:`repro.sweep.backends.base`.
 
+**Preflight.**  Before solving anything, the runner verifies the sweep
+configuration (:func:`repro.verify.preflight_sweep`): the chain structure
+is classified from the already-built template (absorbing deadlocks and
+fragmented stationary structure become named diagnostics instead of
+``singular generator`` failures on every point), grid values are vetted,
+and truncation monitoring is cross-checked.  Error-severity findings
+abort in milliseconds with :class:`~repro.verify.PreflightError` —
+before any point is solved and before any distributed fan-out; pass
+``preflight=False`` to opt out.
+
 **Failure isolation.**  A grid point whose *solve* raises a numerical
 error (``ConvergenceError`` on a stiff corner, a singular chain at a
 degenerate rate) does not abort the sweep: the point gets an all-NaN row
@@ -275,6 +285,18 @@ class SweepRunner:
     n_workers:
         ``None``/``0``/``1`` solves serially; ``>= 2`` fans contiguous
         chunks of points out over a process pool of that size.
+    preflight:
+        Verify the sweep configuration before solving anything (default
+        ``True``): :func:`repro.verify.preflight_sweep` classifies the
+        chain (absorbing deadlocks, fragmented stationary structure —
+        free, the template already exists), vets grid values, and checks
+        truncation monitoring.  Error-severity findings abort the run
+        with :class:`~repro.verify.PreflightError` in milliseconds —
+        before any point is solved and, in the distributed runner,
+        before any worker receives a template; warnings are logged.
+        Pass ``False`` (CLI: ``--no-preflight``) to run a flagged
+        configuration anyway, e.g. a transient study of an absorbing
+        chain evaluated through callable metrics.
     """
 
     def __init__(
@@ -287,6 +309,7 @@ class SweepRunner:
         method: str = "auto",
         tol: Optional[float] = None,
         max_iter: Optional[int] = None,
+        preflight: bool = True,
     ) -> None:
         if not metrics:
             raise ValueError("at least one metric is required")
@@ -320,6 +343,7 @@ class SweepRunner:
             raise ValueError(f"duplicate metric names: {self.metric_names}")
         self.backend = backend
         self.n_workers = n_workers
+        self.preflight = preflight
 
     def run(
         self, grid: Union[SweepGrid, Iterable[Mapping[str, float]]]
@@ -334,6 +358,8 @@ class SweepRunner:
         if not points:
             raise ValueError("empty sweep grid")
         self.model.check_axes(axis_names)
+        if self.preflight:
+            self._run_preflight(points)
 
         values, errors = self._execute(axis_names, points)
         return SweepResult(
@@ -347,6 +373,21 @@ class SweepRunner:
     def solve_point(self, point: Mapping[str, float]):
         """Solve a single grid point (for ad-hoc inspection)."""
         return self.model.solve(point)
+
+    def _run_preflight(self, points: Sequence[Mapping[str, float]]) -> None:
+        """Verify the configuration; abort on errors, log the rest.
+
+        Runs in the base :meth:`run` — *before* ``_execute`` — so the
+        distributed runner inherits the gate and a doomed sweep aborts
+        before any fan-out (pool startup, worker handshakes, template
+        shipping) happens.
+        """
+        from repro.verify import preflight_sweep, raise_on_errors
+
+        report = preflight_sweep(self.model, points, self.metrics)
+        for diagnostic in report.warnings:
+            logger.warning("sweep preflight: %s", diagnostic.render())
+        raise_on_errors(report)
 
     # ------------------------------------------------------------------ #
     # execution strategies (the distributed runner overrides _execute)

@@ -1,0 +1,57 @@
+"""Structural verification & model lint: diagnose nets *before* you pay
+for state spaces.
+
+The subsystem has three layers:
+
+- **structural analyzers** (:mod:`repro.petri.structural`,
+  :mod:`repro.petri.invariants`) — pure incidence-matrix/graph work:
+  minimal siphons and traps, Commoner's deadlock-freedom condition,
+  P-invariant boundedness, dead transitions, immediate-conflict
+  detection.  Milliseconds at any state-space size;
+- **chain-level preflight** (:mod:`repro.verify.chain`) — when a
+  reachability template already exists, one strongly-connected-component
+  pass classifies absorbing/transient structure and names the offending
+  markings;
+- **the lint driver** (:mod:`repro.verify.lint`,
+  :mod:`repro.verify.diagnostics`) — typed :class:`Diagnostic` records
+  with stable ``PN0xx``/``CH0xx``/``SW0xx`` codes, a
+  :func:`lint_net` API and CLI (``repro-experiments lint``), and
+  :func:`preflight_sweep`, which :class:`~repro.sweep.runner.SweepRunner`
+  runs before solving or fanning out a grid.
+
+See ``docs/verification.md`` for the code catalogue and examples.
+"""
+
+from repro.verify.chain import (
+    ChainClassification,
+    chain_diagnostics,
+    classify_states,
+)
+from repro.verify.diagnostics import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    PreflightError,
+    Severity,
+)
+from repro.verify.lint import (
+    LINT_LEVELS,
+    lint_net,
+    preflight_sweep,
+    raise_on_errors,
+)
+
+__all__ = [
+    "CODES",
+    "ChainClassification",
+    "Diagnostic",
+    "LINT_LEVELS",
+    "LintReport",
+    "PreflightError",
+    "Severity",
+    "chain_diagnostics",
+    "classify_states",
+    "lint_net",
+    "preflight_sweep",
+    "raise_on_errors",
+]

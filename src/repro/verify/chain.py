@@ -1,0 +1,232 @@
+"""Chain-level preflight: communicating classes of the tangible graph.
+
+When a reachability template already exists — a
+:class:`~repro.petri.ctmc_export.GSPNSolver` explored the net, or a
+:class:`~repro.markov.ctmc.CTMC` was assembled — classifying its strongly
+connected components is a single ``O(states + edges)`` pass, and it turns
+the solvers' "likely reducible" guesses into precise diagnoses:
+
+- **dead states** (no outgoing edge): absorbing deadlocks; a steady-state
+  sweep over such a chain either fails numerically or silently reports
+  the deadlock distribution;
+- **multiple closed classes**: the stationary distribution is not unique —
+  direct solvers raise ``singular``, iterative ones stall or converge to
+  an arbitrary mixture;
+- **transient states** with one closed class: harmless for steady state
+  (their stationary probability is exactly 0) but worth a note, since
+  steady metrics then ignore part of the model.
+
+The classification itself is solver-agnostic; :func:`classify_states`
+takes bare edge arrays, and the lint layer maps the verdicts onto
+``CH0xx`` diagnostics with marking names as subjects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import connected_components
+
+from repro.verify.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "ChainClassification",
+    "chain_diagnostics",
+    "classify_states",
+]
+
+
+@dataclass(frozen=True)
+class ChainClassification:
+    """Communicating-class structure of a finite chain.
+
+    Attributes
+    ----------
+    n_states:
+        Number of states classified.
+    classes:
+        Strongly connected components as tuples of state indices.
+    closed_classes:
+        Indices into :attr:`classes` of the *closed* (recurrent)
+        components — no edge leaves them.  A chain has a unique
+        stationary distribution iff exactly one class is closed.
+    dead_states:
+        States with no outgoing edge at all (absorbing deadlocks); always
+        singleton closed classes.
+    transient_states:
+        States in non-closed classes — left forever with probability 1.
+    """
+
+    n_states: int
+    classes: Tuple[Tuple[int, ...], ...]
+    closed_classes: Tuple[int, ...]
+    dead_states: Tuple[int, ...]
+    transient_states: Tuple[int, ...]
+
+    @property
+    def is_irreducible(self) -> bool:
+        """Single communicating class (hence a unique stationary vector)."""
+        return len(self.classes) == 1
+
+    @property
+    def has_unique_stationary(self) -> bool:
+        """Exactly one closed class: ``pi Q = 0`` has one normalised root."""
+        return len(self.closed_classes) == 1
+
+    def closed_members(self) -> List[Tuple[int, ...]]:
+        """The closed classes themselves (tuples of state indices)."""
+        return [self.classes[i] for i in self.closed_classes]
+
+
+def classify_states(
+    n_states: int,
+    rows: Sequence[int],
+    cols: Sequence[int],
+) -> ChainClassification:
+    """Classify a chain given its off-diagonal edge list.
+
+    Parameters
+    ----------
+    n_states:
+        State count.
+    rows, cols:
+        Source/target state indices of the directed edges (duplicates
+        fine; self-loops ignored).
+    """
+    if n_states <= 0:
+        raise ValueError(f"n_states must be >= 1, got {n_states}")
+    rows = np.asarray(rows, dtype=np.intp)
+    cols = np.asarray(cols, dtype=np.intp)
+    adj = sparse.coo_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n_states, n_states)
+    ).tocsr()
+    n_comp, labels = connected_components(
+        adj, directed=True, connection="strong"
+    )
+    members: List[List[int]] = [[] for _ in range(n_comp)]
+    for state, comp in enumerate(labels):
+        members[comp].append(state)
+
+    open_comps = set()
+    has_out = np.zeros(n_states, dtype=bool)
+    for s, t in zip(rows, cols):
+        if s != t:
+            has_out[s] = True
+            if labels[s] != labels[t]:
+                open_comps.add(int(labels[s]))
+    closed = tuple(c for c in range(n_comp) if c not in open_comps)
+    dead = tuple(int(s) for s in range(n_states) if not has_out[s])
+    transient = tuple(
+        s
+        for c in open_comps
+        for s in members[c]
+    )
+    return ChainClassification(
+        n_states=n_states,
+        classes=tuple(tuple(m) for m in members),
+        closed_classes=closed,
+        dead_states=dead,
+        transient_states=tuple(sorted(transient)),
+    )
+
+
+def _label(labels: Optional[Sequence[object]], state: int) -> str:
+    if labels is None:
+        return f"state {state}"
+    return repr(labels[state])
+
+
+def chain_diagnostics(
+    classification: ChainClassification,
+    labels: Optional[Sequence[object]] = None,
+    steady: bool = True,
+    max_examples: int = 3,
+) -> List[Diagnostic]:
+    """Map a :class:`ChainClassification` onto ``CH0xx`` diagnostics.
+
+    Parameters
+    ----------
+    classification:
+        The verdicts to report.
+    labels:
+        Optional state labels (e.g. tangible
+        :class:`~repro.petri.marking.Marking` objects) used as subjects,
+        so a diagnosis *names the offending markings*.
+    steady:
+        ``True`` when the caller intends to solve steady states —
+        dead markings and non-unique stationary structure are then
+        errors; for purely transient use they degrade to warnings.
+    max_examples:
+        States/classes named per diagnostic before eliding.
+    """
+    diags: List[Diagnostic] = []
+    hard = Severity.ERROR if steady else Severity.WARNING
+
+    for state in classification.dead_states[:max_examples]:
+        more = len(classification.dead_states) - max_examples
+        suffix = (
+            f" (one of {len(classification.dead_states)} dead markings)"
+            if more > 0
+            else ""
+        )
+        diags.append(
+            Diagnostic(
+                code="CH001",
+                severity=hard,
+                subject=_label(labels, state),
+                message=(
+                    "reachable dead marking: no firing leaves it, the "
+                    f"chain absorbs here{suffix}"
+                ),
+                fix_hint=(
+                    "add the firing that should leave this marking, or "
+                    "analyse transients only"
+                ),
+            )
+        )
+
+    closed = classification.closed_members()
+    if len(closed) >= 2:
+        parts = []
+        for members in closed[:max_examples]:
+            parts.append(
+                f"class of {_label(labels, members[0])} "
+                f"({len(members)} state(s))"
+            )
+        more = len(closed) - max_examples
+        if more > 0:
+            parts.append(f"+{more} more")
+        diags.append(
+            Diagnostic(
+                code="CH002",
+                severity=hard,
+                subject="chain",
+                message=(
+                    f"{len(closed)} closed communicating classes — no unique "
+                    f"stationary distribution: " + "; ".join(parts)
+                ),
+                fix_hint=(
+                    "the chain fragments into absorbing components; add "
+                    "the transitions that reconnect them"
+                ),
+            )
+        )
+    elif classification.transient_states:
+        n_t = len(classification.transient_states)
+        example = _label(labels, classification.transient_states[0])
+        diags.append(
+            Diagnostic(
+                code="CH003",
+                severity=Severity.INFO,
+                subject="chain",
+                message=(
+                    f"{n_t} transient marking(s) (e.g. {example}) carry "
+                    "zero stationary probability; steady-state metrics "
+                    "ignore them"
+                ),
+            )
+        )
+    return diags

@@ -112,3 +112,59 @@ class TestSteadyCommand:
         ]) == 2
         err = capsys.readouterr().err
         assert "did not converge" in err
+
+
+class TestLintCommand:
+    def test_default_net_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint report: cpu-gspn (standard)" in out
+        assert "deadlock-free by Commoner's condition" in out
+        assert "structurally bounded" in out
+
+    def test_strict_promotes_warnings_to_failure(self, capsys):
+        # cpu-gspn carries a PN002 (P6 is not invariant-coverable)
+        assert main(["lint", "--strict"]) == 1
+        assert "PN002" in capsys.readouterr().out
+
+    def test_deadlock_net_reports_the_siphon(self, capsys):
+        assert main(["lint", "--net", "deadlock"]) == 0
+        out = capsys.readouterr().out
+        assert "PN004" in out
+        assert "{lockA, lockB, p_working, q_working}" in out
+
+    def test_deep_level_explores(self, capsys):
+        assert main(["lint", "--net", "mm1k", "--level", "deep"]) == 0
+        out = capsys.readouterr().out
+        assert "state space explored completely" in out
+
+    def test_max_markings_requires_deep(self, capsys):
+        assert main(["lint", "--net", "mm1k", "--max-markings", "10"]) == 2
+        assert "--level deep" in capsys.readouterr().err
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--net", "nope"])
+
+
+class TestSweepPreflight:
+    def test_doomed_sweep_aborts_with_named_marking(self, capsys):
+        assert main([
+            "sweep", "--net", "deadlock", "--rate", "p_get1=0.5,1.0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "CH001" in err
+        assert "p_has_first=1" in err
+
+    def test_no_preflight_runs_anyway(self, capsys):
+        assert main([
+            "sweep", "--net", "deadlock", "--rate", "p_get1=0.5,1.0",
+            "--no-preflight",
+        ]) == 0
+
+    def test_distributed_doomed_sweep_aborts_before_fanout(self, capsys):
+        assert main([
+            "sweep", "--net", "deadlock", "--rate", "p_get1=0.5,1.0",
+            "--distributed", "--shards", "2",
+        ]) == 2
+        assert "CH001" in capsys.readouterr().err

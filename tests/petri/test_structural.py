@@ -1,0 +1,236 @@
+"""Structural analyzers: siphons, traps, Commoner, bounds, conflicts."""
+
+import pytest
+
+from repro.des.distributions import Exponential
+from repro.petri import (
+    PetriNet,
+    commoner_check,
+    immediate_conflicts,
+    maximal_trap_within,
+    minimal_siphons,
+    minimal_traps,
+    p_invariants_detailed,
+    structural_bounds,
+    structurally_dead_transitions,
+)
+from repro.core.params import CPUModelParams
+from repro.core.petri_cpu import build_cpu_net
+from repro.sweep.nets import build_deadlock_net, build_mm1k_net
+
+
+def cpu_net(**kwargs) -> PetriNet:
+    """The paper's Figure 3 EDSPN at its default parameters."""
+    return build_cpu_net(CPUModelParams.paper_defaults(), **kwargs)
+
+
+def cycle_net() -> PetriNet:
+    """a -> t1 -> b -> t2 -> a, one token: {a, b} is siphon AND trap."""
+    net = PetriNet("cycle")
+    net.add_place("a", initial=1)
+    net.add_place("b")
+    net.add_timed_transition("t1", Exponential(1.0))
+    net.add_input_arc("a", "t1")
+    net.add_output_arc("t1", "b")
+    net.add_timed_transition("t2", Exponential(1.0))
+    net.add_input_arc("b", "t2")
+    net.add_output_arc("t2", "a")
+    return net
+
+
+class TestSiphonsAndTraps:
+    def test_cycle_is_siphon_and_trap(self):
+        net = cycle_net()
+        siphons = minimal_siphons(net)
+        traps = minimal_traps(net)
+        assert siphons.complete and traps.complete
+        assert siphons.sets == (frozenset({"a", "b"}),)
+        assert traps.sets == (frozenset({"a", "b"}),)
+
+    def test_source_fed_place_is_in_no_siphon(self):
+        net = PetriNet("source")
+        net.add_place("p", capacity=3)
+        net.add_timed_transition("src", Exponential(1.0))
+        net.add_output_arc("src", "p")
+        result = minimal_siphons(net)
+        assert result.complete
+        assert result.sets == ()
+
+    def test_mm1k_siphon(self):
+        result = minimal_siphons(build_mm1k_net(K=5))
+        assert result.sets == (frozenset({"free", "queue"}),)
+
+    def test_minimality(self):
+        """A net where {a, b} and the superset {a, b, c} both close: only
+        the minimal one is reported."""
+        net = cycle_net()
+        net.add_place("c")
+        net.add_timed_transition("t3", Exponential(1.0))
+        net.add_input_arc("c", "t3")
+        net.add_output_arc("t3", "c")
+        sets = minimal_siphons(net).sets
+        assert frozenset({"a", "b"}) in sets
+        assert frozenset({"c"}) in sets
+        assert all(not (s > frozenset({"a", "b"})) for s in sets)
+
+    def test_budget_truncation_flagged(self):
+        result = minimal_siphons(cpu_net(), budget=3)
+        assert not result.complete
+        assert result.nodes_expanded <= 3
+
+    def test_maximal_trap_within(self):
+        net = build_deadlock_net()
+        trap = maximal_trap_within(
+            net, ["lockA", "lockB", "p_working", "q_working"]
+        )
+        assert trap == frozenset()
+        # the whole-process invariant set is its own trap
+        trap2 = maximal_trap_within(
+            net, ["p_idle", "p_has_first", "p_working"]
+        )
+        assert trap2 == frozenset({"p_idle", "p_has_first", "p_working"})
+
+    def test_unknown_place_raises(self):
+        with pytest.raises(KeyError):
+            maximal_trap_within(cycle_net(), ["nope"])
+
+
+class TestCommoner:
+    def test_cpu_net_deadlock_free(self):
+        """The paper's CPU net satisfies Commoner — structurally, with
+        zero reachability exploration."""
+        result = commoner_check(cpu_net(buffer_capacity=25))
+        assert result.holds
+        assert result.unmarked_siphons == ()
+        # inhibitor arcs and capacities restrict the proof to the skeleton
+        assert any("inhibitor" in q for q in result.qualifications)
+        assert any("capacit" in q for q in result.qualifications)
+
+    def test_deadlock_net_fails_commoner(self):
+        result = commoner_check(build_deadlock_net())
+        assert not result.holds
+        assert (
+            frozenset({"lockA", "lockB", "p_working", "q_working"})
+            in result.unmarked_siphons
+        )
+
+    def test_marked_traps_recorded(self):
+        result = commoner_check(build_mm1k_net(K=3))
+        assert result.holds
+        assert result.marked_traps[frozenset({"free", "queue"})] == frozenset(
+            {"free", "queue"}
+        )
+
+    def test_truncated_search_never_claims_holds(self):
+        result = commoner_check(cpu_net(), budget=3)
+        assert not result.holds
+        assert not result.siphons.complete
+
+
+class TestStructuralBounds:
+    def test_invariant_bounds(self):
+        bounds = structural_bounds(build_mm1k_net(K=7))
+        assert bounds == {"free": 7, "queue": 7}
+
+    def test_capacity_bounds(self):
+        net = PetriNet("capped")
+        net.add_place("p", capacity=3)
+        net.add_timed_transition("src", Exponential(1.0))
+        net.add_output_arc("src", "p")
+        assert structural_bounds(net) == {"p": 3}
+
+    def test_uncovered_place_is_none(self):
+        net = PetriNet("unbounded")
+        net.add_place("p")
+        net.add_timed_transition("src", Exponential(1.0))
+        net.add_output_arc("src", "p")
+        assert structural_bounds(net) == {"p": None}
+
+    def test_cpu_net_unit_bounds(self):
+        bounds = structural_bounds(cpu_net(buffer_capacity=25))
+        for place in (
+            "Stand_By", "Power_Up", "CPU_ON", "Idle", "Active", "P0", "P1"
+        ):
+            assert bounds[place] == 1, place
+        assert bounds["CPU_Buffer"] == 25
+        assert bounds["P6"] is None  # genuinely not invariant-coverable
+
+
+class TestDeadTransitions:
+    def test_live_net_has_none(self):
+        assert structurally_dead_transitions(build_mm1k_net()) == []
+
+    def test_unmarkable_input_is_dead(self):
+        net = cycle_net()
+        net.add_place("never")
+        net.add_timed_transition("t3", Exponential(1.0))
+        net.add_input_arc("never", "t3")
+        net.add_output_arc("t3", "a")
+        assert structurally_dead_transitions(net) == ["t3"]
+
+    def test_chain_of_dead_transitions(self):
+        """Deadness propagates: t4 feeds off t3's output only."""
+        net = cycle_net()
+        net.add_place("never")
+        net.add_place("downstream")
+        net.add_timed_transition("t3", Exponential(1.0))
+        net.add_input_arc("never", "t3")
+        net.add_output_arc("t3", "downstream")
+        net.add_timed_transition("t4", Exponential(1.0))
+        net.add_input_arc("downstream", "t4")
+        net.add_output_arc("t4", "a")
+        assert structurally_dead_transitions(net) == ["t3", "t4"]
+
+
+class TestImmediateConflicts:
+    def build_conflict(self, w1=1.0, w2=1.0, p1=1, p2=1) -> PetriNet:
+        net = PetriNet("conflict")
+        net.add_place("p", initial=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_immediate_transition("t1", priority=p1, weight=w1)
+        net.add_immediate_transition("t2", priority=p2, weight=w2)
+        net.add_input_arc("p", "t1")
+        net.add_output_arc("t1", "a")
+        net.add_input_arc("p", "t2")
+        net.add_output_arc("t2", "b")
+        return net
+
+    def test_default_weights_flagged(self):
+        (conflict,) = immediate_conflicts(self.build_conflict())
+        assert conflict.place == "p"
+        assert conflict.transitions == ("t1", "t2")
+        assert conflict.untied_default_weights
+        assert conflict.free_choice
+
+    def test_explicit_weights_not_flagged(self):
+        (conflict,) = immediate_conflicts(self.build_conflict(w1=3.0))
+        assert not conflict.untied_default_weights
+
+    def test_different_priorities_no_conflict(self):
+        assert immediate_conflicts(self.build_conflict(p1=2)) == []
+
+    def test_non_free_choice(self):
+        net = self.build_conflict()
+        net.add_place("extra", initial=1)
+        net.add_input_arc("extra", "t2")
+        (conflict,) = immediate_conflicts(net)
+        assert not conflict.free_choice
+
+    def test_timed_transitions_ignored(self):
+        assert immediate_conflicts(build_mm1k_net()) == []
+
+
+class TestInvariantTruncation:
+    def test_budget_flagged(self):
+        result = p_invariants_detailed(cpu_net(), budget=1)
+        assert result.truncated
+        assert result.candidates_tried >= 1
+
+    def test_default_budget_complete_on_paper_net(self):
+        result = p_invariants_detailed(cpu_net())
+        assert not result.truncated
+        supports = {frozenset(inv) for inv in result.invariants}
+        assert frozenset({"P0", "P1"}) in supports
+        assert frozenset({"Idle", "Active"}) in supports
+        assert frozenset({"Stand_By", "Power_Up", "CPU_ON"}) in supports

@@ -1,0 +1,221 @@
+"""Property-based tests for the structural analyzers.
+
+The verifier's promises are universally quantified ("every invariant-
+covered net is bounded", "a siphon stays empty"), which makes them the
+natural target for random-net generation: build arbitrary conservative
+nets, let the analyzers make their structural claims, then check the
+claims against brute force or actual exploration.
+"""
+
+from itertools import chain, combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.distributions import Exponential
+from repro.petri import (
+    PetriNet,
+    commoner_check,
+    minimal_siphons,
+    minimal_traps,
+    p_invariants_detailed,
+    structural_bounds,
+)
+from repro.petri.analysis import ReachabilityOptions, explore_reachability
+
+
+# --------------------------------------------------------------------- #
+# generators
+# --------------------------------------------------------------------- #
+def conservative_net(n_places, tokens, arcs):
+    """A net whose every transition moves one token place-to-place, so
+    the all-ones vector is a P-invariant by construction."""
+    net = PetriNet("conservative")
+    for i in range(n_places):
+        net.add_place(f"p{i}", initial=tokens if i == 0 else 0)
+    for ti, (src, dst) in enumerate(arcs):
+        net.add_timed_transition(f"t{ti}", Exponential(1.0))
+        net.add_input_arc(f"p{src % n_places}", f"t{ti}")
+        net.add_output_arc(f"t{ti}", f"p{dst % n_places}")
+    return net
+
+
+@st.composite
+def conservative_nets(draw):
+    n_places = draw(st.integers(min_value=1, max_value=6))
+    tokens = draw(st.integers(min_value=1, max_value=4))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_places - 1),
+                st.integers(min_value=0, max_value=n_places - 1),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    # a transition with identical input and output place conserves
+    # trivially but adds a self-loop; keep those, they are legal
+    return conservative_net(n_places, tokens, arcs)
+
+
+@st.composite
+def small_nets(draw):
+    """Arbitrary small ordinary nets (single-weight arcs, exponential
+    transitions) for brute-force parity checks."""
+    n_places = draw(st.integers(min_value=1, max_value=5))
+    n_trans = draw(st.integers(min_value=1, max_value=5))
+    net = PetriNet("random")
+    marked = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=n_places,
+            max_size=n_places,
+        )
+    )
+    for i in range(n_places):
+        net.add_place(f"p{i}", initial=marked[i])
+    subset = st.lists(
+        st.integers(min_value=0, max_value=n_places - 1),
+        min_size=0,
+        max_size=n_places,
+        unique=True,
+    )
+    for t in range(n_trans):
+        net.add_timed_transition(f"t{t}", Exponential(1.0))
+        for p in draw(subset):
+            net.add_input_arc(f"p{p}", f"t{t}")
+        for p in draw(subset):
+            net.add_output_arc(f"t{t}", f"p{p}")
+    return net
+
+
+def brute_force_siphons(net):
+    """Every non-empty place subset S with pre(S) ⊆ post(S)."""
+    compiled = net.compile()
+    names = compiled.place_names
+    pre = {p: set() for p in names}  # transitions consuming from p
+    post = {p: set() for p in names}  # transitions producing into p
+    for ti, _ in enumerate(compiled.transitions):
+        for pi, _ in compiled.inputs[ti]:
+            pre[names[pi]].add(ti)
+        for pi, _ in compiled.outputs[ti]:
+            post[names[pi]].add(ti)
+    siphons = []
+    subsets = chain.from_iterable(
+        combinations(names, k) for k in range(1, len(names) + 1)
+    )
+    for subset in subsets:
+        s = set(subset)
+        consumers = set().union(*(post[p] for p in s))  # •S
+        producers = set().union(*(pre[p] for p in s))  # S•
+        if consumers <= producers:
+            siphons.append(frozenset(s))
+    return siphons
+
+
+def minimal_of(sets):
+    return {s for s in sets if not any(o < s for o in sets)}
+
+
+# --------------------------------------------------------------------- #
+# properties
+# --------------------------------------------------------------------- #
+class TestInvariantCoverageImpliesBoundedness:
+    @given(conservative_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_all_ones_invariant_found_and_bounds_hold(self, net):
+        """Token-conserving nets: the invariant search finds a cover, the
+        claimed bounds are real upper bounds on every reachable marking."""
+        search = p_invariants_detailed(net)
+        bounds = structural_bounds(net)
+        assert all(b is not None for b in bounds.values()), (
+            "a conservative net must be fully covered"
+        )
+        graph = explore_reachability(
+            net, ReachabilityOptions(max_markings=5_000)
+        )
+        assert graph.complete, "structurally bounded => finite state space"
+        names = graph.markings[0].place_names
+        for marking in graph.markings:
+            for i, name in enumerate(names):
+                assert int(marking.counts[i]) <= bounds[name], (
+                    f"claimed bound violated at {marking!r}"
+                )
+        del search  # coverage asserted through bounds
+
+
+class TestSiphonTrapBruteForceParity:
+    @given(small_nets())
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_siphons_match_brute_force(self, net):
+        result = minimal_siphons(net)
+        assert result.complete, "tiny nets must never hit the budget"
+        assert set(result.sets) == minimal_of(set(brute_force_siphons(net)))
+
+    @given(small_nets())
+    @settings(max_examples=60, deadline=None)
+    def test_traps_are_siphons_of_the_reversed_net(self, net):
+        """Duality oracle: reverse every arc and the traps become the
+        siphons."""
+        compiled = net.compile()
+        names = compiled.place_names
+        reversed_net = PetriNet("reversed")
+        for i, name in enumerate(names):
+            reversed_net.add_place(name, initial=int(compiled.initial_marking[i]))
+        for ti, trans in enumerate(compiled.transitions):
+            reversed_net.add_timed_transition(trans.name, Exponential(1.0))
+            for pi, mult in compiled.inputs[ti]:
+                reversed_net.add_output_arc(trans.name, names[pi], multiplicity=mult)
+            for pi, mult in compiled.outputs[ti]:
+                reversed_net.add_input_arc(names[pi], trans.name, multiplicity=mult)
+        traps = minimal_traps(net)
+        siphons_rev = minimal_siphons(reversed_net)
+        assert set(traps.sets) == set(siphons_rev.sets)
+
+
+class TestCommonerSoundness:
+    @given(small_nets())
+    @settings(max_examples=60, deadline=None)
+    def test_commoner_holds_implies_no_dead_marking(self, net):
+        """Soundness of the deadlock-freedom verdict on ordinary nets:
+        when Commoner holds, exploration finds no marking where every
+        transition is disabled."""
+        result = commoner_check(net)
+        if not result.holds or result.qualifications:
+            return  # no claim made; nothing to falsify
+        graph = explore_reachability(
+            net, ReachabilityOptions(max_markings=2_000)
+        )
+        if not graph.complete:
+            return
+        for mi, edges in enumerate(graph.edges_out):
+            assert edges, (
+                f"Commoner claimed deadlock-freedom but "
+                f"{graph.markings[mi]!r} is dead"
+            )
+
+    @given(small_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_siphon_stays_empty(self, net):
+        """The defining siphon property, checked behaviourally: a siphon
+        empty in the initial marking is empty in every reachable one."""
+        compiled = net.compile()
+        names = compiled.place_names
+        empty_siphons = [
+            s
+            for s in minimal_siphons(net).sets
+            if all(compiled.initial_marking[names.index(p)] == 0 for p in s)
+        ]
+        if not empty_siphons:
+            return
+        graph = explore_reachability(
+            net, ReachabilityOptions(max_markings=2_000)
+        )
+        if not graph.complete:
+            return
+        for marking in graph.markings:
+            for siphon in empty_siphons:
+                assert all(
+                    int(marking.counts[names.index(p)]) == 0 for p in siphon
+                )

@@ -144,7 +144,12 @@ class TestRunnerIsolation:
     def test_gspn_reducible_chain_is_isolated(self):
         """GSPN steady states solve lazily at metric time; a reducible
         chain (two absorbing components) surfaces there as a
-        NumericalSolveError and must be a NaN row, not an abort."""
+        NumericalSolveError and must be a NaN row, not an abort.
+
+        ``preflight=False``: with the default preflight on, this chain
+        never reaches the solver — it is rejected up front with CH001/
+        CH002 diagnostics (tests/sweep/test_preflight.py); this test
+        covers the opt-out path where the failure surfaces per point."""
         from repro.des.distributions import Exponential
         from repro.petri.net import PetriNet
 
@@ -159,7 +164,7 @@ class TestRunnerIsolation:
         net.add_input_arc("start", "go_right")
         net.add_output_arc("go_right", "right")
 
-        runner = SweepRunner(net, ["mean_tokens:left"])
+        runner = SweepRunner(net, ["mean_tokens:left"], preflight=False)
         result = runner.run(SweepGrid({"go_left": [0.5, 1.5]}))
         assert np.all(np.isnan(result.column("mean_tokens:left")))
         assert result.failed_indices() == [0, 1]

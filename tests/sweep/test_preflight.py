@@ -1,0 +1,140 @@
+"""The sweep preflight gate: doomed sweeps abort before any solving.
+
+This is the runner-level integration of :func:`repro.verify.preflight_sweep`
+— the unit behaviour of the analyzers lives in ``tests/verify/``.
+"""
+
+import pytest
+
+from repro.des.distributions import Exponential
+from repro.petri.net import PetriNet
+from repro.sweep import SweepGrid, SweepRunner
+from repro.sweep.backends import PhaseTypeBackend
+from repro.sweep.distributed import DistributedSweepRunner
+from repro.sweep.nets import build_deadlock_net, build_mm1k_net
+from repro.verify import PreflightError
+
+from tests.sweep.test_failure_isolation import FlakyBackend
+
+
+def forked_net() -> PetriNet:
+    net = PetriNet("forked-absorbing")
+    net.add_place("start", initial=1)
+    net.add_place("left")
+    net.add_place("right")
+    net.add_timed_transition("go_left", Exponential(1.0))
+    net.add_input_arc("start", "go_left")
+    net.add_output_arc("go_left", "left")
+    net.add_timed_transition("go_right", Exponential(1.0))
+    net.add_input_arc("start", "go_right")
+    net.add_output_arc("go_right", "right")
+    return net
+
+
+DEADLOCK_GRID = SweepGrid({"p_get1": [0.5, 1.0, 1.5]})
+
+
+class TestSweepRunnerPreflight:
+    def test_reducible_chain_names_an_absorbing_marking(self):
+        """Regression: the preflight diagnosis must *name* a marking the
+        chain absorbs into, not just say 'singular matrix'."""
+        runner = SweepRunner(forked_net(), ["mean_tokens:left"])
+        with pytest.raises(PreflightError) as exc_info:
+            runner.run(SweepGrid({"go_left": [0.5, 1.5]}))
+        message = str(exc_info.value)
+        assert "CH001" in message
+        assert "left=1" in message or "right=1" in message
+        report = exc_info.value.report
+        assert any(d.code == "CH001" for d in report.errors)
+
+    def test_deadlock_net_aborts_before_solving(self):
+        runner = SweepRunner(build_deadlock_net(), ["mean_tokens:p_working"])
+        with pytest.raises(PreflightError, match="CH001"):
+            runner.run(DEADLOCK_GRID)
+
+    def test_opt_out_runs_anyway(self):
+        runner = SweepRunner(
+            build_deadlock_net(), ["mean_tokens:p_working"], preflight=False
+        )
+        result = runner.run(DEADLOCK_GRID)
+        assert len(result.points) == 3  # solved (to the deadlock distribution)
+
+    def test_transient_metrics_not_blocked(self):
+        """Transient analysis of an absorbing chain is legitimate —
+        the CH001 finding degrades to a logged warning."""
+        runner = SweepRunner(forked_net(), ["mean_tokens:left@2.0"])
+        result = runner.run(SweepGrid({"go_left": [0.5, 1.5]}))
+        assert result.n_failed == 0
+
+    def test_preflight_warnings_are_logged(self, caplog):
+        runner = SweepRunner(forked_net(), ["mean_tokens:left@2.0"])
+        with caplog.at_level("WARNING", logger="repro.sweep.runner"):
+            runner.run(SweepGrid({"go_left": [0.5]}))
+        assert "CH001" in caplog.text
+        assert "dead marking" in caplog.text
+
+    def test_bad_grid_value_is_sw001(self):
+        """SweepGrid already rejects non-positive rates at construction;
+        the preflight catches what slips past it — infinities."""
+        runner = SweepRunner(build_mm1k_net(K=3), ["mean_tokens:queue"])
+        with pytest.raises(PreflightError, match="SW001"):
+            runner.run(SweepGrid({"arrive": [1.0, float("inf")]}))
+
+    def test_healthy_sweep_unaffected(self):
+        runner = SweepRunner(build_mm1k_net(K=3), ["mean_tokens:queue"])
+        result = runner.run(SweepGrid({"arrive": [0.5, 1.0]}))
+        assert result.n_failed == 0
+
+    def test_unknown_backend_type_unaffected(self):
+        runner = SweepRunner(FlakyBackend(), ["value"])
+        result = runner.run(SweepGrid({"x": [1.0, 2.0]}))
+        assert result.n_failed == 0
+
+    def test_phase_type_sw002_logged_not_raised(self, caplog):
+        runner = SweepRunner(PhaseTypeBackend(stages=4), ["fraction:standby"])
+        with caplog.at_level("WARNING", logger="repro.sweep.runner"):
+            result = runner.run(SweepGrid({"lambda": [0.4, 0.6]}))
+        assert result.n_failed == 0
+        assert "SW002" in caplog.text
+
+    def test_preflight_runs_before_execute(self, monkeypatch):
+        """The abort must happen before the execution strategy — no
+        point is ever solved."""
+        def explode(self, axis_names, points):
+            raise AssertionError("_execute reached despite a doomed net")
+
+        monkeypatch.setattr(SweepRunner, "_execute", explode)
+        runner = SweepRunner(build_deadlock_net(), ["mean_tokens:p_working"])
+        with pytest.raises(PreflightError):
+            runner.run(DEADLOCK_GRID)
+
+
+class TestDistributedPreflight:
+    def test_aborts_before_fan_out(self, monkeypatch):
+        """No worker may ever receive a template from a doomed sweep."""
+        def explode(self, axis_names, points):
+            raise AssertionError("fan-out reached despite a doomed net")
+
+        monkeypatch.setattr(DistributedSweepRunner, "_execute", explode)
+        runner = DistributedSweepRunner(
+            build_deadlock_net(), ["mean_tokens:p_working"], n_shards=2
+        )
+        with pytest.raises(PreflightError, match="CH001"):
+            runner.run(DEADLOCK_GRID)
+
+    def test_opt_out_reaches_execution(self, monkeypatch):
+        reached = []
+
+        def record(self, axis_names, points):
+            reached.append(len(points))
+            return [[0.0]] * len(points), []
+
+        monkeypatch.setattr(DistributedSweepRunner, "_execute", record)
+        runner = DistributedSweepRunner(
+            build_deadlock_net(),
+            ["mean_tokens:p_working"],
+            n_shards=2,
+            preflight=False,
+        )
+        runner.run(DEADLOCK_GRID)
+        assert reached == [3]

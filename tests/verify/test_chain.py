@@ -1,0 +1,92 @@
+"""State classification on hand-built graphs, and its CH0xx mapping."""
+
+import pytest
+
+from repro.verify import Severity, chain_diagnostics, classify_states
+
+
+class TestClassifyStates:
+    def test_irreducible_cycle(self):
+        c = classify_states(3, [0, 1, 2], [1, 2, 0])
+        assert c.is_irreducible
+        assert c.has_unique_stationary
+        assert c.dead_states == ()
+        assert c.transient_states == ()
+
+    def test_absorbing_fork(self):
+        # 0 -> 1, 0 -> 2; both 1 and 2 absorb
+        c = classify_states(3, [0, 0], [1, 2])
+        assert not c.has_unique_stationary
+        assert len(c.closed_classes) == 2
+        assert set(c.dead_states) == {1, 2}
+        assert c.transient_states == (0,)
+        assert sorted(m[0] for m in c.closed_members()) == [1, 2]
+
+    def test_transient_chain_into_cycle(self):
+        # 0 -> 1 -> 2 <-> 3
+        c = classify_states(4, [0, 1, 2, 3], [1, 2, 3, 2])
+        assert c.has_unique_stationary
+        assert not c.is_irreducible
+        assert c.transient_states == (0, 1)
+        assert c.dead_states == ()
+
+    def test_self_loop_only_state_is_dead(self):
+        """A state whose only edge is a self-loop never *leaves*: for a
+        CTMC that is an absorbing state, not activity."""
+        c = classify_states(2, [0, 1], [1, 1])
+        assert c.dead_states == (1,)
+        assert c.has_unique_stationary
+
+    def test_duplicate_edges_fine(self):
+        c = classify_states(2, [0, 0, 1], [1, 1, 0])
+        assert c.is_irreducible
+
+    def test_single_state_no_edges(self):
+        c = classify_states(1, [], [])
+        assert c.dead_states == (0,)
+        assert c.is_irreducible
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(ValueError, match="n_states"):
+            classify_states(0, [], [])
+
+
+class TestChainDiagnostics:
+    def fork(self):
+        return classify_states(3, [0, 0], [1, 2])
+
+    def test_fork_reports_ch001_and_ch002(self):
+        diags = chain_diagnostics(self.fork())
+        codes = sorted(d.code for d in diags)
+        assert codes == ["CH001", "CH001", "CH002"]
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_transient_only_use_degrades_to_warning(self):
+        diags = chain_diagnostics(self.fork(), steady=False)
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_labels_name_the_markings(self):
+        diags = chain_diagnostics(self.fork(), labels=["start", "left", "right"])
+        ch001_subjects = {d.subject for d in diags if d.code == "CH001"}
+        assert ch001_subjects == {"'left'", "'right'"}
+        (ch002,) = [d for d in diags if d.code == "CH002"]
+        assert "'left'" in ch002.message and "'right'" in ch002.message
+
+    def test_unique_closed_class_with_transients_is_info(self):
+        c = classify_states(4, [0, 1, 2, 3], [1, 2, 3, 2])
+        (diag,) = chain_diagnostics(c)
+        assert diag.code == "CH003"
+        assert diag.severity is Severity.INFO
+        assert "2 transient marking(s)" in diag.message
+
+    def test_irreducible_chain_reports_nothing(self):
+        c = classify_states(3, [0, 1, 2], [1, 2, 0])
+        assert chain_diagnostics(c) == []
+
+    def test_max_examples_elides_dead_states(self):
+        # hub 0 feeds five absorbing states
+        c = classify_states(6, [0] * 5, [1, 2, 3, 4, 5])
+        diags = [d for d in chain_diagnostics(c, max_examples=2)
+                 if d.code == "CH001"]
+        assert len(diags) == 2
+        assert all("one of 5 dead markings" in d.message for d in diags)

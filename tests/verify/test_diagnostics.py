@@ -1,0 +1,127 @@
+"""Diagnostic records, reports, and the preflight error."""
+
+import pytest
+
+from repro.verify import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    PreflightError,
+    Severity,
+)
+
+
+def diag(code="PN002", severity=Severity.WARNING, subject="p", message="m",
+         fix_hint=""):
+    return Diagnostic(code, severity, subject, message, fix_hint)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            diag(code="PN999")
+
+    def test_catalogue_codes_all_valid(self):
+        for code in CODES:
+            assert diag(code=code).code == code
+
+    def test_catalogue_prefixes(self):
+        assert all(c[:2] in ("PN", "CH", "SW") for c in CODES)
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max([Severity.INFO, Severity.ERROR]) is Severity.ERROR
+
+    def test_render_contains_code_severity_subject_hint(self):
+        line = diag(fix_hint="do the thing").render()
+        assert "PN002" in line
+        assert "warning" in line
+        assert "p: m" in line
+        assert "[do the thing]" in line
+
+    def test_render_without_hint_has_no_brackets(self):
+        assert "[" not in diag().render()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            diag().severity = Severity.ERROR
+
+
+class TestLintReport:
+    def build(self):
+        report = LintReport()
+        report.extend([
+            diag(code="PN003", severity=Severity.INFO, subject="a"),
+            diag(code="SW001", severity=Severity.ERROR, subject="x"),
+            diag(code="PN002", severity=Severity.WARNING, subject="b"),
+            diag(code="CH001", severity=Severity.ERROR, subject="m"),
+        ])
+        return report
+
+    def test_sorted_worst_first_then_code(self):
+        codes = [d.code for d in self.build().sorted()]
+        assert codes == ["CH001", "SW001", "PN002", "PN003"]
+
+    def test_severity_buckets(self):
+        report = self.build()
+        assert [d.code for d in report.errors] == ["CH001", "SW001"]
+        assert [d.code for d in report.warnings] == ["PN002"]
+        assert [d.code for d in report.infos] == ["PN003"]
+
+    def test_ok_means_no_errors(self):
+        assert not self.build().ok
+        clean = LintReport()
+        clean.extend([diag(severity=Severity.WARNING)])
+        assert clean.ok
+
+    def test_codes_distinct_sorted(self):
+        report = self.build()
+        report.extend([diag(code="PN002")])
+        assert report.codes() == ["CH001", "PN002", "PN003", "SW001"]
+
+    def test_len_and_iter(self):
+        report = self.build()
+        assert len(report) == 4
+        assert [d.code for d in report] == [d.code for d in report.sorted()]
+
+    def test_render_facts_findings_footer(self):
+        report = self.build()
+        report.facts.append("every place bounded")
+        text = report.render(title="demo")
+        assert text.startswith("demo\n----")
+        assert "proved  every place bounded" in text
+        assert "CH001" in text
+        assert text.rstrip().endswith("2 error(s), 1 warning(s), 1 note(s)")
+
+    def test_render_empty_says_no_findings(self):
+        text = LintReport().render()
+        assert "no findings" in text
+        assert "0 error(s), 0 warning(s), 0 note(s)" in text
+
+
+class TestPreflightError:
+    def test_carries_report_and_summarises_errors(self):
+        report = LintReport()
+        report.extend([
+            diag(code="CH001", severity=Severity.ERROR, subject="m",
+                 message="dead marking"),
+        ])
+        err = PreflightError(report)
+        assert err.report is report
+        assert "1 error(s)" in str(err)
+        assert "CH001 m: dead marking" in str(err)
+        assert "--no-preflight" in str(err)
+
+    def test_is_a_value_error(self):
+        report = LintReport()
+        report.extend([diag(severity=Severity.ERROR)])
+        with pytest.raises(ValueError):
+            raise PreflightError(report)
+
+    def test_many_errors_elided(self):
+        report = LintReport()
+        report.extend([
+            diag(code="SW001", severity=Severity.ERROR, subject=f"x{i}")
+            for i in range(5)
+        ])
+        assert "(+2 more)" in str(PreflightError(report))

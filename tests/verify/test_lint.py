@@ -1,0 +1,285 @@
+"""The lint driver and the sweep preflight, per level and per backend."""
+
+import pytest
+
+from repro.des.distributions import Exponential
+from repro.petri import PetriNet
+from repro.sweep.backends import GSPNBackend, PhaseTypeBackend
+from repro.sweep.nets import (
+    build_cpu_gspn_net,
+    build_deadlock_net,
+    build_mm1k_net,
+)
+from repro.verify import (
+    Severity,
+    lint_net,
+    preflight_sweep,
+    raise_on_errors,
+    PreflightError,
+)
+
+
+def forked_net() -> PetriNet:
+    """start forks into two absorbing places — reducible, two dead ends."""
+    net = PetriNet("forked")
+    net.add_place("start", initial=1)
+    net.add_place("left")
+    net.add_place("right")
+    net.add_timed_transition("go_left", Exponential(1.0))
+    net.add_input_arc("start", "go_left")
+    net.add_output_arc("go_left", "left")
+    net.add_timed_transition("go_right", Exponential(1.0))
+    net.add_input_arc("start", "go_right")
+    net.add_output_arc("go_right", "right")
+    return net
+
+
+class TestLintLevels:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="level must be one of"):
+            lint_net(build_mm1k_net(), level="exhaustive")
+
+    def test_paper_net_standard_is_structural_proof(self):
+        """The acceptance demo: boundedness, unit invariants and deadlock
+        freedom of the paper's CPU net, with zero exploration."""
+        report = lint_net(build_cpu_gspn_net())
+        assert report.ok
+        assert report.codes() == ["PN002", "PN010"]
+        facts = "\n".join(report.facts)
+        assert "P-invariant: P0 + P1 = 1" in facts
+        assert "P-invariant: Idle + Active = 1" in facts
+        assert "P-invariant: Stand_By + Power_Up + CPU_ON = 1" in facts
+        assert "structurally bounded" in facts
+        assert "deadlock-free by Commoner's condition" in facts
+
+    def test_quick_level_skips_commoner(self):
+        report = lint_net(build_cpu_gspn_net(), level="quick")
+        assert "PN010" not in report.codes()
+        assert not any("Commoner" in f for f in report.facts)
+
+    def test_mm1k_standard_clean(self):
+        report = lint_net(build_mm1k_net())
+        assert report.ok
+        assert not report.warnings
+
+    def test_deadlock_net_flags_the_siphon(self):
+        report = lint_net(build_deadlock_net())
+        assert "PN004" in report.codes()
+        (pn004,) = [d for d in report if d.code == "PN004"]
+        assert pn004.subject == "{lockA, lockB, p_working, q_working}"
+        assert pn004.severity is Severity.WARNING
+        assert report.ok  # structural risk alone is not an error
+
+    def test_deep_level_proves_cpu_net_irreducible(self):
+        report = lint_net(build_cpu_gspn_net(), level="deep")
+        facts = "\n".join(report.facts)
+        assert "state space explored completely" in facts
+        assert "irreducible" in facts
+        assert not any(d.code.startswith("CH") for d in report)
+
+    def test_deep_level_names_dead_markings(self):
+        report = lint_net(forked_net(), level="deep")
+        codes = report.codes()
+        assert "CH001" in codes and "CH002" in codes
+        assert not report.ok
+        ch001 = [d for d in report if d.code == "CH001"]
+        assert any("left" in d.subject or "right" in d.subject for d in ch001)
+
+    def test_deep_level_truncation_is_pn005(self):
+        report = lint_net(build_mm1k_net(K=40), level="deep", max_markings=5)
+        assert "PN005" in report.codes()
+        assert not any("explored completely" in f for f in report.facts)
+
+
+class TestStructureCodes:
+    def test_empty_net_is_pn001(self):
+        report = lint_net(PetriNet("empty"), level="quick")
+        assert report.codes() == ["PN001"]
+
+    def test_immediate_without_inputs_is_pn001(self):
+        net = PetriNet("zeno")
+        net.add_place("p")
+        net.add_immediate_transition("t")
+        net.add_output_arc("t", "p")
+        report = lint_net(net, level="quick")
+        assert any(
+            d.code == "PN001" and d.subject == "t"
+            and "zero-time" in d.message for d in report
+        )
+
+    def test_uncapacitated_source_is_pn001(self):
+        net = PetriNet("flood")
+        net.add_place("p")
+        net.add_timed_transition("src", Exponential(1.0))
+        net.add_output_arc("src", "p")
+        report = lint_net(net, level="quick")
+        assert any(
+            d.code == "PN001" and "unbounded" in d.message for d in report
+        )
+
+    def test_capacitated_source_is_only_a_note(self):
+        net = PetriNet("pump")
+        net.add_place("p", capacity=3)
+        net.add_timed_transition("src", Exponential(1.0))
+        net.add_output_arc("src", "p")
+        net.add_timed_transition("drain", Exponential(1.0))
+        net.add_input_arc("p", "drain")
+        report = lint_net(net, level="quick")
+        assert report.ok
+        assert any(
+            d.code == "PN003" and d.subject == "src" for d in report
+        )
+
+    def test_marking_preserving_immediate_is_pn001(self):
+        net = PetriNet("noop")
+        net.add_place("p", initial=1)
+        net.add_immediate_transition("t")
+        net.add_input_arc("p", "t")
+        net.add_output_arc("t", "p")
+        report = lint_net(net, level="quick")
+        assert any(
+            d.code == "PN001" and "livelock" in d.message for d in report
+        )
+
+    def test_token_sink_is_pn003(self):
+        net = PetriNet("sink")
+        net.add_place("p", initial=1)
+        net.add_timed_transition("gone", Exponential(1.0))
+        net.add_input_arc("p", "gone")
+        report = lint_net(net, level="quick")
+        assert any(
+            d.code == "PN003" and "sink" in d.message for d in report
+        )
+
+    def test_unproven_place_is_pn002(self):
+        net = PetriNet("loose")
+        net.add_place("a", initial=1)
+        net.add_place("b")
+        net.add_timed_transition("t", Exponential(1.0))
+        net.add_input_arc("a", "t")
+        net.add_output_arc("t", "a")
+        net.add_output_arc("t", "b")  # b gains tokens, never loses
+        report = lint_net(net, level="quick")
+        assert any(
+            d.code == "PN002" and d.subject == "b" for d in report
+        )
+
+    def test_conflict_hygiene_pn007_pn008(self):
+        net = PetriNet("confused")
+        net.add_place("p", initial=1)
+        net.add_place("extra", initial=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_immediate_transition("t1")
+        net.add_immediate_transition("t2")
+        net.add_input_arc("p", "t1")
+        net.add_output_arc("t1", "a")
+        net.add_input_arc("p", "t2")
+        net.add_input_arc("extra", "t2")
+        net.add_output_arc("t2", "b")
+        codes = lint_net(net, level="quick").codes()
+        assert "PN007" in codes and "PN008" in codes
+
+    def test_dead_transition_is_pn009(self):
+        net = build_mm1k_net(K=3)
+        net.add_place("never")
+        net.add_timed_transition("stuck", Exponential(1.0))
+        net.add_input_arc("never", "stuck")
+        net.add_output_arc("stuck", "queue")
+        report = lint_net(net, level="quick")
+        assert any(
+            d.code == "PN009" and d.subject == "stuck" for d in report
+        )
+
+
+class TestPreflightSweep:
+    POINTS = [{"p_get1": 0.5}, {"p_get1": 1.5}]
+    STEADY = ["mean_tokens:p_working"]
+
+    def test_gspn_deadlock_steady_sweep_errors(self):
+        backend = GSPNBackend(build_deadlock_net())
+        report = preflight_sweep(backend, self.POINTS, self.STEADY)
+        assert not report.ok
+        # the dead marking is the chain's only closed class, so every
+        # live marking is transient: CH001 + CH003, no CH002
+        assert report.codes() == ["CH001", "CH003"]
+        (ch001,) = [d for d in report.errors if d.code == "CH001"]
+        # the diagnosis names the hold-and-wait marking
+        assert "p_has_first=1" in ch001.subject
+        assert "q_has_first=1" in ch001.subject
+
+    def test_transient_only_sweep_not_blocked(self):
+        backend = GSPNBackend(build_deadlock_net())
+        report = preflight_sweep(
+            backend, self.POINTS, ["mean_tokens:p_working@5.0"]
+        )
+        assert report.ok  # CH findings degrade to warnings
+        assert "CH001" in report.codes()
+
+    def test_callable_metrics_are_permissive(self):
+        backend = GSPNBackend(build_deadlock_net())
+        report = preflight_sweep(backend, self.POINTS, [lambda sol: 0.0])
+        assert report.ok
+
+    def test_healthy_gspn_is_clean(self):
+        backend = GSPNBackend(build_mm1k_net(K=3))
+        report = preflight_sweep(
+            backend, [{"arrive": 1.0}], ["mean_tokens:queue"]
+        )
+        assert report.ok and not report.warnings
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_sw001_bad_rate(self, bad):
+        backend = GSPNBackend(build_mm1k_net(K=3))
+        report = preflight_sweep(
+            backend, [{"arrive": 1.0}, {"arrive": bad}], ["mean_tokens:queue"]
+        )
+        assert [d.code for d in report.errors] == ["SW001"]
+        assert report.errors[0].subject == "arrive"
+
+    def test_sw001_flagged_once_per_axis(self):
+        backend = GSPNBackend(build_mm1k_net(K=3))
+        report = preflight_sweep(
+            backend,
+            [{"arrive": -1.0}, {"arrive": -2.0}, {"arrive": -3.0}],
+            ["mean_tokens:queue"],
+        )
+        assert len(report.errors) == 1
+
+    def test_phase_type_sw002_warning_on_arrival_sweep(self):
+        backend = PhaseTypeBackend(stages=4)
+        report = preflight_sweep(
+            backend, [{"lambda": 0.5}], ["fraction:standby"]
+        )
+        (sw002,) = [d for d in report if d.code == "SW002"]
+        assert sw002.severity is Severity.WARNING
+        assert "arrival rate grows it" in sw002.message
+
+    def test_phase_type_sw002_info_on_other_axes(self):
+        backend = PhaseTypeBackend(stages=4)
+        report = preflight_sweep(backend, [{"T": 0.4}], ["fraction:standby"])
+        (sw002,) = [d for d in report if d.code == "SW002"]
+        assert sw002.severity is Severity.INFO
+
+    def test_phase_type_monitored_truncation_is_silent(self):
+        backend = PhaseTypeBackend(stages=4)
+        report = preflight_sweep(
+            backend, [{"lambda": 0.5}], ["fraction:standby", "truncation_mass"]
+        )
+        assert "SW002" not in report.codes()
+
+    def test_unknown_backend_gets_no_opinion(self):
+        class Opaque:
+            pass
+
+        report = preflight_sweep(Opaque(), [{"x": -1.0}], ["whatever"])
+        assert len(report) == 0 and report.ok
+
+    def test_raise_on_errors(self):
+        backend = GSPNBackend(build_deadlock_net())
+        report = preflight_sweep(backend, self.POINTS, self.STEADY)
+        with pytest.raises(PreflightError) as exc_info:
+            raise_on_errors(report)
+        assert exc_info.value.report is report
+        clean = preflight_sweep(backend, self.POINTS, [lambda s: 0.0])
+        raise_on_errors(clean)  # no raise
