@@ -9,11 +9,55 @@ reports) while pytest-benchmark records the regeneration cost.  The
 benchmark configs are deliberately small — the point is the *shape* of the
 reproduced numbers and a stable timing baseline, not publication-grade
 precision; use ``python -m repro run <id> --full`` for that.
+
+``--bench-telemetry=FILE`` additionally writes every benchmark's wall time
+as a :mod:`repro.obs` telemetry summary (``repro.telemetry.summary/1``) —
+one phase per benchmark, validated by ``python -m repro.obs FILE`` — which
+is what CI uploads as the cross-PR ``BENCH_*.json`` perf trajectory.  The
+trace is kept *off* the ambient context on purpose: benchmarks that measure
+the telemetry layer's own disabled-mode overhead must really run disabled.
 """
 
 import pytest
 
+from repro import obs
 from repro.core.comparison import SweepConfig
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-telemetry",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write per-benchmark wall times as a repro.obs telemetry "
+            "summary JSON (schema repro.telemetry.summary/1)"
+        ),
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--bench-telemetry"):
+        config._bench_trace = obs.Trace("benchmarks")  # type: ignore[attr-defined]
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    trace: obs.Trace = getattr(item.config, "_bench_trace", None)
+    if trace is None:
+        yield
+        return
+    t0 = trace.now()
+    yield
+    trace.add_span(f"bench.{item.name}", t0, trace.now(), nodeid=item.nodeid)
+    trace.incr("bench.tests")
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    trace = getattr(session.config, "_bench_trace", None)
+    if trace is not None:
+        path = session.config.getoption("--bench-telemetry")
+        obs.write_summary(trace, path)
 
 #: Threshold grid used by the benchmark-sized sweeps (the paper uses a
 #: 0.1-step grid; benchmarks use 0.25 to stay fast).

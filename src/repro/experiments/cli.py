@@ -22,6 +22,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.params import CPUModelParams
 from repro.experiments.paper_experiments import EXPERIMENTS, ExperimentConfig
 from repro.markov.ctmc import (
@@ -229,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write a sweep.csv into this directory",
     )
+    _add_telemetry_flags(sweep_p)
+    sweep_p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live progress line on stderr",
+    )
     sweep_p.set_defaults(func=_cmd_sweep)
 
     lint_p = sub.add_parser(
@@ -340,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue truncation level (phase-type; grows the chain)",
     )
     _add_solver_flags(steady_p)
+    _add_telemetry_flags(steady_p)
     steady_p.set_defaults(func=_cmd_steady)
 
     worker_p = sub.add_parser(
@@ -359,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="coordinator address (printed by 'sweep --distributed')",
     )
+    _add_telemetry_flags(worker_p)
     worker_p.set_defaults(func=_cmd_worker)
     return parser
 
@@ -405,6 +414,47 @@ def _add_solver_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="iterative-solver iteration budget",
     )
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """``--trace``/``--profile`` shared by ``sweep``, ``steady``, ``worker``."""
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a structured trace of the run and write it to FILE as "
+            "JSON Lines (see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a phase breakdown (wall-clock per instrumented phase, "
+            "solver iteration counters) to stderr when the command finishes"
+        ),
+    )
+
+
+def _telemetry_trace(args: argparse.Namespace, name: str) -> Optional[obs.Trace]:
+    """A fresh trace when ``--trace``/``--profile`` asks for one."""
+    if args.trace is not None or args.profile:
+        return obs.Trace(name)
+    return None
+
+
+def _finish_telemetry(args: argparse.Namespace, trace: Optional[obs.Trace]) -> None:
+    """Write the trace file / print the profile, as requested."""
+    if trace is None:
+        return
+    if args.trace is not None:
+        trace.write_jsonl(str(args.trace))
+        print(f"[wrote trace {args.trace}]", file=sys.stderr)
+    if args.profile:
+        print(obs.render_profile(trace, title=f"{trace.name} profile"),
+              file=sys.stderr)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -521,6 +571,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             DistributedSweepError,  # e.g. every worker died mid-sweep
             OSError,  # e.g. --bind address already in use
         )
+    trace = _telemetry_trace(args, "sweep")
+    show_progress = not args.quiet and obs.stream_is_tty(sys.stderr)
+    if trace is None and show_progress:
+        # the progress line is driven by the sweep.rows.completed counter,
+        # so it needs a live trace even without --trace/--profile
+        trace = obs.Trace("sweep")
+    obs_token = obs.activate(trace) if trace is not None else None
+    progress: Optional[obs.ProgressLine] = None
     try:
         _check_sweep_flags(args)
         _check_distributed_flags(args)
@@ -552,6 +610,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.metric if args.metric else list(default_metrics)
         )
         grid = SweepGrid.from_specs(args.rate)
+        if trace is not None and show_progress:
+            progress = obs.ProgressLine(
+                len(grid.points()), sys.stderr, enabled=True
+            )
+            trace.on_counter = progress.on_counter
         if args.distributed:
             from repro.sweep.distributed import DistributedSweepRunner
 
@@ -588,12 +651,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 **runner_solver_kwargs,
             )
         t0 = time.perf_counter()
-        result = runner.run(grid)
+        with obs.span("cli.sweep", model=args.model):
+            result = runner.run(grid)
         elapsed = time.perf_counter() - t0
     except error_types as exc:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
+    finally:
+        if progress is not None:
+            progress.finish()
+        if obs_token is not None:
+            obs.deactivate(obs_token)
+        _finish_telemetry(args, trace)
     print(result.render(title=f"{title} ({len(result)} points)"))
     fanout = (
         f", {runner.describe_fanout()}" if args.distributed else ""  # type: ignore[attr-defined]
@@ -625,6 +695,8 @@ _STEADY_NET_SIZE_KWARGS = {
 
 def _cmd_steady(args: argparse.Namespace) -> int:
     solver = args.solver if args.solver is not None else "auto"
+    trace = _telemetry_trace(args, "steady")
+    obs_token = obs.activate(trace) if trace is not None else None
     try:
         if args.model == "gspn":
             for flag in ("--param", "--stages", "--n-max"):
@@ -676,16 +748,24 @@ def _cmd_steady(args: argparse.Namespace) -> int:
             )
             metrics = _CPU_DEFAULT_METRICS
             title = "phase-type steady state"
-        backend.prepare()
-        n = backend.n_states
-        t0 = time.perf_counter()
-        solution = backend.solve({})
-        values = [(m, backend.evaluate(solution, m)) for m in metrics]
-        elapsed = time.perf_counter() - t0
+        with obs.span("cli.steady", model=args.model):
+            with obs.span("steady.prepare"):
+                backend.prepare()
+            n = backend.n_states
+            t0 = time.perf_counter()
+            with obs.span("steady.solve", n=n):
+                solution = backend.solve({})
+            with obs.span("steady.metrics"):
+                values = [(m, backend.evaluate(solution, m)) for m in metrics]
+            elapsed = time.perf_counter() - t0
     except (KeyError, ValueError, ConvergenceError) as exc:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
+    finally:
+        if obs_token is not None:
+            obs.deactivate(obs_token)
+        _finish_telemetry(args, trace)
     print(title)
     print("-" * len(title))
     for name, value in values:
@@ -725,9 +805,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.sweep.distributed import ProtocolError, worker_main
 
+    # the worker's own trace: run_worker installs it for the connection,
+    # records every solve into it, and *also* ships segments to the
+    # coordinator when the template asks for telemetry
+    trace = _telemetry_trace(args, "worker")
     try:
         host, port = _parse_hostport(args.connect, "--connect")
-        solved = worker_main(host, port)
+        solved = worker_main(host, port, trace=trace)
     except (ValueError, OSError, EOFError, ProtocolError) as exc:
         # OSError covers refused/reset connections; EOFError covers
         # asyncio.IncompleteReadError when the coordinator dies (or is
@@ -735,6 +819,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         msg = exc.args[0] if exc.args else exc
         print(f"error: {msg}", file=sys.stderr)
         return 2
+    finally:
+        _finish_telemetry(args, trace)
     print(f"[worker solved {solved} point(s)]")
     return 0
 

@@ -45,11 +45,14 @@ from scipy import sparse
 from scipy.sparse.csgraph import reverse_cuthill_mckee
 from scipy.sparse.linalg import LinearOperator, gmres, spilu, splu
 
+from repro import obs
+
 __all__ = [
     "CTMC",
     "ConvergenceError",
     "ITERATIVE_AUTO_THRESHOLD",
     "NumericalSolveError",
+    "RESIDUAL_HISTORY_LIMIT",
     "SPARSE_AUTO_THRESHOLD",
     "STEADY_STATE_METHODS",
     "SolverCache",
@@ -100,6 +103,11 @@ ILU_FILL_FACTOR = 2
 #: drifted too far from the operating point the ILU was built at.
 ILU_REFRESH_ITERATIONS = 8
 
+#: Power iteration can run for 100k+ sweeps; cap the residual history kept
+#: on ``ConvergenceError`` (and shipped across process boundaries) to the
+#: trailing entries, which are the ones that show the stall shape.
+RESIDUAL_HISTORY_LIMIT = 1000
+
 _BACKENDS = ("auto", "dense", "sparse")
 
 
@@ -133,15 +141,31 @@ class ConvergenceError(RuntimeError):
         power iteration).
     tol : float
         The tolerance the residual failed to reach.
+    residual_history : tuple of float or None
+        Per-iteration residuals up to the stall (preconditioned residual
+        norms for GMRES; successive-iterate differences — capped at the
+        trailing :data:`RESIDUAL_HISTORY_LIMIT` entries — for power
+        iteration), so a caller can see *how* the solve stalled (plateau
+        vs. divergence) instead of just the endpoint.
     """
 
     def __init__(
-        self, method: str, iterations: int, residual: float, tol: float
+        self,
+        method: str,
+        iterations: int,
+        residual: float,
+        tol: float,
+        residual_history: Optional[Sequence[float]] = None,
     ) -> None:
         self.method = method
         self.iterations = iterations
         self.residual = residual
         self.tol = tol
+        self.residual_history = (
+            tuple(float(r) for r in residual_history)
+            if residual_history is not None
+            else None
+        )
         super().__init__(
             f"{method} steady-state solve did not converge: residual "
             f"{residual:.3e} > tol {tol:.1e} after {iterations} iterations "
@@ -150,11 +174,17 @@ class ConvergenceError(RuntimeError):
 
     def __reduce__(self):
         # default exception pickling replays args (the message string)
-        # into __init__, which takes four fields — rebuild from those, so
+        # into __init__, which takes these fields — rebuild from them, so
         # worker-raised stalls survive the multiprocessing result channel
         return (
             ConvergenceError,
-            (self.method, self.iterations, self.residual, self.tol),
+            (
+                self.method,
+                self.iterations,
+                self.residual,
+                self.tol,
+                self.residual_history,
+            ),
         )
 
 
@@ -255,13 +285,14 @@ def lu_analyse_solve(
     columns as ``A[:, perm_c]``, skipping the symbolic analysis.
     Singular systems raise ``ValueError``.
     """
-    try:
-        lu = splu(A)
-        # SuperLU's perm_c maps original -> factor column positions;
-        # invert it so reuse can *pre*-permute the columns
-        return lu.solve(b), np.argsort(lu.perm_c)
-    except RuntimeError as exc:  # "Factor is exactly singular"
-        raise NumericalSolveError(f"singular generator: {exc}") from exc
+    with obs.span("solve.lu_analyse", n=len(b)):
+        try:
+            lu = splu(A)
+            # SuperLU's perm_c maps original -> factor column positions;
+            # invert it so reuse can *pre*-permute the columns
+            return lu.solve(b), np.argsort(lu.perm_c)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            raise NumericalSolveError(f"singular generator: {exc}") from exc
 
 
 def lu_resolve_permuted(
@@ -275,10 +306,11 @@ def lu_resolve_permuted(
     permutation keeps the solve exact (row pivoting still runs), so a
     stale ``perm_c`` costs fill, never correctness.
     """
-    try:
-        y = splu(A_permuted, permc_spec="NATURAL").solve(b)
-    except RuntimeError as exc:  # "Factor is exactly singular"
-        raise NumericalSolveError(f"singular generator: {exc}") from exc
+    with obs.span("solve.lu_factor", n=len(b)):
+        try:
+            y = splu(A_permuted, permc_spec="NATURAL").solve(b)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            raise NumericalSolveError(f"singular generator: {exc}") from exc
     x = np.empty(len(b))
     x[perm_c] = y
     return x
@@ -368,10 +400,15 @@ def gmres_augmented_solve(
         max_iter = GMRES_DEFAULT_MAX_ITER
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+    warm_start = x0 is not None
     if x0 is None and cache is not None:
         pi0 = cache.get("pi0")
         if pi0 is not None and np.shape(pi0) == (n,):
             x0 = np.asarray(pi0, dtype=np.float64)
+            warm_start = True
+    obs.incr(
+        "solver.warm_start.hits" if warm_start else "solver.warm_start.misses"
+    )
     # cache["ilu"] holds the preconditioner, or None recording an earlier
     # failed factorisation (don't re-pay the failed attempt per point)
     known_failed = False
@@ -384,49 +421,63 @@ def gmres_augmented_solve(
             M = None  # pattern family changed size: rebuild
     fresh_ilu = False
     if M is None and use_ilu and not known_failed:
-        try:
-            ilu = spilu(
-                sparse.csc_matrix(A),
-                drop_tol=ILU_DROP_TOL if drop_tol is None else drop_tol,
-                fill_factor=(
-                    ILU_FILL_FACTOR if fill_factor is None else fill_factor
-                ),
-            )
-            M = LinearOperator((n, n), ilu.solve)
-            fresh_ilu = True
-        except RuntimeError:
-            # zero pivot in the incomplete factorisation (usually a
-            # reducible chain): fall through unpreconditioned and let the
-            # convergence check speak
-            M = None
+        with obs.span("solve.ilu_build", n=n) as ilu_sp:
+            try:
+                ilu = spilu(
+                    sparse.csc_matrix(A),
+                    drop_tol=ILU_DROP_TOL if drop_tol is None else drop_tol,
+                    fill_factor=(
+                        ILU_FILL_FACTOR if fill_factor is None else fill_factor
+                    ),
+                )
+                M = LinearOperator((n, n), ilu.solve)
+                fresh_ilu = True
+                obs.incr("solver.ilu.builds")
+            except RuntimeError:
+                # zero pivot in the incomplete factorisation (usually a
+                # reducible chain): fall through unpreconditioned and let the
+                # convergence check speak
+                M = None
+                ilu_sp.set("failed", True)
         if cache is not None:
             cache["ilu"] = M
 
-    iterations = 0
+    residual_history: List[float] = []
 
-    def _count(_: float) -> None:
-        nonlocal iterations
-        iterations += 1
+    def _record(pr_norm: float) -> None:
+        residual_history.append(float(pr_norm))
 
     restart = max(1, min(GMRES_RESTART, max_iter, n))
     outer = max(1, -(-max_iter // restart))  # ceil division
-    x, info = gmres(
-        A,
-        b,
-        x0=x0,
-        rtol=tol,
-        atol=0.0,
-        restart=restart,
-        maxiter=outer,
-        M=M,
-        callback=_count,
-        callback_type="pr_norm",
-    )
-    if info != 0:
-        residual = float(np.linalg.norm(A @ x - b) / np.linalg.norm(b))
-        raise ConvergenceError("gmres", iterations, residual, tol)
+    with obs.span("solve.gmres", n=n, warm_start=warm_start) as sp:
+        x, info = gmres(
+            A,
+            b,
+            x0=x0,
+            rtol=tol,
+            atol=0.0,
+            restart=restart,
+            maxiter=outer,
+            M=M,
+            callback=_record,
+            callback_type="pr_norm",
+        )
+        iterations = len(residual_history)
+        sp.set("iterations", iterations)
+        if residual_history:
+            sp.set("final_residual", residual_history[-1])
+        obs.incr("solver.gmres.solves")
+        obs.incr("solver.gmres.iterations", iterations)
+        if info != 0:
+            residual = float(np.linalg.norm(A @ x - b) / np.linalg.norm(b))
+            raise ConvergenceError(
+                "gmres", iterations, residual, tol, residual_history
+            )
     if cache is not None:
         cache["pi0"] = np.asarray(x, dtype=np.float64).copy()
+        # the per-iteration preconditioned residual norms of the last
+        # successful solve, for callers that want the convergence shape
+        cache["residual_history"] = tuple(residual_history)
         if fresh_ilu:
             cache["ilu_iters0"] = iterations
         elif not known_failed and iterations > max(
@@ -435,6 +486,7 @@ def gmres_augmented_solve(
             # drifted too far from the ILU's operating point: rebuild next
             cache.pop("ilu", None)
             cache.pop("ilu_iters0", None)
+            obs.incr("solver.ilu.rebuilds")
     return x, iterations
 
 
@@ -573,10 +625,15 @@ def power_steady_state(
         )
     lam *= 1.05  # keep self-loop mass: guarantees aperiodicity
     PT = (sparse.eye(n, format="csr") + Q.T.tocsr() / lam).tocsr()
+    warm_start = x0 is not None
     if x0 is None and cache is not None:
         pi0 = cache.get("pi0")
         if pi0 is not None and np.shape(pi0) == (n,):
             x0 = np.asarray(pi0, dtype=np.float64)
+            warm_start = True
+    obs.incr(
+        "solver.warm_start.hits" if warm_start else "solver.warm_start.misses"
+    )
     if x0 is None:
         x = np.full(n, 1.0 / n)
     else:
@@ -584,22 +641,41 @@ def power_steady_state(
         total = x.sum()
         x = x / total if total > 0.0 else np.full(n, 1.0 / n)
     diff = math.inf
-    for iteration in range(1, max_iter + 1):
-        x_new = PT @ x
-        total = x_new.sum()
-        if not (math.isfinite(total) and total > 0.0):
-            raise NumericalSolveError(
-                "power iteration produced a non-distribution"
+    diff_history: List[float] = []
+    with obs.span("solve.power", n=n, warm_start=warm_start) as sp:
+        for iteration in range(1, max_iter + 1):
+            x_new = PT @ x
+            total = x_new.sum()
+            if not (math.isfinite(total) and total > 0.0):
+                raise NumericalSolveError(
+                    "power iteration produced a non-distribution"
+                )
+            x_new /= total
+            diff = float(np.abs(x_new - x).sum())
+            diff_history.append(diff)
+            x = x_new
+            if diff <= tol:
+                break
+        else:
+            sp.set("iterations", max_iter)
+            obs.incr("solver.power.solves")
+            obs.incr("solver.power.iterations", max_iter)
+            raise ConvergenceError(
+                "power",
+                max_iter,
+                diff,
+                tol,
+                diff_history[-RESIDUAL_HISTORY_LIMIT:],
             )
-        x_new /= total
-        diff = float(np.abs(x_new - x).sum())
-        x = x_new
-        if diff <= tol:
-            break
-    else:
-        raise ConvergenceError("power", max_iter, diff, tol)
+        sp.set("iterations", iteration)
+        sp.set("final_residual", diff)
+        obs.incr("solver.power.solves")
+        obs.incr("solver.power.iterations", iteration)
     if cache is not None:
         cache["pi0"] = x.copy()
+        cache["residual_history"] = tuple(
+            diff_history[-RESIDUAL_HISTORY_LIMIT:]
+        )
     return _finalize_pi(x)
 
 
@@ -893,13 +969,14 @@ class CTMC:
             cached = self._pi_cache.get(resolved)
             if cached is not None:
                 return cached.copy()
-        try:
-            pi = self._solve_steady_state(resolved, tol, max_iter, x0)
-        except NumericalSolveError as exc:
-            diagnosis = self.reducibility_diagnosis()
-            if diagnosis is not None:
-                raise NumericalSolveError(f"{exc} — {diagnosis}") from exc
-            raise
+        with obs.span("solve.steady", method=resolved, n=self.n):
+            try:
+                pi = self._solve_steady_state(resolved, tol, max_iter, x0)
+            except NumericalSolveError as exc:
+                diagnosis = self.reducibility_diagnosis()
+                if diagnosis is not None:
+                    raise NumericalSolveError(f"{exc} — {diagnosis}") from exc
+                raise
         if default_solve:
             self._pi_cache[resolved] = pi
         return pi.copy()

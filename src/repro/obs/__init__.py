@@ -1,0 +1,66 @@
+"""Zero-dependency tracing + metrics for the solver and sweep layers.
+
+Instrumented code calls the module-level helpers; nothing is recorded (one
+contextvar read) unless a :class:`Trace` has been installed in the current
+context::
+
+    from repro import obs
+
+    with obs.tracing("sweep") as trace:
+        with obs.span("solve.steady", method="gmres") as sp:
+            ...
+            sp.set("iterations", 42)
+        obs.incr("solver.gmres.solves")
+    trace.write_jsonl("run.trace.jsonl")
+
+See ``docs/observability.md`` for the event/counter catalogue, the JSONL
+trace format, and the JSON summary schema.
+"""
+
+from repro.obs.profile import attribution_fraction, render_profile
+from repro.obs.progress import ProgressLine, stream_is_tty
+from repro.obs.summary import (
+    SCHEMA_SUMMARY,
+    build_summary,
+    validate_summary,
+    validate_telemetry_file,
+    write_summary,
+)
+from repro.obs.trace import (
+    SCHEMA_TRACE,
+    Span,
+    Trace,
+    activate,
+    current_trace,
+    deactivate,
+    enabled,
+    event,
+    gauge,
+    incr,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "SCHEMA_SUMMARY",
+    "SCHEMA_TRACE",
+    "ProgressLine",
+    "Span",
+    "Trace",
+    "activate",
+    "attribution_fraction",
+    "build_summary",
+    "current_trace",
+    "deactivate",
+    "enabled",
+    "event",
+    "gauge",
+    "incr",
+    "render_profile",
+    "span",
+    "stream_is_tty",
+    "tracing",
+    "validate_summary",
+    "validate_telemetry_file",
+    "write_summary",
+]

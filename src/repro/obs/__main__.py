@@ -1,0 +1,36 @@
+"""Validate telemetry artifacts: ``python -m repro.obs FILE [FILE ...]``.
+
+Accepts JSONL traces (``--trace`` output) and summary JSON documents
+(``BENCH_*.json``); exits 0 when every file validates, 2 otherwise.  Used by
+the CI telemetry-schema validation step.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from repro.obs.summary import validate_telemetry_file
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs FILE [FILE ...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            problems = validate_telemetry_file(path)
+        except OSError as exc:
+            problems = [str(exc)]
+        if problems:
+            status = 2
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

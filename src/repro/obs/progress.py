@@ -1,0 +1,87 @@
+"""CLI progress line: ``[12/64] 3.4 pts/s ETA 15s``, rewritten in place.
+
+Driven by the ``sweep.rows.completed`` counter (the CLI wires
+:meth:`ProgressLine.on_counter` into :attr:`Trace.on_counter`), rate-limited
+so high-frequency updates cost one monotonic read, and auto-disabled when
+stderr is not a TTY or ``--quiet`` is passed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Any, Optional
+
+__all__ = ["ProgressLine", "stream_is_tty"]
+
+
+def stream_is_tty(stream: Any) -> bool:
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty()) if callable(isatty) else False
+    except (ValueError, OSError):
+        return False
+
+
+class ProgressLine:
+    """In-place progress line on a terminal stream.
+
+    >>> import io
+    >>> buf = io.StringIO()
+    >>> p = ProgressLine(total=4, stream=buf, enabled=True, min_interval=0.0)
+    >>> p.update(2)
+    >>> "[2/4]" in buf.getvalue()
+    True
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[IO[str]] = None,
+        *,
+        enabled: Optional[bool] = None,
+        min_interval: float = 0.1,
+    ):
+        self.total = max(0, int(total))
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = stream_is_tty(self.stream) if enabled is None else enabled
+        self.min_interval = min_interval
+        self._t0 = time.monotonic()
+        self._last_draw = 0.0
+        self._last_len = 0
+        self._completed = 0
+
+    def on_counter(self, name: str, value: float) -> None:
+        """Hook for :attr:`repro.obs.Trace.on_counter`."""
+        if name == "sweep.rows.completed":
+            self.update(int(value))
+
+    def update(self, completed: int, force: bool = False) -> None:
+        self._completed = completed
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        done = self.total and completed >= self.total
+        if not force and not done and (now - self._last_draw) < self.min_interval:
+            return
+        self._last_draw = now
+        elapsed = max(now - self._t0, 1e-9)
+        rate = completed / elapsed
+        if rate > 0 and self.total:
+            remaining = max(self.total - completed, 0) / rate
+            eta = f"ETA {remaining:.0f}s"
+        else:
+            eta = "ETA --"
+        line = f"[{completed}/{self.total}] {rate:.1f} pts/s {eta}"
+        pad = " " * max(0, self._last_len - len(line))
+        self.stream.write("\r" + line + pad)
+        self.stream.flush()
+        self._last_len = len(line)
+
+    def finish(self) -> None:
+        """Erase the line (the final table should start on a clean row)."""
+        if not self.enabled or self._last_len == 0:
+            return
+        self.stream.write("\r" + " " * self._last_len + "\r")
+        self.stream.flush()
+        self._last_len = 0

@@ -1,0 +1,155 @@
+"""Telemetry summary schema: a compact, diffable JSON aggregate of a trace.
+
+The summary is the cross-PR comparison format: benchmarks emit it (see
+``benchmarks/conftest.py``), CI validates it, and ``--profile`` renders the
+same aggregation as a table.  Schema (version ``repro.telemetry.summary/1``):
+
+- ``schema`` — the literal schema tag
+- ``name`` — trace name (e.g. ``"sweep"``, ``"benchmarks"``)
+- ``wall_s`` — span-covered wall time (latest end - earliest start)
+- ``spans`` — total span count
+- ``phases`` — per span name: ``{"count", "total_s", "self_s", "max_s"}``
+- ``counters`` / ``gauges`` — flat name → number maps
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.trace import SCHEMA_TRACE, Trace
+
+__all__ = [
+    "SCHEMA_SUMMARY",
+    "build_summary",
+    "validate_summary",
+    "validate_telemetry_file",
+    "write_summary",
+]
+
+SCHEMA_SUMMARY = "repro.telemetry.summary/1"
+
+
+def build_summary(trace: Trace) -> Dict[str, Any]:
+    """Aggregate a :class:`~repro.obs.trace.Trace` into the summary schema."""
+    phases: Dict[str, Dict[str, float]] = {}
+    self_times = trace.self_times()
+    for i, sp in enumerate(trace.spans):
+        ph = phases.setdefault(
+            sp.name, {"count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0}
+        )
+        ph["count"] += 1
+        ph["total_s"] += sp.duration
+        ph["self_s"] += self_times[i]
+        ph["max_s"] = max(ph["max_s"], sp.duration)
+    return {
+        "schema": SCHEMA_SUMMARY,
+        "name": trace.name,
+        "wall_s": trace.wall_seconds(),
+        "spans": len(trace.spans),
+        "phases": phases,
+        "counters": dict(trace.counters),
+        "gauges": dict(trace.gauges),
+    }
+
+
+def write_summary(trace: Trace, path: str) -> Dict[str, Any]:
+    """Build the summary and write it to ``path`` as pretty JSON."""
+    summary = build_summary(trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return summary
+
+
+def _require(cond: bool, problems: List[str], message: str) -> None:
+    if not cond:
+        problems.append(message)
+
+
+def validate_summary(obj: Any) -> List[str]:
+    """Return a list of schema violations (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["summary is not a JSON object"]
+    _require(
+        obj.get("schema") == SCHEMA_SUMMARY,
+        problems,
+        f"schema is {obj.get('schema')!r}, expected {SCHEMA_SUMMARY!r}",
+    )
+    _require(isinstance(obj.get("name"), str), problems, "name must be a string")
+    _require(
+        isinstance(obj.get("wall_s"), (int, float)) and obj.get("wall_s", -1) >= 0,
+        problems,
+        "wall_s must be a non-negative number",
+    )
+    _require(
+        isinstance(obj.get("spans"), int) and obj.get("spans", -1) >= 0,
+        problems,
+        "spans must be a non-negative integer",
+    )
+    phases = obj.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("phases must be an object")
+    else:
+        for name, ph in phases.items():
+            if not isinstance(ph, dict):
+                problems.append(f"phase {name!r} must be an object")
+                continue
+            for key in ("count", "total_s", "self_s", "max_s"):
+                val = ph.get(key)
+                if not isinstance(val, (int, float)) or val < 0:
+                    problems.append(
+                        f"phase {name!r}: {key} must be a non-negative number"
+                    )
+    for section in ("counters", "gauges"):
+        values = obj.get(section)
+        if not isinstance(values, dict):
+            problems.append(f"{section} must be an object")
+            continue
+        for name, val in values.items():
+            if not isinstance(val, (int, float)):
+                problems.append(f"{section}[{name!r}] must be a number")
+    return problems
+
+
+def validate_telemetry_file(path: str) -> List[str]:
+    """Validate a telemetry artifact on disk.
+
+    Accepts either a JSONL trace (first record ``{"type": "meta", ...}``) or
+    a summary JSON document; returns schema violations (empty when valid).
+    """
+    with open(path, encoding="utf-8") as fh:
+        head = fh.read(1)
+        fh.seek(0)
+        if head == "":
+            return ["file is empty"]
+        first_line = fh.readline()
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        # Multi-line (indented) JSON document: parse the whole file.
+        with open(path, encoding="utf-8") as fh:
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError as exc:
+                return [f"not JSON: {exc}"]
+        return validate_summary(doc)
+    if isinstance(first, dict) and first.get("type") == "meta":
+        if first.get("schema") != SCHEMA_TRACE:
+            return [
+                f"trace schema is {first.get('schema')!r}, "
+                f"expected {SCHEMA_TRACE!r}"
+            ]
+        try:
+            trace = Trace.read_jsonl(path)
+        except ValueError as exc:
+            return [str(exc)]
+        problems: List[str] = []
+        for i, sp in enumerate(trace.spans):
+            if sp.t1 < sp.t0:
+                problems.append(f"span {i} ({sp.name!r}): t1 < t0")
+            if sp.parent is not None and not (0 <= sp.parent < len(trace.spans)):
+                problems.append(f"span {i} ({sp.name!r}): parent out of range")
+        return problems
+    return validate_summary(first)

@@ -1,0 +1,431 @@
+"""Structured tracing + metrics core: :class:`Span`, :class:`Trace`, and the
+contextvar-scoped module API.
+
+Design constraints (see ``docs/observability.md``):
+
+- **Zero dependencies** — stdlib only, so the layer can be imported from the
+  innermost solver loops without dragging anything in.
+- **Scope-free instrumentation** — library code calls the module-level
+  :func:`span` / :func:`incr` / :func:`gauge` helpers; whether anything is
+  recorded depends solely on the :class:`Trace` (if any) installed in the
+  current :mod:`contextvars` context.  No trace object is plumbed through
+  call signatures.
+- **Near-free when disabled** — every module-level helper starts with a
+  single contextvar read; with no active trace it returns a shared no-op
+  immediately.  ``bench_sweep.py`` guards the <2% overhead bound.
+- **Mergeable across processes** — timestamps are recorded on the local
+  monotonic clock and rebased onto a per-trace wall-clock anchor captured at
+  construction, so segments shipped from pool or distributed workers land on
+  one (approximately) shared timeline while staying monotonic and
+  exact-duration within each worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "SCHEMA_TRACE",
+    "Span",
+    "Trace",
+    "activate",
+    "current_trace",
+    "deactivate",
+    "enabled",
+    "event",
+    "gauge",
+    "incr",
+    "span",
+    "tracing",
+]
+
+#: Schema tag stamped on the ``meta`` record of every JSONL trace file.
+SCHEMA_TRACE = "repro.telemetry.trace/1"
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an attribute value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+@dataclass
+class Span:
+    """One timed operation.
+
+    ``t0``/``t1`` are wall-anchored monotonic seconds (epoch-like): within a
+    single process they never go backwards and ``t1 - t0`` is an exact
+    monotonic-clock duration; across processes they are aligned only as well
+    as the hosts' wall clocks.
+    """
+
+    name: str
+    t0: float
+    t1: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    parent: Optional[int] = None  # index into the owning trace's span list
+    worker: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute (API shared with the no-op span)."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": {str(k): _json_safe(v) for k, v in self.attrs.items()},
+            "parent": self.parent,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Span":
+        return cls(
+            name=str(d["name"]),
+            t0=float(d["t0"]),
+            t1=float(d["t1"]),
+            attrs=dict(d.get("attrs") or {}),
+            parent=d.get("parent"),
+            worker=str(d.get("worker", "")),
+        )
+
+
+class _LiveSpan:
+    """Context manager recording one :class:`Span` into a :class:`Trace`.
+
+    The span is appended at ``__enter__`` (so span order is start order and
+    the parent index is known) and its ``t1`` is patched at ``__exit__``.
+    """
+
+    __slots__ = ("_trace", "_name", "_attrs", "_index")
+
+    def __init__(self, trace: "Trace", name: str, attrs: Dict[str, Any]):
+        self._trace = trace
+        self._name = name
+        self._attrs = attrs
+        self._index = -1
+
+    def __enter__(self) -> Span:
+        tr = self._trace
+        parent = tr._stack[-1] if tr._stack else None
+        now = tr.now()
+        sp = Span(
+            name=self._name,
+            t0=now,
+            t1=now,
+            attrs=self._attrs,
+            parent=parent,
+            worker=tr.worker,
+        )
+        self._index = len(tr.spans)
+        tr.spans.append(sp)
+        tr._stack.append(self._index)
+        return sp
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        tr = self._trace
+        sp = tr.spans[self._index]
+        sp.t1 = tr.now()
+        if exc_type is not None and "error" not in sp.attrs:
+            sp.attrs["error"] = exc_type.__name__
+        stack = tr._stack
+        if stack and stack[-1] == self._index:
+            stack.pop()
+        else:  # interleaved exit (async tasks sharing one trace) — tolerate
+            try:
+                stack.remove(self._index)
+            except ValueError:
+                pass
+        return False
+
+
+class Trace:
+    """A mutable collection of spans, counters, and gauges for one run.
+
+    Cheap to create; holds only plain data, so it pickles and merges across
+    process boundaries.  Use :func:`tracing` (or :func:`activate`) to install
+    it as the ambient trace so instrumented library code records into it.
+    """
+
+    def __init__(self, name: str = "trace", worker: str = ""):
+        self.name = name
+        self.worker = worker or f"pid:{os.getpid()}"
+        # Wall-clock anchor for the local monotonic clock: now() below is
+        # monotonic within this process but epoch-aligned across processes.
+        self.anchor = time.time() - time.monotonic()
+        self.t_created = self.now()
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.meta: Dict[str, Any] = {"pid": os.getpid()}
+        # Observer hook: called as on_counter(name, absolute_value) after
+        # every increment (used by the CLI progress line).
+        self.on_counter: Optional[Callable[[str, float], None]] = None
+        self._stack: List[int] = []
+        self._shipped: Dict[str, float] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Wall-anchored monotonic timestamp (seconds)."""
+        return self.anchor + time.monotonic()
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        return _LiveSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """Record a zero-duration span at the current time."""
+        now = self.now()
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(
+            name=name, t0=now, t1=now, attrs=attrs, parent=parent, worker=self.worker
+        )
+        self.spans.append(sp)
+        return sp
+
+    def add_span(
+        self, name: str, t0: float, t1: float, **attrs: Any
+    ) -> Span:
+        """Record a span with explicit endpoints (for async/bookkept timing)."""
+        sp = Span(name=name, t0=t0, t1=max(t0, t1), attrs=attrs, worker=self.worker)
+        self.spans.append(sp)
+        return sp
+
+    def incr(self, name: str, value: float = 1.0) -> float:
+        total = self.counters.get(name, 0.0) + value
+        self.counters[name] = total
+        if self.on_counter is not None:
+            self.on_counter(name, total)
+        return total
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    # -- segment shipping (pool / distributed workers) ---------------------
+
+    def mark(self) -> int:
+        """Position bookmark for :meth:`slice_spans`."""
+        return len(self.spans)
+
+    def slice_spans(self, mark: int) -> List[Dict[str, Any]]:
+        """Serialise spans recorded since ``mark``, rebasing parent indices
+        so the slice is self-contained (parents outside the slice become
+        top-level)."""
+        out: List[Dict[str, Any]] = []
+        for sp in self.spans[mark:]:
+            d = sp.to_dict()
+            p = sp.parent
+            d["parent"] = (p - mark) if (p is not None and p >= mark) else None
+            out.append(d)
+        return out
+
+    def drain_counters(self) -> Dict[str, float]:
+        """Counter deltas since the previous drain (for incremental
+        shipping to a coordinator; ships each increment exactly once)."""
+        deltas: Dict[str, float] = {}
+        for name, total in self.counters.items():
+            prev = self._shipped.get(name, 0.0)
+            if total != prev:
+                deltas[name] = total - prev
+                self._shipped[name] = total
+        return deltas
+
+    def merge_segment(
+        self,
+        spans: Optional[List[Dict[str, Any]]] = None,
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Fold a shipped segment (see :meth:`slice_spans` /
+        :meth:`drain_counters`) into this trace."""
+        base = len(self.spans)
+        for d in spans or []:
+            sp = Span.from_dict(d)
+            if sp.parent is not None:
+                sp.parent += base
+            self.spans.append(sp)
+        for name, delta in (counters or {}).items():
+            self.incr(name, float(delta))
+        for name, value in (gauges or {}).items():
+            self.gauges[name] = float(value)
+
+    # -- aggregation -------------------------------------------------------
+
+    def wall_seconds(self) -> float:
+        """Span-covered wall time: latest end minus earliest start."""
+        if not self.spans:
+            return 0.0
+        return max(sp.t1 for sp in self.spans) - min(sp.t0 for sp in self.spans)
+
+    def self_times(self) -> List[float]:
+        """Per-span exclusive time: duration minus direct children's."""
+        child_total = [0.0] * len(self.spans)
+        for sp in self.spans:
+            if sp.parent is not None and 0 <= sp.parent < len(self.spans):
+                child_total[sp.parent] += sp.duration
+        return [
+            max(0.0, sp.duration - child_total[i])
+            for i, sp in enumerate(self.spans)
+        ]
+
+    # -- JSONL persistence -------------------------------------------------
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the trace as JSON Lines: one ``meta`` record, then one
+        record per span, counter, and gauge."""
+        with open(path, "w", encoding="utf-8") as fh:
+            meta = {
+                "type": "meta",
+                "schema": SCHEMA_TRACE,
+                "name": self.name,
+                "worker": self.worker,
+                **{str(k): _json_safe(v) for k, v in self.meta.items()},
+            }
+            fh.write(json.dumps(meta) + "\n")
+            for sp in self.spans:
+                fh.write(json.dumps({"type": "span", **sp.to_dict()}) + "\n")
+            for name in sorted(self.counters):
+                rec = {"type": "counter", "name": name, "value": self.counters[name]}
+                fh.write(json.dumps(rec) + "\n")
+            for name in sorted(self.gauges):
+                rec = {"type": "gauge", "name": name, "value": self.gauges[name]}
+                fh.write(json.dumps(rec) + "\n")
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "Trace":
+        """Inverse of :meth:`write_jsonl`."""
+        trace = cls()
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+                kind = rec.get("type")
+                if kind == "meta":
+                    if rec.get("schema") != SCHEMA_TRACE:
+                        raise ValueError(
+                            f"{path}: unsupported trace schema "
+                            f"{rec.get('schema')!r} (expected {SCHEMA_TRACE!r})"
+                        )
+                    trace.name = str(rec.get("name", "trace"))
+                    trace.worker = str(rec.get("worker", ""))
+                    trace.meta = {
+                        k: v
+                        for k, v in rec.items()
+                        if k not in {"type", "schema", "name", "worker"}
+                    }
+                elif kind == "span":
+                    trace.spans.append(Span.from_dict(rec))
+                elif kind == "counter":
+                    trace.counters[str(rec["name"])] = float(rec["value"])
+                elif kind == "gauge":
+                    trace.gauges[str(rec["name"])] = float(rec["value"])
+                else:
+                    raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+        return trace
+
+
+# -- contextvar-scoped module API ------------------------------------------
+
+_CURRENT: ContextVar[Optional[Trace]] = ContextVar("repro_obs_trace", default=None)
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned by :func:`span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace installed in the current context, or ``None``."""
+    return _CURRENT.get()
+
+
+def enabled() -> bool:
+    """True when a trace is active in the current context."""
+    return _CURRENT.get() is not None
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Time a block: ``with obs.span("solve.steady", n=n) as sp: ...``.
+
+    No-op (one contextvar read) when no trace is active.
+    """
+    trace = _CURRENT.get()
+    if trace is None:
+        return _NOOP
+    return trace.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time event on the active trace (if any)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.event(name, **attrs)
+
+
+def incr(name: str, value: float = 1.0) -> None:
+    """Increment a counter on the active trace (if any)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.incr(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active trace (if any)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.gauge(name, value)
+
+
+def activate(trace: Trace) -> Token:
+    """Install ``trace`` as the ambient trace; returns a reset token."""
+    return _CURRENT.set(trace)
+
+
+def deactivate(token: Token) -> None:
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def tracing(name: str = "trace", worker: str = "") -> Iterator[Trace]:
+    """Create and install a fresh :class:`Trace` for the ``with`` body."""
+    trace = Trace(name, worker=worker)
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)

@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.markov.ctmc import (
     CTMC,
     SPARSE_AUTO_THRESHOLD,
@@ -191,7 +192,9 @@ class GSPNSolver:
                     "repro.core.phase_type, for deterministic delays)"
                 )
 
-        graph = explore_reachability(net, options)
+        with obs.span("prepare.explore") as sp:
+            graph = explore_reachability(net, options)
+            sp.set("markings", len(graph.markings))
         if not graph.complete:
             raise NetStructureError(
                 f"state space exceeded {options.max_markings} markings; "

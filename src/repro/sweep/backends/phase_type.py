@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.core.exact_renewal import ExactRenewalModel
 from repro.core.params import CPUModelParams, STATE_NAMES, StateFractions
 from repro.core.phase_type import (
@@ -245,9 +246,11 @@ class PhaseTypeBackend(CPUParamsAxesMixin, SweepBackend):
 
     # ------------------------------------------------------------------ #
     def _prepare(self) -> PhaseTypeTemplate:
-        states, _, rows, cols, rate_ids = build_stage_structure(
-            self.k_d, self.k_t, self.n_max, True, True
-        )
+        with obs.span("prepare.stage_expansion") as sp:
+            states, _, rows, cols, rate_ids = build_stage_structure(
+                self.k_d, self.k_t, self.n_max, True, True
+            )
+            sp.set("states", len(states))
         n = len(states)
         order = np.lexsort((cols, rows))
         rows, cols, rate_ids = rows[order], cols[order], rate_ids[order]

@@ -48,6 +48,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.sweep.backends.base import Metric
 from repro.sweep.distributed.checkpoint import SweepCheckpoint
 from repro.sweep.distributed.protocol import (
@@ -139,6 +140,19 @@ class SweepCoordinator:
         self._failure: Optional[BaseException] = None
         self._n_connected = 0
         self._n_ever_connected = 0
+        # The run-level trace (if the sweep runs with telemetry active).
+        # Captured here, in the runner's context, because the asyncio
+        # server invokes handle_worker from the event loop's own context.
+        self._trace = obs.current_trace()
+        if self._trace is not None:
+            if self._rows:
+                # checkpoint-resumed rows count as completed so the
+                # progress counters start from the resumed offset
+                self._trace.incr("sweep.rows.completed", len(self._rows))
+                resumed_failed = sum(1 for i in self._errors if i in self._rows)
+                if resumed_failed:
+                    self._trace.incr("sweep.rows.failed", resumed_failed)
+            self._note_queue_depth()
 
     # ------------------------------------------------------------------ #
     # sharding
@@ -246,19 +260,30 @@ class SweepCoordinator:
     # ------------------------------------------------------------------ #
     # bookkeeping (call while holding self._cond)
     # ------------------------------------------------------------------ #
+    def _note_queue_depth(self) -> None:
+        if self._trace is not None:
+            self._trace.gauge("dist.queue.depth", len(self._pending))
+
     def _store_row(
         self,
         index: int,
         values: Sequence[float],
         error: Optional[PointFailure],
-    ) -> None:
+    ) -> bool:
+        """Record one completed row; False on duplicate delivery
+        (requeue race — first write wins, telemetry must not merge)."""
         if index in self._rows:
-            return  # duplicate delivery (requeue race): first write wins
+            return False
         self._rows[index] = [float(v) for v in values]
         if error is not None:
             self._errors[index] = error
+        if self._trace is not None:
+            self._trace.incr("sweep.rows.completed")
+            if error is not None:
+                self._trace.incr("sweep.rows.failed")
         if self._checkpoint is not None:
             self._checkpoint.append_row(index, values, error)
+        return True
 
     def _poison(self, index: int) -> None:
         count = self._requeues.get(index, 0)
@@ -268,7 +293,7 @@ class SweepCoordinator:
             index,
             count,
         )
-        self._store_row(
+        stored = self._store_row(
             index,
             [float("nan")] * len(self.metrics),
             PointFailure(
@@ -282,6 +307,16 @@ class SweepCoordinator:
                 ),
             ),
         )
+        if stored and self._trace is not None:
+            # the worker that would have recorded this point's span died
+            # with it — a synthetic zero-duration span keeps the merged
+            # trace covering every grid point exactly once
+            self._trace.incr("dist.points.poisoned")
+            now = self._trace.now()
+            self._trace.add_span(
+                "sweep.point", now, now,
+                index=index, stage="worker", poisoned=True,
+            )
 
     def _pop_live_chunk(self) -> Optional[_Chunk]:
         """Next chunk with poisoned points filtered out (may finish sweep)."""
@@ -310,6 +345,7 @@ class SweepCoordinator:
                     return None
                 chunk = self._pop_live_chunk()
                 if chunk is not None:
+                    self._note_queue_depth()
                     return chunk
                 if self._complete():
                     self._cond.notify_all()
@@ -352,6 +388,16 @@ class SweepCoordinator:
                         points=[self.points[i] for i in unfinished],
                     )
                 )
+                if self._trace is not None:
+                    self._trace.incr("dist.requeues")
+                    self._trace.event(
+                        "dist.requeue",
+                        index=unfinished[0],
+                        n_points=len(unfinished),
+                        blame=blame,
+                        reason=type(reason).__name__,
+                    )
+                self._note_queue_depth()
                 logger.warning(
                     "worker died mid-chunk (%s); requeued %d unfinished "
                     "point(s) starting at index %d",
@@ -383,6 +429,7 @@ class SweepCoordinator:
                     "kind": "template",
                     "model": self.model,
                     "metrics": self.metrics,
+                    "telemetry": self._trace is not None,
                 },
             )
         except (
@@ -434,6 +481,12 @@ class SweepCoordinator:
         chunk: Optional[_Chunk] = None
         chunk_sent = False
         done_in_chunk: Set[int] = set()
+        # Per-point trace segments that arrived ahead of their row (see
+        # protocol.py): merged only when the row is actually stored.
+        segments: Dict[int, List[Dict[str, object]]] = {}
+        t_joined = self._trace.now() if self._trace is not None else 0.0
+        t_dispatch = 0.0
+        t_first_row: Optional[float] = None
         try:
             while True:
                 chunk = await self._checkout_chunk()
@@ -455,10 +508,25 @@ class SweepCoordinator:
                     },
                 )
                 chunk_sent = True
+                if self._trace is not None:
+                    t_dispatch = self._trace.now()
+                    t_first_row = None
+                    self._trace.incr("dist.chunks.dispatched")
                 expected = set(chunk.indices)
                 while True:
                     message = await recv_message(reader)
-                    if message["kind"] == "row":
+                    if message["kind"] == "telemetry":
+                        if self._trace is not None:
+                            # counter deltas measure solver work actually
+                            # done, so they merge unconditionally; spans
+                            # wait for their row (exactly-once per point)
+                            counters = message.get("counters")
+                            if counters:
+                                self._trace.merge_segment(counters=counters)
+                            spans = message.get("spans")
+                            if spans and message.get("index") is not None:
+                                segments[message["index"]] = spans
+                    elif message["kind"] == "row":
                         index = message["index"]
                         if index not in expected:
                             raise ProtocolError(
@@ -466,11 +534,16 @@ class SweepCoordinator:
                                 f"{chunk.chunk_id}"
                             )
                         done_in_chunk.add(index)
+                        if self._trace is not None and t_first_row is None:
+                            t_first_row = self._trace.now()
                         async with self._cond:
-                            self._store_row(
+                            stored = self._store_row(
                                 index, message["values"], message.get("error")
                             )
                             self._cond.notify_all()
+                        spans = segments.pop(index, None)
+                        if stored and spans and self._trace is not None:
+                            self._trace.merge_segment(spans=spans)
                     elif message["kind"] == "fatal":
                         # a configuration error: every point and every
                         # worker would fail identically — abort the sweep
@@ -491,6 +564,19 @@ class SweepCoordinator:
                             raise ProtocolError(
                                 f"worker finished chunk {chunk.chunk_id} but "
                                 f"never sent rows for {sorted(missing)}"
+                            )
+                        if self._trace is not None:
+                            now = self._trace.now()
+                            attrs: Dict[str, object] = {
+                                "chunk_id": chunk.chunk_id,
+                                "n_points": len(chunk.indices),
+                                "label": worker_label,
+                            }
+                            if t_first_row is not None:
+                                # dispatch latency: send to first row back
+                                attrs["first_row_s"] = t_first_row - t_dispatch
+                            self._trace.add_span(
+                                "dist.chunk", t_dispatch, now, **attrs
                             )
                         chunk = None
                         break
@@ -516,5 +602,12 @@ class SweepCoordinator:
             async with self._cond:
                 self._n_connected -= 1
                 self._cond.notify_all()
+            if self._trace is not None:
+                self._trace.add_span(
+                    "dist.worker",
+                    t_joined,
+                    self._trace.now(),
+                    label=worker_label,
+                )
             writer.close()
             logger.info("worker %s left", worker_label)

@@ -15,13 +15,22 @@ Message kinds
 kind                    direction  payload
 ======================  =========  ==========================================
 ``hello``               w -> c     ``version``, ``worker`` (host:pid label)
-``template``            c -> w     ``model`` (backend), ``metrics``
+``template``            c -> w     ``model`` (backend), ``metrics``, and
+                                   ``telemetry`` (bool: the coordinator runs
+                                   with tracing on; ship trace segments back)
 ``reject``              c -> w     ``message`` — handshake refused (e.g.
                                    protocol version mismatch)
 ``fatal``               w -> c     ``index``, ``error_type``, ``message`` —
                                    a configuration error; aborts the sweep
 ``chunk``               c -> w     ``chunk_id``, ``indices``, ``points`` —
                                    one *contiguous, axis-ordered* span
+``telemetry``           w -> c     ``index``, ``spans``, ``counters`` — the
+                                   trace segment recorded while solving that
+                                   point (only when the template asked for
+                                   telemetry; sent *before* the point's
+                                   ``row``, so a stored row always has its
+                                   spans and a requeued one never
+                                   double-counts them)
 ``row``                 w -> c     ``index``, ``values``, optional ``error``
                                    (a ``PointFailure``) — streamed per point
 ``chunk_done``          w -> c     ``chunk_id``
@@ -30,7 +39,10 @@ kind                    direction  payload
 
 Rows stream back *per point*, not per chunk: when a worker dies
 mid-chunk the coordinator knows exactly which points of that chunk
-finished and requeues only the unfinished suffix.
+finished and requeues only the unfinished suffix.  The same per-point
+granularity carries the telemetry: span segments arrive with their row,
+so the coordinator's merged run-level trace covers each stored row's
+solve exactly once however many times the point was attempted.
 
 .. warning::
    Pickle executes arbitrary code on load, so the channel is only as

@@ -41,6 +41,7 @@ import socket
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.petri.analysis import ReachabilityOptions
 from repro.petri.net import PetriNet
 from repro.sweep.backends import SweepBackend
@@ -299,6 +300,14 @@ class DistributedSweepRunner(SweepRunner):
         """Solve the unfinished points in this process, journalling each."""
         rows_map = dict(done_rows)
         err_map = dict(done_errors)
+        trace = obs.current_trace()
+        if trace is not None and rows_map:
+            # checkpoint-resumed rows count as completed, matching the
+            # coordinator path, so progress starts at the resumed offset
+            trace.incr("sweep.rows.completed", len(rows_map))
+            resumed_failed = sum(1 for i in err_map if i in rows_map)
+            if resumed_failed:
+                trace.incr("sweep.rows.failed", resumed_failed)
         if checkpoint is not None:
             checkpoint.open_for_append(
                 axis_names,

@@ -31,6 +31,7 @@ import os
 import socket as socket_module
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.sweep.distributed.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -73,6 +74,7 @@ async def run_worker(
     connect_retry_delay: float = CONNECT_RETRY_DELAY,
     die_after_rows: Optional[int] = None,
     die_at_index: Optional[int] = None,
+    trace: Optional[obs.Trace] = None,
 ) -> int:
     """Serve one coordinator until it sends ``shutdown``.
 
@@ -81,12 +83,21 @@ async def run_worker(
     the worker aborts its connection (RST, no goodbye — indistinguishable
     from a crash on the coordinator side) after streaming that many rows,
     or just before solving that global point index.
+
+    *trace* is this worker's own :class:`repro.obs.Trace` (e.g. the one
+    behind ``worker --trace FILE``); when the coordinator's template asks
+    for telemetry and none is given, a fresh one is created.  Either way
+    the worker installs it for the duration of the connection — never the
+    ambient trace it may have inherited by fork or by sharing the
+    coordinator's event loop, which would double-record segments that are
+    also shipped over the wire.
     """
     reader, writer = await _connect(
         host, port, connect_retries, connect_retry_delay
     )
     label = f"{socket_module.gethostname()}:{os.getpid()}"
     rows_sent = 0
+    obs_token = None
     try:
         await send_message(
             writer,
@@ -101,6 +112,15 @@ async def run_worker(
             raise ProtocolError(
                 f"expected a template, got {template['kind']!r}"
             )
+        ship_telemetry = bool(template.get("telemetry"))
+        if ship_telemetry and trace is None:
+            trace = obs.Trace("sweep-worker", worker=label)
+        if trace is not None:
+            obs_token = obs.activate(trace)
+        # everything recorded past this cursor has not been shipped yet;
+        # the first point's segment therefore also carries the one-time
+        # template-preparation spans below
+        cursor = trace.mark() if trace is not None else 0
         model = template["model"]
         metrics = template["metrics"]
         model.prepare()
@@ -148,6 +168,22 @@ async def run_worker(
                         },
                     )
                     return rows_sent
+                if ship_telemetry and trace is not None:
+                    # the point's trace segment travels *ahead* of its
+                    # row: the coordinator stashes it and merges it only
+                    # if the row is actually stored, so a stored row
+                    # always has its spans and a duplicate delivery
+                    # (requeue race) never double-counts them
+                    await send_message(
+                        writer,
+                        {
+                            "kind": "telemetry",
+                            "index": index,
+                            "spans": trace.slice_spans(cursor),
+                            "counters": trace.drain_counters(),
+                        },
+                    )
+                    cursor = trace.mark()
                 await send_message(
                     writer,
                     {
@@ -162,6 +198,8 @@ async def run_worker(
                 writer, {"kind": "chunk_done", "chunk_id": message["chunk_id"]}
             )
     finally:
+        if obs_token is not None:
+            obs.deactivate(obs_token)
         writer.close()
         try:
             await writer.wait_closed()
@@ -175,6 +213,7 @@ def worker_main(
     port: int,
     *,
     die_after_rows: Optional[int] = None,
+    trace: Optional[obs.Trace] = None,
 ) -> int:
     """Synchronous entry point: run one worker to completion.
 
@@ -183,7 +222,7 @@ def worker_main(
     solved; connection failures propagate as ``ConnectionError``.
     """
     return asyncio.run(
-        run_worker(host, port, die_after_rows=die_after_rows)
+        run_worker(host, port, die_after_rows=die_after_rows, trace=trace)
     )
 
 

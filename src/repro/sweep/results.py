@@ -94,6 +94,14 @@ class SweepResult:
     points: List[Dict[str, float]]
     values: List[Dict[str, float]]
     errors: List[PointFailure] = field(default_factory=list)
+    #: The run-level :class:`repro.obs.Trace` when the sweep executed with
+    #: telemetry active (serial spans recorded in-process; pool/distributed
+    #: worker segments merged in), else ``None``.  Excluded from equality:
+    #: two sweeps of the same grid are the same *result* however long each
+    #: point took.
+    telemetry: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.points) != len(self.values):

@@ -74,6 +74,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.markov.ctmc import NumericalSolveError
 from repro.petri.analysis import ReachabilityOptions
 from repro.petri.net import PetriNet
@@ -180,7 +181,11 @@ def solve_missing_rows(
         if previous is not None and index != previous + 1:
             model.reset_point_state()
         previous = index
-        yield (index, *solve_point_row(model, metrics, points[index], index))
+        row, failure = solve_point_row(model, metrics, points[index], index)
+        obs.incr("sweep.rows.completed")
+        if failure is not None:
+            obs.incr("sweep.rows.failed")
+        yield (index, row, failure)
 
 
 def solve_point_row(
@@ -199,53 +204,74 @@ def solve_point_row(
     Configuration errors propagate.
     """
     nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
-    try:
-        solution = model.solve(point)
-    except SOLVE_FAILURE_TYPES as exc:
-        return nan_row(), PointFailure(
-            index=index,
-            point={k: float(v) for k, v in point.items()},
-            stage="solve",
-            error_type=type(exc).__name__,
-            message=str(exc),
-        )
-    row: List[float] = []
-    for i, m in enumerate(metrics):
-        try:
-            row.append(model.evaluate(solution, m))
-        except METRIC_FAILURE_TYPES as exc:
-            return nan_row(), PointFailure(
-                index=index,
-                point={k: float(v) for k, v in point.items()},
-                stage="metric",
-                error_type=type(exc).__name__,
-                message=str(exc),
-                metric=metric_name(m, i),
-            )
-    return row, None
+    with obs.span("sweep.point", index=index) as sp:
+        with obs.span("sweep.solve"):
+            try:
+                solution = model.solve(point)
+            except SOLVE_FAILURE_TYPES as exc:
+                sp.set("stage", "solve")
+                sp.set("error", type(exc).__name__)
+                return nan_row(), PointFailure(
+                    index=index,
+                    point={k: float(v) for k, v in point.items()},
+                    stage="solve",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+        row: List[float] = []
+        with obs.span("sweep.metrics"):
+            for i, m in enumerate(metrics):
+                try:
+                    row.append(model.evaluate(solution, m))
+                except METRIC_FAILURE_TYPES as exc:
+                    sp.set("stage", "metric")
+                    sp.set("error", type(exc).__name__)
+                    return nan_row(), PointFailure(
+                        index=index,
+                        point={k: float(v) for k, v in point.items()},
+                        stage="metric",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        metric=metric_name(m, i),
+                    )
+        return row, None
 
 
 # -- process-pool plumbing: the template lands in each worker exactly once --
 _WORKER_STATE: Optional[tuple] = None
 
 
-def _init_worker(model: SweepBackend, metrics: Sequence[Metric]) -> None:
+def _init_worker(
+    model: SweepBackend, metrics: Sequence[Metric], telemetry: bool = False
+) -> None:
     global _WORKER_STATE
     _WORKER_STATE = (model, list(metrics))
+    if telemetry:
+        # the parent runs with tracing on: give this worker its own trace
+        # so chunk results can ship span segments + counter deltas back
+        obs.activate(obs.Trace("sweep-worker"))
 
 
 def _solve_chunk(
     start: int, chunk_points: Sequence[Mapping[str, float]]
-) -> Tuple[int, List[List[float]], List[PointFailure]]:
+) -> Tuple[
+    int, List[List[float]], List[PointFailure], Optional[Dict[str, object]]
+]:
     """Solve one contiguous chunk inside a pool worker.
 
     The warm start is reset at the chunk boundary — the previous chunk
     this worker solved may be a far-away span of the grid — then carried
     point-to-point within the chunk.
+
+    The fourth element is the chunk's telemetry segment (spans recorded
+    during the chunk + counter deltas) when the worker traces, else
+    ``None``; the parent merges it into the run-level trace.
     """
     assert _WORKER_STATE is not None, "worker used before initialisation"
     model, metrics = _WORKER_STATE
     model.reset_point_state()
+    trace = obs.current_trace()
+    mark = trace.mark() if trace is not None else 0
     rows: List[List[float]] = []
     errors: List[PointFailure] = []
     for offset, point in enumerate(chunk_points):
@@ -253,7 +279,13 @@ def _solve_chunk(
         rows.append(row)
         if failure is not None:
             errors.append(failure)
-    return start, rows, errors
+    segment: Optional[Dict[str, object]] = None
+    if trace is not None:
+        segment = {
+            "spans": trace.slice_spans(mark),
+            "counters": trace.drain_counters(),
+        }
+    return start, rows, errors, segment
 
 
 class SweepRunner:
@@ -359,15 +391,18 @@ class SweepRunner:
             raise ValueError("empty sweep grid")
         self.model.check_axes(axis_names)
         if self.preflight:
-            self._run_preflight(points)
+            with obs.span("sweep.preflight", points=len(points)):
+                self._run_preflight(points)
 
-        values, errors = self._execute(axis_names, points)
+        with obs.span("sweep.run", points=len(points)):
+            values, errors = self._execute(axis_names, points)
         return SweepResult(
             axis_names=axis_names,
             metric_names=list(self.metric_names),
             points=[{k: float(v) for k, v in p.items()} for p in points],
             values=[dict(zip(self.metric_names, row)) for row in values],
             errors=errors,
+            telemetry=obs.current_trace(),
         )
 
     def solve_point(self, point: Mapping[str, float]):
@@ -407,8 +442,10 @@ class SweepRunner:
         for index, point in enumerate(points):
             row, failure = solve_point_row(self.model, self.metrics, point, index)
             rows.append(row)
+            obs.incr("sweep.rows.completed")
             if failure is not None:
                 errors.append(failure)
+                obs.incr("sweep.rows.failed")
         return rows, errors
 
     def _template_ships(self) -> bool:
@@ -438,26 +475,36 @@ class SweepRunner:
         spans = contiguous_chunks(len(points), CHUNKS_PER_WORKER * workers)
         rows: List[Optional[List[float]]] = [None] * len(points)
         error_map: Dict[int, PointFailure] = {}
+        trace = obs.current_trace()
+        harvested: set = set()
 
-        def harvest(result) -> None:
-            start, chunk_rows, chunk_errors = result
+        def harvest(future, result) -> None:
+            if id(future) in harvested:
+                return  # the broken-pool sweep below re-visits futures
+            harvested.add(id(future))
+            start, chunk_rows, chunk_errors, segment = result
             rows[start : start + len(chunk_rows)] = chunk_rows
             for failure in chunk_errors:
                 error_map[failure.index] = failure
+            if trace is not None and segment is not None:
+                trace.merge_segment(**segment)
+            obs.incr("sweep.rows.completed", len(chunk_rows))
+            if chunk_errors:
+                obs.incr("sweep.rows.failed", len(chunk_errors))
 
         futures = []
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.model, self.metrics),
+                initargs=(self.model, self.metrics, obs.enabled()),
             ) as pool:
                 futures = [
                     pool.submit(_solve_chunk, start, list(points[start:stop]))
                     for start, stop in spans
                 ]
                 for future in futures:
-                    harvest(future.result())
+                    harvest(future, future.result())
         except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
             # the pool broke or could not ship the template.  Keep every
             # chunk that did complete and resume serially from the
@@ -470,7 +517,7 @@ class SweepRunner:
                     and not future.cancelled()
                     and future.exception() is None
                 ):
-                    harvest(future.result())
+                    harvest(future, future.result())
             missing = [i for i, row in enumerate(rows) if row is None]
             logger.warning(
                 "sweep process pool failed (%s); resuming %d of %d points "
