@@ -1,0 +1,172 @@
+"""Batched stacked-solve benchmarks: one LAPACK call vs. the point loop.
+
+Two claims are measured and *asserted*, not just timed (the acceptance
+criteria of the batched sweep path, see ``docs/batched.md``):
+
+1. On a 200-point Figure 4/5-style threshold grid at the paper's model
+   size, the batched backend — every point of the grid assembled by one
+   GEMM and solved through one batched LAPACK call — beats the pointwise
+   phase-type backend (itself already template-shared and warm-started)
+   by >= 3x.
+2. The batched rows match the pointwise rows to 1e-9 (measured ~1e-13:
+   the stacked assembly is bit-identical, only the factorisation
+   differs).
+
+The measured numbers are additionally written to ``BENCH_batched.json``
+(plain JSON: times, speedup, parity error, configuration) so CI can
+upload them next to the pytest-benchmark output as a perf trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.params import CPUModelParams
+from repro.sweep import (
+    BatchedPhaseTypeBackend,
+    PhaseTypeBackend,
+    SweepGrid,
+    SweepRunner,
+)
+
+PARAMS = CPUModelParams.paper_defaults(T=0.3, D=0.05)
+STAGES = 2
+N_MAX = 10  # 33 states: the dense batched-LAPACK regime
+GRID = SweepGrid.from_specs(["T=0.05:2.0:200"])
+METRICS = ("power", "fraction:standby")
+MIN_SPEEDUP = 3.0
+PARITY_ATOL = 1e-9
+JSON_OUT = Path(__file__).resolve().parent.parent / "BENCH_batched.json"
+
+
+def best_of_interleaved(fn_a, fn_b, rounds=5):
+    """Best wall time for two contenders, measured in alternating rounds.
+
+    The batched side finishes in single-digit milliseconds, so measuring
+    the two sides back-to-back lets a load spike land entirely on one of
+    them and swing the ratio across the 3x assertion line on a noisy CI
+    box.  Alternating rounds (after one untimed warmup each) exposes both
+    sides to the same load profile.
+    """
+    best_a = best_b = float("inf")
+    value_a, value_b = fn_a(), fn_b()  # warmup, untimed
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value_a = fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        value_b = fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, value_a, best_b, value_b
+
+
+def _metric_matrix(result):
+    return np.column_stack([result.column(m) for m in METRICS])
+
+
+def test_batched_sweep_speedup_and_parity(benchmark):
+    """200-point threshold grid: stacked solves >= 3x pointwise, 1e-9."""
+    pointwise_backend = PhaseTypeBackend(PARAMS, stages=STAGES, n_max=N_MAX)
+    batched_backend = BatchedPhaseTypeBackend(
+        PARAMS, stages=STAGES, n_max=N_MAX
+    )
+
+    def pointwise():
+        # reset per round: measure a cold sweep, not a warmed re-run
+        pointwise_backend.reset_solver_state()
+        return SweepRunner(pointwise_backend, list(METRICS)).run(GRID)
+
+    def batched():
+        batched_backend.reset_solver_state()
+        return SweepRunner(batched_backend, list(METRICS)).run(GRID)
+
+    t_pointwise, result_pointwise, t_batched, result_batched = (
+        best_of_interleaved(pointwise, batched)
+    )
+    benchmark(batched)
+
+    assert result_pointwise.n_failed == 0
+    assert result_batched.n_failed == 0
+    parity_err = float(
+        np.max(
+            np.abs(
+                _metric_matrix(result_batched)
+                - _metric_matrix(result_pointwise)
+            )
+        )
+    )
+    speedup = t_pointwise / t_batched
+
+    payload = {
+        "benchmark": "bench_batched",
+        "config": {
+            "stages": STAGES,
+            "n_max": N_MAX,
+            "n_states": batched_backend.n_states,
+            "grid_points": len(GRID.points()),
+            "metrics": list(METRICS),
+        },
+        "pointwise_seconds": t_pointwise,
+        "batched_seconds": t_batched,
+        "speedup": speedup,
+        "parity_max_abs_err": parity_err,
+        "min_speedup_required": MIN_SPEEDUP,
+        "parity_atol_required": PARITY_ATOL,
+    }
+    JSON_OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nbatched sweep: pointwise {t_pointwise * 1e3:.1f} ms, "
+        f"batched {t_batched * 1e3:.1f} ms, speedup {speedup:.2f}x, "
+        f"parity {parity_err:.2e} -> {JSON_OUT.name}"
+    )
+
+    assert parity_err <= PARITY_ATOL, (
+        f"batched rows diverge from pointwise: {parity_err:.3e}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched sweep only {speedup:.2f}x over pointwise "
+        f"(required >= {MIN_SPEEDUP}x; "
+        f"pointwise {t_pointwise * 1e3:.1f} ms, "
+        f"batched {t_batched * 1e3:.1f} ms)"
+    )
+
+
+def test_batched_sparse_regime_stays_at_parity(benchmark):
+    """Above ``DENSE_BLOCK_LIMIT`` the block-diagonal sparse LU regime
+    must stay at 1e-9 parity too (speed there is modest by design —
+    asserted only not to regress *below* the pointwise path's half)."""
+    stages, n_max = 8, 30  # 279 states: the sparse-LU regime
+    grid = SweepGrid.from_specs(["T=0.05:2.0:48"])
+    pointwise_backend = PhaseTypeBackend(PARAMS, stages=stages, n_max=n_max)
+    batched_backend = BatchedPhaseTypeBackend(
+        PARAMS, stages=stages, n_max=n_max
+    )
+
+    def pointwise():
+        pointwise_backend.reset_solver_state()
+        return SweepRunner(pointwise_backend, list(METRICS)).run(grid)
+
+    def batched():
+        batched_backend.reset_solver_state()
+        return SweepRunner(batched_backend, list(METRICS)).run(grid)
+
+    t_pointwise, result_pointwise, t_batched, result_batched = (
+        best_of_interleaved(pointwise, batched)
+    )
+    benchmark(batched)
+
+    parity_err = float(
+        np.max(
+            np.abs(
+                _metric_matrix(result_batched)
+                - _metric_matrix(result_pointwise)
+            )
+        )
+    )
+    assert parity_err <= PARITY_ATOL
+    assert t_batched <= 2.0 * t_pointwise, (
+        f"sparse-regime batching regressed: batched "
+        f"{t_batched * 1e3:.1f} ms vs pointwise {t_pointwise * 1e3:.1f} ms"
+    )

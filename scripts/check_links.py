@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Markdown link checker for the doctested guides.
+
+Walks ``README.md`` and every ``docs/*.md`` page, extracts the inline
+links and reference definitions, and fails if any *local* target is
+dangling — a missing file, or a missing anchor when the link carries a
+``#fragment``.  External (``http(s)://``/``mailto:``) links are listed
+but not fetched: CI must stay hermetic, and the guides only use external
+links for citations.
+
+Usage::
+
+    python scripts/check_links.py [root]
+
+Exit status 0 when every local link resolves, 1 otherwise (each broken
+link is reported as ``file:line: target — reason``).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+#: inline links/images: [text](target) — target taken up to the first
+#: unescaped closing paren; titles ("...") are stripped below
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: reference definitions: [label]: target
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: fenced code blocks are skipped entirely (they hold code, not links)
+_FENCE = re.compile(r"^(```|~~~)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _anchors(path: Path) -> set:
+    """GitHub-style anchors for every heading in *path*."""
+    found = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).strip()
+        found.add(re.sub(r"\s+", "-", slug))
+    return found
+
+
+def _links(path: Path):
+    """Yield ``(lineno, target)`` for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _INLINE.finditer(line):
+            yield lineno, match.group(1)
+        for match in _REFDEF.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return ``(path, lineno, target, reason)`` for each broken link."""
+    broken = []
+    for lineno, target in _links(path):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            if target.startswith("#") and target[1:] not in _anchors(path):
+                broken.append((path, lineno, target, "missing anchor"))
+            continue
+        raw, _, fragment = target.partition("#")
+        candidate = (path.parent / raw).resolve()
+        try:
+            candidate.relative_to(root)
+        except ValueError:
+            broken.append((path, lineno, target, "escapes the repository"))
+            continue
+        if not candidate.exists():
+            broken.append((path, lineno, target, "missing file"))
+            continue
+        if fragment and candidate.suffix == ".md":
+            if fragment not in _anchors(candidate):
+                broken.append((path, lineno, target, "missing anchor"))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
+    pages = sorted([root / "README.md", *(root / "docs").glob("*.md")])
+    broken = []
+    checked = 0
+    for page in pages:
+        if not page.exists():
+            broken.append((page, 0, str(page), "page itself is missing"))
+            continue
+        checked += sum(1 for _ in _links(page))
+        broken.extend(check_file(page, root))
+    if broken:
+        for path, lineno, target, reason in broken:
+            rel = path.relative_to(root) if path.is_absolute() else path
+            print(f"{rel}:{lineno}: {target} — {reason}", file=sys.stderr)
+        print(
+            f"{len(broken)} broken link(s) across {len(pages)} page(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{checked} links OK across {len(pages)} page(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ __all__ = [
     "RATE_POWERUP_STAGE",
     "RATE_IDLE_STAGE",
     "build_stage_structure",
+    "stacked_rate_data",
     "stage_rate_vector",
     "state_power_vector",
 ]
@@ -148,6 +149,34 @@ def stage_rate_vector(
             k_t / T if T > 0.0 else 0.0,
         ]
     )
+
+
+def stacked_rate_data(
+    A_G: np.ndarray, A_c0: np.ndarray, rate_stack: np.ndarray
+) -> np.ndarray:
+    """Materialise *every* grid point's system numbers in one GEMM.
+
+    The augmented steady-state system of the stage-expanded chain is an
+    affine map of the four symbolic rates: for one point,
+    ``A.data = A_G @ rate_vec + A_c0`` with ``A_G`` of shape
+    ``(nnz, 4)``.  Stacking ``B`` grid points' rate vectors as
+    ``rate_stack`` of shape ``(B, 4)`` turns the whole batch's assembly
+    into a single matrix product::
+
+        data_stack = rate_stack @ A_G.T + A_c0          # (B, nnz)
+
+    Row ``k`` of the result is exactly the data slot the pointwise path
+    would have produced for point ``k`` — same floats, same order — so
+    downstream block-diagonal solves are bit-identical per block to the
+    pointwise solves.  Cost is one ``(B, 4) x (4, nnz)`` GEMM: the
+    per-point Python assembly loop disappears entirely.
+    """
+    rate_stack = np.ascontiguousarray(rate_stack, dtype=np.float64)
+    if rate_stack.ndim != 2 or rate_stack.shape[1] != A_G.shape[1]:
+        raise ValueError(
+            f"rate_stack must be (B, {A_G.shape[1]}), got {rate_stack.shape}"
+        )
+    return rate_stack @ A_G.T + A_c0
 
 
 def state_power_vector(states: List[State], profile: PowerProfile) -> np.ndarray:

@@ -33,6 +33,7 @@ from repro.markov.ctmc import (
 from repro.petri.analysis import ReachabilityOptions
 from repro.sweep import (
     BACKEND_NAMES,
+    BatchedPhaseTypeBackend,
     DEMO_NETS,
     GSPNBackend,
     PhaseTypeBackend,
@@ -162,6 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "queue truncation level shared by the whole grid (phase-type; "
             "default: sized from the base parameters)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--batched",
+        action="store_true",
+        help=(
+            "solve the grid in stacked batches — one block-diagonal "
+            "system per batch instead of one solve per point "
+            "(--model phase-type; see docs/batched.md)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--batch-size",
+        default=None,
+        metavar="N|auto",
+        help=(
+            "grid points per stacked solve under --batched: an int >= 1, "
+            "or 'auto' to budget batch memory from the template's "
+            "sparsity (default auto)"
         ),
     )
     sweep_p.add_argument(
@@ -515,6 +535,7 @@ _SWEEP_FLAG_SCOPE = {
     "--solver": ("gspn", "phase-type"),
     "--tol": ("gspn", "phase-type"),
     "--max-iter": ("gspn", "phase-type"),
+    "--batched": ("phase-type",),
 }
 
 
@@ -529,6 +550,7 @@ def _check_sweep_flags(args: argparse.Namespace) -> None:
         "--solver": args.solver,
         "--tol": args.tol,
         "--max-iter": args.max_iter,
+        "--batched": args.batched or None,
     }
     for flag, models in _SWEEP_FLAG_SCOPE.items():
         if given[flag] is not None and args.model not in models:
@@ -536,6 +558,23 @@ def _check_sweep_flags(args: argparse.Namespace) -> None:
                 f"{flag} does not apply to --model {args.model} "
                 f"(it is for --model {'/'.join(models)})"
             )
+    if args.batch_size is not None and not args.batched:
+        raise ValueError("--batch-size requires --batched")
+
+
+def _parse_batch_size(value: Optional[str]):
+    """``--batch-size`` argument: ``'auto'`` or an int >= 1."""
+    if value is None or value == "auto":
+        return "auto"
+    try:
+        size = int(value)
+    except ValueError:
+        raise ValueError(
+            f"--batch-size must be an int >= 1 or 'auto', got {value!r}"
+        ) from None
+    if size < 1:
+        raise ValueError(f"--batch-size must be >= 1, got {size}")
+    return size
 
 
 def _check_distributed_flags(args: argparse.Namespace) -> None:
@@ -593,7 +632,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         else:
             params = _base_cpu_params(args.param)
-            if args.model == "phase-type":
+            if args.model == "phase-type" and args.batched:
+                model = BatchedPhaseTypeBackend(
+                    params,
+                    stages=args.stages if args.stages is not None else 32,
+                    n_max=args.n_max,
+                    method=solver,
+                    tol=args.tol,
+                    max_iter=args.max_iter,
+                    batch_size=_parse_batch_size(args.batch_size),
+                )
+            elif args.model == "phase-type":
                 model = PhaseTypeBackend(
                     params,
                     stages=args.stages if args.stages is not None else 32,

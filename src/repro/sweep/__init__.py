@@ -37,6 +37,7 @@ Quick example::
 
 from repro.sweep.backends import (
     BACKEND_NAMES,
+    BatchedPhaseTypeBackend,
     GSPNBackend,
     PhaseTypeBackend,
     RenewalBackend,
@@ -56,12 +57,14 @@ from repro.sweep.runner import (
     SweepRunner,
     contiguous_chunks,
     evaluate_metric,
+    iter_point_rows,
     metric_name,
     solve_point_row,
 )
 
 __all__ = [
     "BACKEND_NAMES",
+    "BatchedPhaseTypeBackend",
     "DEMO_NETS",
     "GSPNBackend",
     "Metric",
@@ -77,6 +80,7 @@ __all__ = [
     "build_wsn_cluster_net",
     "contiguous_chunks",
     "evaluate_metric",
+    "iter_point_rows",
     "make_backend",
     "metric_name",
     "parse_axis",

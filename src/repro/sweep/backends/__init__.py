@@ -13,7 +13,10 @@ ship:
 ``phase-type``  the deterministic-delay CPU model, stage-expanded into
               a CTMC with a grid-invariant sparsity pattern and a
               shared symbolic LU — Figure 4/5-style threshold/delay
-              sweeps run batched
+              sweeps run batched; its ``phase-type-batched`` variant
+              (:class:`BatchedPhaseTypeBackend`, CLI ``--batched``)
+              solves whole spans of the grid as one block-diagonal
+              stacked system — see ``docs/batched.md``
 ``renewal``   the exact renewal-reward closed form, for ground-truth
               cross-checks of the other two
 ============  ========================================================
@@ -31,6 +34,7 @@ from repro.sweep.backends.base import (
     parse_metric_spec,
     resolve_cpu_axis,
 )
+from repro.sweep.backends.batched import BatchedPhaseTypeBackend
 from repro.sweep.backends.gspn import GSPNBackend, evaluate_gspn_metric
 from repro.sweep.backends.phase_type import (
     PhaseTypeBackend,
@@ -41,6 +45,7 @@ from repro.sweep.backends.renewal import RenewalBackend, RenewalSweepSolution
 
 __all__ = [
     "BACKEND_NAMES",
+    "BatchedPhaseTypeBackend",
     "CPU_AXIS_ALIASES",
     "CPUParamsAxesMixin",
     "GSPNBackend",
@@ -60,6 +65,9 @@ __all__ = [
 ]
 
 #: CLI-facing registry; ``gspn`` needs a net, the CPU backends take params.
+#: ``phase-type`` additionally has a batched variant
+#: (``phase-type-batched`` here, ``--batched`` on the CLI) that solves
+#: whole spans of the grid as one block-diagonal system.
 BACKEND_NAMES = ("gspn", "phase-type", "renewal")
 
 
@@ -68,12 +76,18 @@ def make_backend(name: str, **kwargs: Any) -> SweepBackend:
 
     ``make_backend("gspn", net=..., ...)`` /
     ``make_backend("phase-type", params=..., stages=...)`` /
+    ``make_backend("phase-type-batched", params=..., batch_size=...)`` /
     ``make_backend("renewal", params=...)``.
     """
     if name == "gspn":
         return GSPNBackend(**kwargs)
     if name == "phase-type":
         return PhaseTypeBackend(**kwargs)
+    if name == "phase-type-batched":
+        return BatchedPhaseTypeBackend(**kwargs)
     if name == "renewal":
         return RenewalBackend(**kwargs)
-    raise KeyError(f"unknown backend {name!r} (have: {list(BACKEND_NAMES)})")
+    raise KeyError(
+        f"unknown backend {name!r} "
+        f"(have: {list(BACKEND_NAMES) + ['phase-type-batched']})"
+    )

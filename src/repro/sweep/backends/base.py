@@ -186,6 +186,12 @@ class SweepBackend(abc.ABC):
     steady_kinds: Tuple[str, ...] = ()
     #: supported transient metric kinds (evaluated with an ``@t`` horizon)
     transient_kinds: Tuple[str, ...] = ()
+    #: backends that can solve many grid points in one stacked operation
+    #: set this ``True`` and implement :meth:`solve_batch` /
+    #: :meth:`resolve_batch_size`; the runner then feeds them whole spans
+    #: of the grid instead of single points (serial and pool paths — the
+    #: distributed workers stream per point by design)
+    batch_capable: bool = False
 
     _template: Optional[Any] = None
 
@@ -212,6 +218,29 @@ class SweepBackend(abc.ABC):
     @abc.abstractmethod
     def solve(self, point: Mapping[str, float]) -> Any:
         """Bind one grid point to the template and solve it."""
+
+    def resolve_batch_size(self, n_points: int) -> int:
+        """Points per stacked solve for an *n_points* sweep (batch
+        protocol; meaningful only when ``batch_capable``).  The default
+        — one — makes the runner fall back to pointwise :meth:`solve`.
+        """
+        return 1
+
+    def solve_batch(self, points: List[Mapping[str, float]]) -> List[Any]:
+        """Solve many grid points in one stacked operation (batch
+        protocol).
+
+        Returns a list aligned with *points* whose entries are either a
+        solution object (as :meth:`solve` would return) or the
+        *exception* that felled that point — batching must preserve the
+        runner's per-point failure isolation, so numerical failures are
+        recorded in place rather than raised.  Configuration errors
+        (unknown axes, malformed specs) still raise: they would fail on
+        every point.  Only called when ``batch_capable`` is ``True``.
+        """
+        raise NotImplementedError(
+            f"the {self.name} backend does not batch solves"
+        )
 
     def reset_point_state(self) -> None:
         """Forget state carried from the previously solved point.

@@ -1,0 +1,463 @@
+"""Batched phase-type backend: every grid point in one stacked solve.
+
+The pointwise :class:`~repro.sweep.backends.phase_type.PhaseTypeBackend`
+already reduces each grid point to an affine rebinding of one fixed CSC
+pattern — ``A.data = A_G @ rate_vec + A_c0`` — followed by one sparse
+solve.  That loop still pays per-point Python and SuperLU overhead a
+few hundred times per grid.  This backend removes the loop:
+
+- **assemble** every point of a batch at once:
+  ``data_stack = rate_stack @ A_G.T + A_c0`` (one GEMM,
+  :func:`repro.core.phase_type.stacked_rate_data`), bound into a single
+  block-diagonal CSC operator
+  (:func:`repro.markov.ctmc.stacked_block_diag`) whose ``k``-th diagonal
+  block is bit-identical to the matrix the pointwise path would have
+  built for point ``k``;
+- **solve** the whole stack in one shot: one ``splu`` of the
+  block-diagonal system for the LU regime (fill stays block-local, so
+  cost is the sum of the per-block costs minus all the per-call
+  overhead), or one batched GMRES with a shared single-block ILU
+  preconditioner above the iterative auto threshold
+  (:func:`repro.markov.ctmc.batched_gmres_solve`, reusing the
+  :class:`~repro.markov.ctmc.SolverCache` the pointwise sweeps warm-start
+  through).
+
+Per-point failure isolation survives batching: a singular block makes the
+stacked factorisation fail, and the backend then re-solves the batch
+block-by-block so only the offending point(s) carry an exception — the
+sweep runner turns those into NaN rows + ``PointFailure`` records exactly
+as on the pointwise paths.
+
+Batch size is a memory knob, not a correctness knob: ``batch_size="auto"``
+budgets ``BATCH_MEMORY_BUDGET`` bytes against the stacked system's
+``nnz x 8`` bytes per point (times an LU fill fudge) and chunks the grid
+accordingly.  See ``docs/batched.md`` for the derivation, the memory
+model, and when this path beats the pool/distributed fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro import obs
+from repro.core.params import CPUModelParams
+from repro.core.phase_type import stacked_rate_data
+from repro.markov.ctmc import (
+    _finalize_pi,
+    batched_dense_solve,
+    batched_gmres_solve,
+    batched_lu_solve,
+    block_diag_pattern,
+    lu_analyse_solve,
+    resolve_steady_state_method,
+    stacked_block_diag,
+)
+from repro.sweep.backends.phase_type import (
+    _ILU_DROP_TOL,
+    _ILU_FILL_FACTOR,
+    PhaseTypeBackend,
+    PhaseTypeSweepSolution,
+    PhaseTypeTemplate,
+)
+
+__all__ = ["BatchedPhaseTypeBackend"]
+
+#: Exception types a batched solve records *per point* instead of raising:
+#: the same numerical family the runner's pointwise isolation catches
+#: (singular chains are ``ValueError``s, ``ConvergenceError`` is a
+#: ``RuntimeError``); anything else is a configuration bug and propagates.
+_POINT_FAILURE_TYPES = (ValueError, ArithmeticError, RuntimeError)
+
+#: ``auto`` batch sizing: keep one batch's stacked system — data stack,
+#: CSC matrix, and the (block-local) LU fill — under this many bytes.
+BATCH_MEMORY_BUDGET = 256 * 2**20
+
+#: How much larger than the assembled stack the working set gets once the
+#: block-diagonal LU factors land next to it (per-block fill is modest on
+#: the narrow-banded stage-expanded chain; 16x is deliberately generous).
+LU_FILL_FUDGE = 16
+
+#: Blocks at or below this many states solve as a *dense* ``(B, n, n)``
+#: stack through one batched LAPACK ``gesv`` — at these sizes the O(n^3)
+#: flops are trivia and sparse factorisations lose to their own
+#: per-column bookkeeping.  Above it, the block-diagonal sparse LU (or
+#: batched GMRES) takes over.  Measured crossover on the stage-expanded
+#: chain sits between n=65 (dense ~2.7x faster) and n=130 (sparse ~2.2x
+#: faster).
+DENSE_BLOCK_LIMIT = 96
+
+
+def _finalize_pi_stack(
+    x_stack: np.ndarray,
+) -> List[Union[np.ndarray, Exception]]:
+    """Vectorised :func:`repro.markov.ctmc._finalize_pi` over a block stack.
+
+    The fast path validates and normalises all blocks with whole-stack
+    array ops (bit-identical arithmetic to the pointwise helper).  If
+    *any* block trips a check, the stack drops to the per-block helper so
+    only the offending block(s) carry an exception.
+    """
+    if np.all(np.isfinite(x_stack)):
+        x = np.where(np.abs(x_stack) < 1e-13, 0.0, x_stack)
+        if not np.any(x < -1e-9):
+            x = np.clip(x, 0.0, None)
+            totals = x.sum(axis=1)
+            if np.all(np.isfinite(totals) & (totals > 0.0)):
+                return list(x / totals[:, None])
+    out: List[Union[np.ndarray, Exception]] = []
+    for block in x_stack:
+        try:
+            out.append(_finalize_pi(block))
+        except _POINT_FAILURE_TYPES as exc:
+            out.append(exc)
+    return out
+
+
+class BatchedPhaseTypeBackend(PhaseTypeBackend):
+    """Phase-type sweeps solved one *batch* at a time instead of one point.
+
+    A drop-in :class:`PhaseTypeBackend` (same axes, metrics, solution
+    objects, and per-point ``solve`` when something calls it) that
+    additionally implements the sweep runner's batch protocol
+    (``batch_capable``/:meth:`solve_batch`): the runner hands it spans of
+    the grid and gets back one solved solution — or one recorded
+    exception — per point.
+
+    Parameters
+    ----------
+    batch_size : int or "auto"
+        Grid points stacked into one block-diagonal solve.  ``"auto"``
+        (default) budgets :data:`BATCH_MEMORY_BUDGET` bytes for the
+        stacked system; an explicit ``int >= 1`` pins the batch size
+        (CLI: ``--batch-size``).  The last batch of a grid is simply
+        smaller — batching never changes *which* systems are solved,
+        only how many share one factorisation call.
+    (remaining parameters)
+        As for :class:`PhaseTypeBackend` — ``params``, ``stages``,
+        ``stages_powerup``, ``stages_idle``, ``n_max``, ``method``
+        (``"power"`` has no stacked form and falls back to pointwise
+        solves), ``tol``, ``max_iter``.
+    """
+
+    name = "phase-type-batched"
+    batch_capable = True
+
+    def __init__(
+        self,
+        params: Optional[CPUModelParams] = None,
+        stages: int = 32,
+        stages_powerup: Optional[int] = None,
+        stages_idle: Optional[int] = None,
+        n_max: Optional[int] = None,
+        method: str = "auto",
+        tol: Optional[float] = None,
+        max_iter: Optional[int] = None,
+        batch_size: Union[int, str] = "auto",
+    ) -> None:
+        super().__init__(
+            params,
+            stages=stages,
+            stages_powerup=stages_powerup,
+            stages_idle=stages_idle,
+            n_max=n_max,
+            method=method,
+            tol=tol,
+            max_iter=max_iter,
+        )
+        if batch_size != "auto":
+            if not isinstance(batch_size, int) or isinstance(batch_size, bool):
+                raise ValueError(
+                    f"batch_size must be 'auto' or an int >= 1, "
+                    f"got {batch_size!r}"
+                )
+            if batch_size < 1:
+                raise ValueError(
+                    f"batch_size must be >= 1, got {batch_size}"
+                )
+        self.batch_size = batch_size
+        # one block-diagonal pattern per distinct block count seen (the
+        # full batches of a sweep share one; the tail batch gets its own)
+        self._bd_patterns: dict = {}
+        # COO view of the CSC pattern, for the dense small-block scatter
+        self._dense_scatter: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # batch protocol
+    # ------------------------------------------------------------------ #
+    def resolve_batch_size(self, n_points: int) -> int:
+        """Points per stacked solve for an *n_points* sweep.
+
+        An explicit ``batch_size`` is used as-is (clamped to the grid).
+        ``"auto"`` divides :data:`BATCH_MEMORY_BUDGET` by the per-point
+        footprint of the stacked system — ``nnz`` doubles (the data
+        stack and the CSC copy) times :data:`LU_FILL_FUDGE` for the
+        factor's block-local fill — so deep-buffer templates batch
+        narrower and small ones swallow the whole grid.
+        """
+        if n_points < 1:
+            return 1
+        if self.batch_size != "auto":
+            return min(int(self.batch_size), n_points)
+        tpl = self.prepare()
+        per_point = len(tpl.A_c0) * 8 * LU_FILL_FUDGE
+        if tpl.n_states <= DENSE_BLOCK_LIMIT:
+            # the dense path materialises (B, n, n) plus LAPACK's copy
+            per_point = max(per_point, tpl.n_states**2 * 8 * 3)
+        return max(1, min(n_points, BATCH_MEMORY_BUDGET // per_point))
+
+    def solve_batch(
+        self, points: List[Mapping[str, float]]
+    ) -> List[Union[PhaseTypeSweepSolution, Exception]]:
+        """Solve one batch of grid points through a single stacked system.
+
+        Returns a list aligned with *points*: a
+        :class:`PhaseTypeSweepSolution` per solved point, or the
+        numerical exception that felled it (zero-delay parameter points,
+        singular blocks, convergence stalls).  Configuration errors —
+        unknown axes and the like, which would fail on every point —
+        propagate instead.
+        """
+        tpl = self.prepare()
+        results: List[Union[PhaseTypeSweepSolution, Exception, None]] = [
+            None
+        ] * len(points)
+        # bind parameters first; a degenerate point (zero delay) fails
+        # alone here and never enters the stack
+        bound: List[Tuple[int, CPUModelParams, np.ndarray]] = []
+        for pos, point in enumerate(points):
+            try:
+                params = self._point_params(point)
+            except ValueError as exc:
+                results[pos] = exc
+                continue
+            bound.append((pos, params, self._rate_vector(params)))
+        if bound:
+            method = resolve_steady_state_method(tpl.n_states, self.method)
+            if method == "power":
+                # power iteration has no stacked form: honest pointwise
+                pis = self._solve_pointwise(
+                    tpl, [rv for _, _, rv in bound]
+                )
+            else:
+                pis = self._solve_stack(
+                    tpl, [rv for _, _, rv in bound], method
+                )
+            for (pos, params, rate_vec), pi in zip(bound, pis):
+                if isinstance(pi, Exception):
+                    results[pos] = pi
+                else:
+                    results[pos] = PhaseTypeSweepSolution(
+                        template=tpl,
+                        params=params,
+                        rate_vec=rate_vec,
+                        pi=pi,
+                    )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # the stacked solves
+    # ------------------------------------------------------------------ #
+    def _solve_stack(
+        self,
+        tpl: PhaseTypeTemplate,
+        rate_vecs: List[np.ndarray],
+        method: str,
+    ) -> List[Union[np.ndarray, Exception]]:
+        n = tpl.n_states
+        n_blocks = len(rate_vecs)
+        with obs.span(
+            "sweep.assemble", points=n_blocks, nnz=len(tpl.A_c0)
+        ):
+            data_stack = stacked_rate_data(
+                tpl.A_G, tpl.A_c0, np.vstack(rate_vecs)
+            )
+        b_stack = np.zeros((n_blocks, n))
+        b_stack[:, -1] = 1.0
+        try:
+            if method == "gmres":
+                A_bd = self._assemble_stack(
+                    tpl.A_indptr, tpl.A_indices, data_stack, permuted=False
+                )
+                x_stack = self._gmres_stack(
+                    tpl, data_stack, A_bd, b_stack
+                )
+            elif n <= DENSE_BLOCK_LIMIT:
+                x_stack = self._dense_stack(tpl, data_stack, b_stack)
+            else:
+                x_stack = self._lu_stack(tpl, data_stack, b_stack)
+        except _POINT_FAILURE_TYPES:
+            # the stacked solve fails as a whole (SuperLU names no block;
+            # GMRES converges globally or not at all) — fall back to
+            # pointwise solves so only the offending point(s) fail
+            obs.incr("solver.batch.isolation_fallbacks")
+            return self._solve_pointwise(tpl, rate_vecs)
+        return _finalize_pi_stack(x_stack)
+
+    def _assemble_stack(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data_stack: np.ndarray,
+        permuted: bool,
+    ) -> sparse.csc_matrix:
+        """Stacked block-diagonal operator, caching the tiled pattern
+        per (block count, permuted?) — the full batches of a sweep share
+        one pattern; only the tail batch builds its own."""
+        key = (len(data_stack), permuted)
+        pattern = self._bd_patterns.get(key)
+        if pattern is None:
+            pattern = block_diag_pattern(indptr, indices, len(data_stack))
+            self._bd_patterns[key] = pattern
+        return stacked_block_diag(
+            indptr, indices, data_stack, pattern=pattern
+        )
+
+    def _dense_stack(
+        self,
+        tpl: PhaseTypeTemplate,
+        data_stack: np.ndarray,
+        b_stack: np.ndarray,
+    ) -> np.ndarray:
+        """Small-block regime: one batched LAPACK call for the whole batch.
+
+        Scatters the batch's CSC data into a ``(B, n, n)`` dense stack
+        (one fancy-indexed assignment — the COO view of the pattern is
+        computed once per sweep) and solves it through
+        :func:`repro.markov.ctmc.batched_dense_solve`: no Python between
+        blocks at all.
+        """
+        n = tpl.n_states
+        scatter = self._dense_scatter
+        if scatter is None:
+            cols = np.repeat(
+                np.arange(n, dtype=np.intp), np.diff(tpl.A_indptr)
+            )
+            scatter = self._dense_scatter = (tpl.A_indices, cols)
+        rows, cols = scatter
+        A_stack = np.zeros((len(data_stack), n, n))
+        A_stack[:, rows, cols] = data_stack
+        return batched_dense_solve(A_stack, b_stack)
+
+    def _lu_stack(
+        self,
+        tpl: PhaseTypeTemplate,
+        data_stack: np.ndarray,
+        b_stack: np.ndarray,
+    ) -> np.ndarray:
+        """One SuperLU factorisation for the whole batch.
+
+        Letting ``splu`` run its fill-reducing analysis over the stacked
+        matrix would re-discover the same per-block ordering every batch
+        — and its cost grows super-linearly in the stack width.  Instead
+        the batch reuses the pointwise path's split: one COLAMD analysis
+        of a single block per *sweep* (cached under the same
+        ``SolverCache`` keys the pointwise backend uses, so the two paths
+        share it), then every batch assembles all blocks pre-permuted by
+        one fancy-indexed gather and factors with ``ColPerm=NATURAL`` —
+        numeric work only, block-local fill.
+        """
+        n = tpl.n_states
+        cache = self._factor_cache
+        if "perm_c" not in cache:
+            # one representative block pays the symbolic analysis
+            A0 = sparse.csc_matrix(
+                (data_stack[0], tpl.A_indices, tpl.A_indptr), shape=(n, n)
+            )
+            _, perm_c = lu_analyse_solve(A0, b_stack[0])
+            counts = np.diff(tpl.A_indptr)
+            data_map = np.concatenate(
+                [
+                    np.arange(tpl.A_indptr[p], tpl.A_indptr[p + 1])
+                    for p in perm_c
+                ]
+            )
+            perm_indptr = np.zeros(n + 1, dtype=np.intp)
+            np.cumsum(counts[perm_c], out=perm_indptr[1:])
+            cache.update(
+                perm_c=perm_c,
+                data_map=data_map,
+                perm_indptr=perm_indptr,
+                perm_indices=tpl.A_indices[data_map],
+            )
+        A_bd = self._assemble_stack(
+            cache["perm_indptr"],
+            cache["perm_indices"],
+            data_stack[:, cache["data_map"]],
+            permuted=True,
+        )
+        y_stack = batched_lu_solve(A_bd, b_stack, permc_spec="NATURAL")
+        x_stack = np.empty_like(y_stack)
+        x_stack[:, cache["perm_c"]] = y_stack
+        return x_stack
+
+    def _gmres_stack(
+        self,
+        tpl: PhaseTypeTemplate,
+        data_stack: np.ndarray,
+        A_bd: sparse.spmatrix,
+        b_stack: np.ndarray,
+    ) -> np.ndarray:
+        """Batched GMRES with the batch's middle block as shared ILU seed."""
+        n = tpl.n_states
+        n_blocks = len(b_stack)
+        mid = n_blocks // 2
+        A_mid = sparse.csc_matrix(
+            (data_stack[mid], tpl.A_indices, tpl.A_indptr), shape=(n, n)
+        )
+        x0_stack = None
+        pi0 = self._factor_cache.get("pi0")
+        if pi0 is not None and len(pi0) == n:
+            # the previous batch's far edge, tiled: on an axis-ordered
+            # grid every block of this batch is its near neighbour
+            x0_stack = np.tile(pi0, (n_blocks, 1))
+        x_stack, _ = batched_gmres_solve(
+            A_bd,
+            b_stack,
+            A_block=A_mid,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            x0_stack=x0_stack,
+            cache=self._factor_cache,
+            drop_tol=_ILU_DROP_TOL,
+            fill_factor=_ILU_FILL_FACTOR,
+        )
+        return x_stack
+
+    def _solve_pointwise(
+        self, tpl: PhaseTypeTemplate, rate_vecs: List[np.ndarray]
+    ) -> List[Union[np.ndarray, Exception]]:
+        """Per-block fallback: same systems, one at a time.
+
+        Used to isolate failures after a stacked solve dies, and as the
+        honest path for ``method="power"``.  Each block either solves —
+        identically to the pointwise backend — or records its exception.
+        """
+        out: List[Union[np.ndarray, Exception]] = []
+        for rate_vec in rate_vecs:
+            try:
+                out.append(self._steady_state(tpl, rate_vec))
+            except _POINT_FAILURE_TYPES as exc:
+                out.append(exc)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def reset_solver_state(self) -> None:
+        super().reset_solver_state()
+        self._bd_patterns.clear()
+        self._dense_scatter = None
+
+    def describe(self) -> str:
+        solver = resolve_steady_state_method(self.n_states, self.method)
+        sizing = (
+            "auto-sized batches"
+            if self.batch_size == "auto"
+            else f"batches of {self.batch_size}"
+        )
+        return (
+            f"{self.n_states} phase-type states "
+            f"(k_d={self.k_d}, k_t={self.k_t}, n_max={self.n_max}), "
+            f"stacked block-diagonal {solver} solves, {sizing}"
+        )

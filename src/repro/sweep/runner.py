@@ -88,6 +88,7 @@ __all__ = [
     "SweepRunner",
     "contiguous_chunks",
     "evaluate_metric",
+    "iter_point_rows",
     "metric_name",
     "solve_missing_rows",
     "solve_point_row",
@@ -218,23 +219,93 @@ def solve_point_row(
                     error_type=type(exc).__name__,
                     message=str(exc),
                 )
-        row: List[float] = []
-        with obs.span("sweep.metrics"):
-            for i, m in enumerate(metrics):
-                try:
-                    row.append(model.evaluate(solution, m))
-                except METRIC_FAILURE_TYPES as exc:
-                    sp.set("stage", "metric")
-                    sp.set("error", type(exc).__name__)
-                    return nan_row(), PointFailure(
+        return _metrics_row(model, metrics, point, index, solution, sp)
+
+
+def _metrics_row(
+    model: SweepBackend,
+    metrics: Sequence[Metric],
+    point: Mapping[str, float],
+    index: int,
+    solution,
+    sp,
+) -> Tuple[List[float], Optional[PointFailure]]:
+    """Evaluate *metrics* on an already-solved point (shared by the
+    pointwise and batched paths; *sp* is the open ``sweep.point`` span)."""
+    nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
+    row: List[float] = []
+    with obs.span("sweep.metrics"):
+        for i, m in enumerate(metrics):
+            try:
+                row.append(model.evaluate(solution, m))
+            except METRIC_FAILURE_TYPES as exc:
+                sp.set("stage", "metric")
+                sp.set("error", type(exc).__name__)
+                return nan_row(), PointFailure(
+                    index=index,
+                    point={k: float(v) for k, v in point.items()},
+                    stage="metric",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    metric=metric_name(m, i),
+                )
+    return row, None
+
+
+def iter_point_rows(
+    model: SweepBackend,
+    metrics: Sequence[Metric],
+    points: Sequence[Mapping[str, float]],
+    start: int = 0,
+):
+    """Yield ``(index, row, failure)`` for *points*, batching when the
+    backend can.
+
+    The shared inner loop of the serial runner and the pool workers.  A
+    batch-capable backend (``batch_capable`` — see
+    :meth:`~repro.sweep.backends.base.SweepBackend.solve_batch`) gets the
+    points in stacked batches of its preferred size, solved as one
+    block-diagonal system each under a ``sweep.batch`` span; everything
+    downstream is unchanged — one ``sweep.point`` span, one row, and
+    per-point failure isolation per grid point, exactly as on the
+    pointwise path.  Indices are offset by *start* (a pool chunk's base).
+    """
+    batch = (
+        model.resolve_batch_size(len(points))
+        if getattr(model, "batch_capable", False)
+        else 1
+    )
+    if batch <= 1:
+        for offset, point in enumerate(points):
+            index = start + offset
+            row, failure = solve_point_row(model, metrics, point, index)
+            yield index, row, failure
+        return
+    nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
+    for base in range(0, len(points), batch):
+        span = points[base : base + batch]
+        with obs.span(
+            "sweep.batch", start=start + base, points=len(span)
+        ):
+            solutions = model.solve_batch(list(span))
+        for offset, (point, solution) in enumerate(zip(span, solutions)):
+            index = start + base + offset
+            with obs.span("sweep.point", index=index) as sp:
+                if isinstance(solution, Exception):
+                    sp.set("stage", "solve")
+                    sp.set("error", type(solution).__name__)
+                    yield index, nan_row(), PointFailure(
                         index=index,
                         point={k: float(v) for k, v in point.items()},
-                        stage="metric",
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                        metric=metric_name(m, i),
+                        stage="solve",
+                        error_type=type(solution).__name__,
+                        message=str(solution),
                     )
-        return row, None
+                    continue
+                row, failure = _metrics_row(
+                    model, metrics, point, index, solution, sp
+                )
+            yield index, row, failure
 
 
 # -- process-pool plumbing: the template lands in each worker exactly once --
@@ -274,8 +345,9 @@ def _solve_chunk(
     mark = trace.mark() if trace is not None else 0
     rows: List[List[float]] = []
     errors: List[PointFailure] = []
-    for offset, point in enumerate(chunk_points):
-        row, failure = solve_point_row(model, metrics, point, start + offset)
+    for _, row, failure in iter_point_rows(
+        model, metrics, chunk_points, start
+    ):
         rows.append(row)
         if failure is not None:
             errors.append(failure)
@@ -439,8 +511,9 @@ class SweepRunner:
     ) -> Tuple[List[List[float]], List[PointFailure]]:
         rows: List[List[float]] = []
         errors: List[PointFailure] = []
-        for index, point in enumerate(points):
-            row, failure = solve_point_row(self.model, self.metrics, point, index)
+        for _, row, failure in iter_point_rows(
+            self.model, self.metrics, points
+        ):
             rows.append(row)
             obs.incr("sweep.rows.completed")
             if failure is not None:

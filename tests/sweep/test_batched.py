@@ -1,0 +1,527 @@
+"""Batched phase-type sweeps: stacked assembly, parity, isolation.
+
+The batched backend must be *invisible* in the results: every regime
+(dense LAPACK, pre-permuted block-diagonal LU, batched GMRES) agrees
+with the pointwise backend to 1e-9 or better, chunk boundaries never
+change which systems are solved, and a bad point fails alone — whether
+it dies at parameter binding, inside the stacked factorisation, or at
+normalisation time.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro import obs
+from repro.core.params import CPUModelParams
+from repro.core.phase_type import stacked_rate_data
+from repro.markov.ctmc import (
+    NumericalSolveError,
+    SolverCache,
+    batched_dense_solve,
+    batched_gmres_solve,
+    batched_lu_solve,
+    block_diag_pattern,
+    stacked_block_diag,
+)
+from repro.sweep import (
+    BatchedPhaseTypeBackend,
+    PhaseTypeBackend,
+    SweepGrid,
+    SweepRunner,
+    make_backend,
+)
+from repro.sweep.backends.batched import (
+    BATCH_MEMORY_BUDGET,
+    DENSE_BLOCK_LIMIT,
+    LU_FILL_FUDGE,
+    _finalize_pi_stack,
+)
+
+PARAMS = CPUModelParams.paper_defaults(T=0.3, D=0.05)
+METRICS = ["power", "fraction:standby", "mean_jobs", "truncation_mass"]
+GRID_24 = SweepGrid.from_specs(["T=0.05:2.0:24"])
+GRID_200 = SweepGrid.from_specs(["T=0.05:2.0:200"])
+
+
+def metric_matrix(result, metrics=METRICS):
+    return np.array([[row[m] for m in metrics] for row in result.rows()])
+
+
+def random_block_stack(rng, n=6, n_blocks=5, density=0.6):
+    """A random well-conditioned CSC pattern + per-block data stack."""
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, True)  # keep blocks comfortably non-singular
+    base = sparse.csc_matrix(mask.astype(float))
+    data_stack = rng.standard_normal((n_blocks, base.nnz))
+    data_stack[:, np.asarray(base.indices) == np.arange(n).repeat(
+        np.diff(base.indptr)
+    )] += 4.0 * n  # diagonal dominance
+    return base, data_stack
+
+
+class TestStackedKernels:
+    """The ctmc-level batched primitives against scipy references."""
+
+    def test_block_diag_pattern_matches_scipy(self):
+        rng = np.random.default_rng(7)
+        base, data_stack = random_block_stack(rng)
+        bd = stacked_block_diag(base.indptr, base.indices, data_stack)
+        blocks = [
+            sparse.csc_matrix(
+                (data_stack[k], base.indices, base.indptr),
+                shape=base.shape,
+            )
+            for k in range(len(data_stack))
+        ]
+        ref = sparse.block_diag(blocks, format="csc")
+        assert (bd != ref).nnz == 0
+
+    def test_precomputed_pattern_round_trips(self):
+        rng = np.random.default_rng(8)
+        base, data_stack = random_block_stack(rng, n_blocks=3)
+        pattern = block_diag_pattern(base.indptr, base.indices, 3)
+        bd = stacked_block_diag(
+            base.indptr, base.indices, data_stack, pattern=pattern
+        )
+        assert bd.shape == (3 * base.shape[0], 3 * base.shape[0])
+        assert bd.nnz == 3 * base.nnz
+
+    def test_stacked_block_diag_rejects_bad_stack(self):
+        rng = np.random.default_rng(9)
+        base, data_stack = random_block_stack(rng)
+        with pytest.raises(ValueError, match="2-D"):
+            stacked_block_diag(base.indptr, base.indices, data_stack[0])
+        with pytest.raises(ValueError, match="entries per block"):
+            stacked_block_diag(
+                base.indptr, base.indices, data_stack[:, :-1]
+            )
+
+    def test_batched_lu_matches_per_block_solves(self):
+        rng = np.random.default_rng(10)
+        base, data_stack = random_block_stack(rng, n=8, n_blocks=6)
+        n = base.shape[0]
+        b_stack = rng.standard_normal((6, n))
+        bd = stacked_block_diag(base.indptr, base.indices, data_stack)
+        x_stack = batched_lu_solve(bd, b_stack)
+        for k in range(6):
+            A_k = sparse.csc_matrix(
+                (data_stack[k], base.indices, base.indptr), shape=(n, n)
+            )
+            np.testing.assert_allclose(
+                A_k @ x_stack[k], b_stack[k], atol=1e-10
+            )
+
+    def test_batched_dense_matches_per_block_solves(self):
+        rng = np.random.default_rng(11)
+        A_stack = rng.standard_normal((5, 7, 7))
+        A_stack += 7.0 * np.eye(7)
+        b_stack = rng.standard_normal((5, 7))
+        x_stack = batched_dense_solve(A_stack, b_stack)
+        for k in range(5):
+            np.testing.assert_allclose(
+                np.linalg.solve(A_stack[k], b_stack[k]), x_stack[k]
+            )
+
+    def test_batched_dense_singular_raises_solve_error(self):
+        A_stack = np.zeros((2, 3, 3))
+        A_stack[0] = np.eye(3)  # block 1 stays all-zero: singular
+        with pytest.raises(NumericalSolveError):
+            batched_dense_solve(A_stack, np.ones((2, 3)))
+
+    def test_batched_gmres_matches_direct(self):
+        rng = np.random.default_rng(12)
+        base, data_stack = random_block_stack(rng, n=10, n_blocks=4)
+        n = base.shape[0]
+        b_stack = rng.standard_normal((4, n))
+        bd = stacked_block_diag(base.indptr, base.indices, data_stack)
+        A_mid = sparse.csc_matrix(
+            (data_stack[2], base.indices, base.indptr), shape=(n, n)
+        )
+        x_stack, iterations = batched_gmres_solve(
+            bd, b_stack, A_block=A_mid, tol=1e-12, cache=SolverCache()
+        )
+        assert iterations >= 1
+        direct = sparse.linalg.spsolve(bd.tocsc(), b_stack.ravel())
+        np.testing.assert_allclose(
+            x_stack.ravel(), direct, atol=1e-8
+        )
+
+    def test_stacked_rate_data_is_rowwise_affine_template(self):
+        backend = PhaseTypeBackend(PARAMS, stages=2, n_max=6)
+        tpl = backend.prepare()
+        rate_stack = np.vstack(
+            [
+                backend._rate_vector(backend._point_params({"T": t}))
+                for t in (0.1, 0.5, 1.3)
+            ]
+        )
+        stack = stacked_rate_data(tpl.A_G, tpl.A_c0, rate_stack)
+        for k in range(3):
+            np.testing.assert_array_equal(
+                stack[k], tpl.A_G @ rate_stack[k] + tpl.A_c0
+            )
+
+    def test_stacked_rate_data_rejects_bad_shapes(self):
+        backend = PhaseTypeBackend(PARAMS, stages=2, n_max=6)
+        tpl = backend.prepare()
+        with pytest.raises(ValueError, match="rate_stack"):
+            stacked_rate_data(tpl.A_G, tpl.A_c0, np.ones(4))
+        with pytest.raises(ValueError, match="rate_stack"):
+            stacked_rate_data(tpl.A_G, tpl.A_c0, np.ones((3, 5)))
+
+
+class TestBatchedParity:
+    """Acceptance: batched rows == pointwise rows, every solve regime."""
+
+    @pytest.mark.parametrize("grid", [GRID_24, GRID_200], ids=["24pt", "200pt"])
+    def test_dense_regime_parity(self, grid):
+        """stages=2/n_max=10 -> n=33: the batched-LAPACK small-block path."""
+        kwargs = dict(stages=2, n_max=10)
+        pointwise = SweepRunner(
+            PhaseTypeBackend(PARAMS, **kwargs), METRICS
+        ).run(grid)
+        batched = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, **kwargs), METRICS
+        ).run(grid)
+        assert batched.n_failed == pointwise.n_failed == 0
+        np.testing.assert_allclose(
+            metric_matrix(batched), metric_matrix(pointwise), atol=1e-9
+        )
+
+    def test_sparse_lu_regime_parity(self):
+        """stages=8/n_max=30 -> n=279: the block-diagonal splu path."""
+        kwargs = dict(stages=8, n_max=30)
+        assert PhaseTypeBackend(PARAMS, **kwargs).n_states > DENSE_BLOCK_LIMIT
+        pointwise = SweepRunner(
+            PhaseTypeBackend(PARAMS, **kwargs), METRICS
+        ).run(GRID_24)
+        batched = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, **kwargs), METRICS
+        ).run(GRID_24)
+        np.testing.assert_allclose(
+            metric_matrix(batched), metric_matrix(pointwise), atol=1e-9
+        )
+
+    def test_gmres_regime_parity(self):
+        """Forced iterative method: batched GMRES with shared ILU."""
+        kwargs = dict(stages=8, n_max=30, method="gmres")
+        pointwise = SweepRunner(
+            PhaseTypeBackend(PARAMS, **kwargs), METRICS
+        ).run(GRID_24)
+        batched = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, **kwargs), METRICS
+        ).run(GRID_24)
+        np.testing.assert_allclose(
+            metric_matrix(batched), metric_matrix(pointwise), atol=1e-9
+        )
+
+    def test_power_method_falls_back_pointwise(self):
+        """``power`` has no stacked form; results still match exactly."""
+        kwargs = dict(stages=2, n_max=8, method="power")
+        pointwise = SweepRunner(
+            PhaseTypeBackend(PARAMS, **kwargs), ["power"]
+        ).run(SweepGrid({"T": [0.2, 0.6, 1.0]}))
+        batched = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, **kwargs), ["power"]
+        ).run(SweepGrid({"T": [0.2, 0.6, 1.0]}))
+        np.testing.assert_array_equal(
+            metric_matrix(batched, ["power"]),
+            metric_matrix(pointwise, ["power"]),
+        )
+
+    def test_pool_path_matches_serial_bitwise(self):
+        serial = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10), METRICS
+        ).run(GRID_24)
+        pooled = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10),
+            METRICS,
+            backend="pool",
+            n_workers=2,
+        ).run(GRID_24)
+        np.testing.assert_array_equal(
+            metric_matrix(pooled), metric_matrix(serial)
+        )
+
+
+class TestBatchSizing:
+    """``--batch-size`` chunking: boundaries shift, results don't."""
+
+    @pytest.mark.parametrize("batch_size", [5, 7, 24, 1000])
+    def test_chunk_boundaries_are_bit_invisible(self, batch_size):
+        """24 points under uneven/oversized batches == auto, bit for bit."""
+        auto = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10), METRICS
+        ).run(GRID_24)
+        chunked = SweepRunner(
+            BatchedPhaseTypeBackend(
+                PARAMS, stages=2, n_max=10, batch_size=batch_size
+            ),
+            METRICS,
+        ).run(GRID_24)
+        np.testing.assert_array_equal(
+            metric_matrix(chunked), metric_matrix(auto)
+        )
+
+    def test_batch_size_one_is_the_pointwise_path(self):
+        """``--batch-size 1`` degrades to per-point solves, bit-identical
+        to the plain pointwise backend."""
+        pointwise = SweepRunner(
+            PhaseTypeBackend(PARAMS, stages=2, n_max=10), METRICS
+        ).run(GRID_24)
+        single = SweepRunner(
+            BatchedPhaseTypeBackend(
+                PARAMS, stages=2, n_max=10, batch_size=1
+            ),
+            METRICS,
+        ).run(GRID_24)
+        np.testing.assert_array_equal(
+            metric_matrix(single), metric_matrix(pointwise)
+        )
+
+    def test_explicit_batch_size_clamps_to_grid(self):
+        backend = BatchedPhaseTypeBackend(
+            PARAMS, stages=2, n_max=10, batch_size=1000
+        )
+        assert backend.resolve_batch_size(24) == 24
+        assert backend.resolve_batch_size(0) == 1
+
+    def test_auto_policy_is_memory_budgeted(self):
+        backend = BatchedPhaseTypeBackend(PARAMS, stages=8, n_max=30)
+        tpl = backend.prepare()
+        assert tpl.n_states > DENSE_BLOCK_LIMIT
+        per_point = len(tpl.A_c0) * 8 * LU_FILL_FUDGE
+        expected = BATCH_MEMORY_BUDGET // per_point
+        assert backend.resolve_batch_size(10**9) == expected
+        # a small grid is never padded, a huge template never starves
+        assert backend.resolve_batch_size(24) == 24
+
+    def test_auto_policy_accounts_for_dense_cube(self):
+        """Small blocks budget the (B, n, n) dense stack, not just nnz."""
+        backend = BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10)
+        tpl = backend.prepare()
+        assert tpl.n_states <= DENSE_BLOCK_LIMIT
+        per_point = max(
+            len(tpl.A_c0) * 8 * LU_FILL_FUDGE,
+            tpl.n_states**2 * 8 * 3,
+        )
+        assert backend.resolve_batch_size(10**9) == (
+            BATCH_MEMORY_BUDGET // per_point
+        )
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, True, "huge"])
+    def test_bad_batch_size_rejected_at_construction(self, bad):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchedPhaseTypeBackend(PARAMS, batch_size=bad)
+
+    def test_base_backend_defaults_to_pointwise(self):
+        backend = PhaseTypeBackend(PARAMS, stages=2, n_max=8)
+        assert not backend.batch_capable
+        assert backend.resolve_batch_size(500) == 1
+        with pytest.raises(NotImplementedError):
+            backend.solve_batch([{"T": 0.3}])
+
+
+class _NaNRateBackend(BatchedPhaseTypeBackend):
+    """Poisons the rate vector of chosen thresholds: the block assembles,
+    enters the stack, and must fail *alone* at normalisation time."""
+
+    def __init__(self, *args, poison=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.poison = tuple(poison)
+
+    def _point_params(self, point):
+        params = super()._point_params(point)
+        self._last_T = float(point.get("T", params.power_down_threshold))
+        return params
+
+    def _rate_vector(self, params):
+        vec = super()._rate_vector(params)
+        if self._last_T in self.poison:
+            vec = np.full_like(vec, np.nan)
+        return vec
+
+
+class TestFailureIsolation:
+    """One bad point in a batch: NaN row + record, neighbours solve."""
+
+    def test_binding_failures_never_enter_the_stack(self):
+        """Zero rates / zero delays fail at parameter binding, alone."""
+        points = [{"AR": 2.0}, {"AR": 0.0}, {"AR": 3.0}, {"T": 0.0}]
+        result = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10),
+            ["power"],
+            preflight=False,
+        ).run(points)
+        assert result.failed_indices() == [1, 3]
+        rows = result.rows()
+        assert np.isnan(rows[1]["power"]) and np.isnan(rows[3]["power"])
+        assert np.isfinite(rows[0]["power"])
+        assert np.isfinite(rows[2]["power"])
+        by_index = {e.index: e for e in result.errors}
+        assert by_index[1].stage == "solve"
+        assert by_index[1].error_type == "ValueError"
+        assert "arrival_rate" in by_index[1].message
+        assert "power_up_delay" in by_index[3].message
+
+    def test_nan_block_fails_alone_in_the_stack(self):
+        """A non-finite block inside the stacked solve poisons only its
+        own row; ``_finalize_pi_stack`` isolates it block-by-block."""
+        grid = SweepGrid({"T": [0.2, 0.5, 0.8, 1.1]})
+        backend = _NaNRateBackend(
+            PARAMS, stages=2, n_max=10, poison=(0.5,)
+        )
+        result = SweepRunner(backend, ["power"]).run(grid)
+        assert result.failed_indices() == [1]
+        assert result.errors[0].stage == "solve"
+        rows = result.rows()
+        assert np.isnan(rows[1]["power"])
+        clean = SweepRunner(
+            BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10), ["power"]
+        ).run(grid)
+        for i in (0, 2, 3):
+            assert rows[i]["power"] == clean.rows()[i]["power"]
+
+    def test_stack_solver_crash_falls_back_to_pointwise(self, monkeypatch):
+        """If the stacked factorisation itself raises, every point is
+        retried pointwise and the sweep still completes clean."""
+        backend = BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10)
+
+        def boom(*args, **kwargs):
+            raise NumericalSolveError("stacked factorisation exploded")
+
+        monkeypatch.setattr(backend, "_dense_stack", boom)
+        with obs.tracing() as trace:
+            result = SweepRunner(backend, ["power"]).run(GRID_24)
+        assert result.n_failed == 0
+        assert trace.counters["solver.batch.isolation_fallbacks"] >= 1
+        clean = SweepRunner(
+            PhaseTypeBackend(PARAMS, stages=2, n_max=10), ["power"]
+        ).run(GRID_24)
+        np.testing.assert_array_equal(
+            metric_matrix(result, ["power"]),
+            metric_matrix(clean, ["power"]),
+        )
+
+    def test_finalize_pi_stack_fast_and_slow_paths(self):
+        good = np.array([[0.25, 0.75], [0.5, 1.5]])
+        out = _finalize_pi_stack(good)
+        np.testing.assert_allclose(out[0], [0.25, 0.75])
+        np.testing.assert_allclose(out[1], [0.25, 0.75])
+        mixed = np.array([[0.25, 0.75], [np.nan, 1.0], [-0.5, 1.0]])
+        out = _finalize_pi_stack(mixed)
+        np.testing.assert_allclose(out[0], [0.25, 0.75])
+        assert isinstance(out[1], Exception)
+        assert isinstance(out[2], Exception)
+
+
+class TestRunnerIntegration:
+    """Spans, counters, registry, pickling: the batch path is observable
+    and interchangeable."""
+
+    def test_trace_invariant_one_point_span_per_point(self):
+        with obs.tracing() as trace:
+            SweepRunner(
+                BatchedPhaseTypeBackend(
+                    PARAMS, stages=2, n_max=10, batch_size=7
+                ),
+                ["power"],
+            ).run(GRID_24)
+        names = [s.name for s in trace.spans]
+        assert names.count("sweep.point") == 24
+        assert names.count("sweep.batch") == 4  # ceil(24 / 7)
+        assert names.count("sweep.assemble") == 4
+        assert names.count("solve.batch_dense") == 4
+        assert trace.counters["solver.batch.points"] == 24
+        assert trace.counters["solver.batch.dense_solves"] == 4
+
+    def test_lu_regime_counters(self):
+        with obs.tracing() as trace:
+            SweepRunner(
+                BatchedPhaseTypeBackend(PARAMS, stages=8, n_max=30),
+                ["power"],
+            ).run(SweepGrid({"T": [0.2, 0.6]}))
+        assert trace.counters["solver.batch.lu_solves"] == 1
+        assert trace.counters["solver.batch.points"] == 2
+
+    def test_registry_and_describe(self):
+        backend = make_backend(
+            "phase-type-batched", params=PARAMS, stages=2, n_max=10
+        )
+        assert backend.name == "phase-type-batched"
+        assert "auto-sized batches" in backend.describe()
+        pinned = BatchedPhaseTypeBackend(PARAMS, batch_size=50)
+        assert "batches of 50" in pinned.describe()
+
+    def test_backend_survives_pickling_with_warm_cache(self):
+        backend = BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10)
+        SweepRunner(backend, ["power"]).run(SweepGrid({"T": [0.2, 0.4]}))
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.name == "phase-type-batched"
+        result = SweepRunner(clone, ["power"]).run(
+            SweepGrid({"T": [0.2, 0.4]})
+        )
+        assert result.n_failed == 0
+
+    def test_reset_solver_state_clears_batch_caches(self):
+        backend = BatchedPhaseTypeBackend(PARAMS, stages=2, n_max=10)
+        SweepRunner(backend, ["power"]).run(GRID_24)
+        assert backend._dense_scatter is not None
+        backend.reset_solver_state()
+        assert backend._dense_scatter is None
+        assert backend._bd_patterns == {}
+
+
+class TestBatchedCLI:
+    def test_batched_sweep_runs(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "sweep", "--model", "phase-type", "--batched",
+            "--rate", "T=0.2,0.4,0.6", "--stages", "2", "--n-max", "8",
+            "--metric", "power",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stacked block-diagonal" in out
+
+    def test_explicit_batch_size_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "sweep", "--model", "phase-type", "--batched",
+            "--batch-size", "2",
+            "--rate", "T=0.2,0.4,0.6", "--stages", "2", "--n-max", "8",
+            "--metric", "power",
+        ]) == 0
+        assert "batches of 2" in capsys.readouterr().out
+
+    def test_batch_size_requires_batched(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "sweep", "--model", "phase-type", "--batch-size", "4",
+            "--rate", "T=0.2,0.4",
+        ]) == 2
+        assert "--batch-size requires --batched" in capsys.readouterr().err
+
+    def test_batched_rejected_off_phase_type(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "sweep", "--model", "renewal", "--batched",
+            "--rate", "T=0.2,0.4",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--batched" in err and "renewal" in err
+
+    def test_bad_batch_size_value(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([
+            "sweep", "--model", "phase-type", "--batched",
+            "--batch-size", "zero", "--rate", "T=0.2,0.4",
+        ]) == 2
+        assert "--batch-size" in capsys.readouterr().err
