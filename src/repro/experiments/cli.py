@@ -389,6 +389,168 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(worker_p)
     worker_p.set_defaults(func=_cmd_worker)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the always-on sweep service daemon",
+        description=(
+            "Start a persistent solver daemon that answers sweep/steady/"
+            "lint requests over the distributed pickle framing and an "
+            "HTTP/JSON front end, caching prepared model templates in an "
+            "LRU so repeat models skip the expensive exploration.  Drain "
+            "gracefully with SIGTERM.  See docs/service.md."
+        ),
+    )
+    serve_p.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="pickle-channel listen address (default 127.0.0.1:0 — "
+             "an ephemeral port, printed on startup)",
+    )
+    serve_p.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="HTTP listen address (default: same host, ephemeral port)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fork N persistent solver shards (default 0: solve inline)",
+    )
+    serve_p.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=8,
+        metavar="K",
+        help="prepared-template LRU size (default 8 models)",
+    )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent requests being solved (default: --workers, or 4)",
+    )
+    serve_p.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        metavar="N",
+        help="requests allowed to queue before 'busy' replies (default 16)",
+    )
+    serve_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker deaths tolerated per request before it fails (default 2)",
+    )
+    serve_p.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append one JSON line per request (and lifecycle event) to FILE",
+    )
+    serve_p.add_argument(
+        "--solve-delay",
+        type=float,
+        default=None,
+        help=argparse.SUPPRESS,  # test hook: per-point sleep to force queueing
+    )
+    _add_telemetry_flags(serve_p)
+    serve_p.set_defaults(func=_cmd_serve)
+
+    query_p = sub.add_parser(
+        "query",
+        help="send one request to a running sweep service",
+        description=(
+            "Client for 'repro-experiments serve': send one sweep/steady/"
+            "lint/ping/stats request over the pickle channel (default) or "
+            "HTTP (--http) and render the reply.  Examples: "
+            "repro-experiments query --connect 127.0.0.1:7788 --op sweep "
+            "--net mm1k --axis arrive=0.2:1.8:8 ; "
+            "repro-experiments query --connect 127.0.0.1:8080 --http "
+            "--op stats"
+        ),
+    )
+    query_p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="service address (printed by 'serve' on startup)",
+    )
+    query_p.add_argument(
+        "--http",
+        action="store_true",
+        help="--connect is the service's HTTP address; speak JSON",
+    )
+    query_p.add_argument(
+        "--op",
+        choices=["sweep", "steady", "lint", "ping", "stats"],
+        default="steady",
+        help="request kind (default steady)",
+    )
+    query_p.add_argument(
+        "--model",
+        choices=list(BACKEND_NAMES) + ["phase-type-batched"],
+        default="gspn",
+        help="model family (default gspn)",
+    )
+    query_p.add_argument(
+        "--net",
+        choices=sorted(DEMO_NETS),
+        default=None,
+        help="demo net for --model gspn / --op lint (default cpu-gspn)",
+    )
+    query_p.add_argument("--buffer", type=int, default=None,
+                         help="buffer capacity (net-dependent)")
+    query_p.add_argument("--nodes", type=int, default=None,
+                         help="cluster size (wsn-cluster only)")
+    query_p.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="NAME=VALUES",
+        help="sweep axis (repeatable): NAME=v1,v2 or NAME=start:stop:count",
+    )
+    query_p.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="metric column (repeatable; default: the model's standard set)",
+    )
+    query_p.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="base CPU parameter override (phase-type/renewal models)",
+    )
+    query_p.add_argument("--stages", type=int, default=None,
+                         help="Erlang stages (phase-type models)")
+    query_p.add_argument("--n-max", type=int, default=None,
+                         help="queue truncation (phase-type models)")
+    query_p.add_argument(
+        "--level",
+        choices=list(LINT_LEVELS),
+        default="standard",
+        help="lint level for --op lint (default standard)",
+    )
+    query_p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="give up on the service after this long (default 120)",
+    )
+    _add_solver_flags(query_p)
+    query_p.set_defaults(func=_cmd_query)
     return parser
 
 
@@ -871,6 +1033,228 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     finally:
         _finish_telemetry(args, trace)
     print(f"[worker solved {solved} point(s)]")
+    return 0
+
+
+async def _serve_forever(service) -> None:
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, service.request_drain)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+    async with service:
+        await service.serve_until_drained()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.sweep.service import SweepService
+
+    # activate the trace *before* asyncio.run so every handler task on
+    # the loop (and the drain path) sees it via the ambient contextvar
+    trace = _telemetry_trace(args, "service")
+    obs_token = obs.activate(trace) if trace is not None else None
+    try:
+        try:
+            host, port = _parse_hostport(args.bind, "--bind")
+            http_host: Optional[str] = None
+            http_port = 0
+            if args.http is not None:
+                http_host, http_port = _parse_hostport(args.http, "--http")
+            service = SweepService(
+                host,
+                port,
+                http_host=http_host,
+                http_port=http_port,
+                n_workers=args.workers,
+                cache_capacity=args.cache_capacity,
+                max_inflight=args.max_inflight,
+                max_pending=args.max_pending,
+                max_retries=args.max_retries,
+                journal=str(args.journal) if args.journal else None,
+                solve_delay=args.solve_delay,
+            )
+        except (ValueError, OSError) as exc:
+            msg = exc.args[0] if exc.args else exc
+            print(f"error: {msg}", file=sys.stderr)
+            return 2
+        h, p = service.address
+        hh, hp = service.http_address
+        print(
+            f"[service listening on {h}:{p} (pickle) and "
+            f"http://{hh}:{hp} — drain with SIGTERM]",
+            flush=True,
+        )
+        try:
+            asyncio.run(_serve_forever(service))
+        except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+            pass
+    finally:
+        if obs_token is not None:
+            obs.deactivate(obs_token)
+        _finish_telemetry(args, trace)
+    print(f"[service drained after {service.completed} request(s)]")
+    return 0
+
+
+def _build_query_payload(args: argparse.Namespace) -> dict:
+    if args.op in ("ping", "stats"):
+        return {"op": args.op}
+    if args.op == "lint":
+        payload: dict = {"op": "lint", "net": args.net or "cpu-gspn"}
+        if args.level != "standard":
+            payload["level"] = args.level
+        return payload
+    model: dict = {"kind": args.model}
+    if args.model == "gspn":
+        if args.net is not None:
+            model["net"] = args.net
+        if args.buffer is not None:
+            model["buffer"] = args.buffer
+        if args.nodes is not None:
+            model["nodes"] = args.nodes
+    else:
+        if args.param:
+            params = {}
+            for spec in args.param:
+                name, sep, value = spec.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"--param must look like NAME=VALUE, got {spec!r}"
+                    )
+                params[name] = float(value)
+            model["params"] = params
+        if args.stages is not None:
+            model["stages"] = args.stages
+        if args.n_max is not None:
+            model["n_max"] = args.n_max
+    if args.solver is not None:
+        model["solver"] = args.solver
+    if args.tol is not None:
+        model["tol"] = args.tol
+    if args.max_iter is not None:
+        model["max_iter"] = args.max_iter
+    payload = {"op": args.op, "model": model}
+    if args.op == "sweep":
+        if not args.axis:
+            raise ValueError("--op sweep needs at least one --axis")
+        payload["axes"] = list(args.axis)
+    elif args.axis:
+        raise ValueError("--axis applies only to --op sweep")
+    if args.metric:
+        payload["metrics"] = list(args.metric)
+    return payload
+
+
+def _query_http(args: argparse.Namespace, payload: dict) -> dict:
+    import json
+    import urllib.error
+    import urllib.request
+
+    host, port = _parse_hostport(args.connect, "--connect")
+    base = f"http://{host}:{port}"
+    if args.op in ("ping", "stats"):
+        url = base + ("/healthz" if args.op == "ping" else "/stats")
+        request = urllib.request.Request(url)
+    else:
+        body = {k: v for k, v in payload.items() if k != "op"}
+        request = urllib.request.Request(
+            f"{base}/v1/{args.op}",
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as resp:
+            reply = json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except ValueError:
+            pass
+        raise ValueError(f"HTTP {exc.code}: {detail}") from exc
+    if args.op == "ping":
+        return {"kind": "result", "op": "ping", **reply}
+    if args.op == "stats":
+        return {"kind": "result", "op": "stats", **reply}
+    return reply
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+    import socket as socket_module
+
+    from repro.sweep.results import PointFailure, SweepResult
+    from repro.sweep.service import request_over_socket
+
+    try:
+        payload = _build_query_payload(args)
+        if args.http:
+            reply = _query_http(args, payload)
+        else:
+            host, port = _parse_hostport(args.connect, "--connect")
+            reply = request_over_socket(
+                host, port, payload, timeout=args.timeout
+            )
+    except (ValueError, ConnectionError, OSError, socket_module.timeout) as exc:
+        msg = str(exc) or type(exc).__name__
+        print(f"error: {msg}", file=sys.stderr)
+        return 2
+    kind = reply.get("kind")
+    if kind == "busy":
+        state = "draining" if reply.get("draining") else "busy"
+        print(f"error: service {state}: {reply.get('message')}", file=sys.stderr)
+        return 2
+    if kind == "error":
+        print(
+            f"error [{reply.get('code')}]: {reply.get('message')}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.op == "sweep":
+        rows = {
+            i: [float("nan") if v is None else float(v) for v in row]
+            for i, row in enumerate(reply["rows"])
+        }
+        errors = {
+            e["index"]: PointFailure.from_dict(e)
+            for e in reply.get("errors", ())
+        }
+        result = SweepResult.assemble(
+            reply["axis_names"],
+            reply["metric_names"],
+            reply["points"],
+            rows,
+            errors=errors,
+        )
+        print(result.render(title=f"service sweep ({len(result)} points)"))
+    elif args.op == "steady":
+        print("service steady state")
+        print("-" * len("service steady state"))
+        for name, value in reply["values"].items():
+            shown = float("nan") if value is None else value
+            print(f"{name:30s} {shown:.6g}")
+        for e in reply.get("errors", ()):
+            print(f"  [{e['stage']}] {e['error_type']}: {e['message']}")
+    elif args.op == "lint":
+        status = "ok" in reply and reply["ok"]
+        print(f"lint {reply.get('net')} ({reply.get('level')}): "
+              f"{'ok' if status else 'FINDINGS'}")
+        for fact in reply.get("facts", ()):
+            print(f"proved  {fact}")
+        for d in reply.get("diagnostics", ()):
+            hint = f"  [{d['fix_hint']}]" if d.get("fix_hint") else ""
+            print(f"{d['code']} {d['severity']:7s} {d['subject']}: "
+                  f"{d['message']}{hint}")
+        if not status:
+            return 2
+    else:
+        print(json.dumps(reply, indent=2, default=str))
     return 0
 
 

@@ -36,6 +36,7 @@ from repro.obs.trace import (
     enabled,
     event,
     gauge,
+    gauge_max,
     incr,
     span,
     tracing,
@@ -55,6 +56,7 @@ __all__ = [
     "enabled",
     "event",
     "gauge",
+    "gauge_max",
     "incr",
     "render_profile",
     "span",

@@ -40,6 +40,7 @@ __all__ = [
     "enabled",
     "event",
     "gauge",
+    "gauge_max",
     "incr",
     "span",
     "tracing",
@@ -217,6 +218,17 @@ class Trace:
 
     def gauge(self, name: str, value: float) -> None:
         self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge *name* to *value* only if it is a new high-water mark.
+
+        For quantities sampled at volatile moments (queue depth at
+        admission time, pool occupancy): the gauge keeps the worst value
+        seen instead of whatever happened to be last.
+        """
+        value = float(value)
+        if value > self.gauges.get(name, float("-inf")):
+            self.gauges[name] = value
 
     # -- segment shipping (pool / distributed workers) ---------------------
 
@@ -409,6 +421,13 @@ def gauge(name: str, value: float) -> None:
     trace = _CURRENT.get()
     if trace is not None:
         trace.gauge(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a high-water-mark gauge on the active trace (if any)."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.gauge_max(name, value)
 
 
 def activate(trace: Trace) -> Token:

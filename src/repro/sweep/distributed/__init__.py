@@ -34,7 +34,10 @@ from repro.sweep.distributed.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.sweep.distributed.runner import DistributedSweepRunner
 from repro.sweep.distributed.worker import (
     launch_local_workers,
+    launch_service_workers,
+    run_service_worker,
     run_worker,
+    service_worker_main,
     worker_main,
 )
 
@@ -47,7 +50,10 @@ __all__ = [
     "SweepCheckpoint",
     "SweepCoordinator",
     "launch_local_workers",
+    "launch_service_workers",
+    "run_service_worker",
     "run_worker",
+    "service_worker_main",
     "sweep_fingerprint",
     "worker_main",
 ]

@@ -37,6 +37,44 @@ kind                    direction  payload
 ``shutdown``            c -> w     —
 ======================  =========  ==========================================
 
+The always-on service (:mod:`repro.sweep.service`) speaks the same
+framing on the same port and adds two message families on top.  Client
+side (one connection may carry many request/reply cycles)::
+
+======================  =========  ==========================================
+kind                    direction  payload
+======================  =========  ==========================================
+``request``             cl -> s    ``op`` (``sweep``/``steady``/``lint``/
+                                   ``ping``/``stats``), ``model`` spec,
+                                   ``axes``, ``metrics``, optional ``id``
+``result``              s -> cl    the op's reply (rows, errors, stats…)
+``busy``                s -> cl    queue full (or ``draining: true``) —
+                                   backpressure, not failure; retry later
+``error``               s -> cl    ``message``, ``code``
+                                   (``bad-request``/``worker``/``internal``)
+======================  =========  ==========================================
+
+Service-worker side (persistent shards; ``hello`` carries
+``role: "service-worker"``)::
+
+======================  =========  ==========================================
+kind                    direction  payload
+======================  =========  ==========================================
+``welcome``             s -> w     ``version``, ``capacity`` (worker-side
+                                   template-LRU size), ``telemetry``
+``task``                s -> w     ``task_id``, ``fingerprint``, ``metrics``,
+                                   ``indices``, ``points`` — one request's
+                                   (remaining) grid points
+``need_template``       w -> s     ``fingerprint`` — the worker's LRU does
+                                   not hold this template; the service
+                                   answers with a ``template`` message
+``task_done``           w -> s     ``task_id``
+======================  =========  ==========================================
+
+``template``, ``telemetry``, ``row``, ``fatal``, and ``shutdown`` are
+reused with one-shot semantics; ``template`` gains a ``fingerprint``
+field on the service channel so a worker can key its local LRU.
+
 Rows stream back *per point*, not per chunk: when a worker dies
 mid-chunk the coordinator knows exactly which points of that chunk
 finished and requeues only the unfinished suffix.  The same per-point

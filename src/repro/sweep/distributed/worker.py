@@ -40,7 +40,14 @@ from repro.sweep.distributed.protocol import (
 )
 from repro.sweep.runner import solve_point_row
 
-__all__ = ["launch_local_workers", "run_worker", "worker_main"]
+__all__ = [
+    "launch_local_workers",
+    "launch_service_workers",
+    "run_service_worker",
+    "run_worker",
+    "service_worker_main",
+    "worker_main",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -206,6 +213,226 @@ async def run_worker(
         except (ConnectionError, OSError):
             pass
     return rows_sent
+
+
+async def run_service_worker(
+    host: str,
+    port: int,
+    *,
+    connect_retries: int = CONNECT_RETRIES,
+    connect_retry_delay: float = CONNECT_RETRY_DELAY,
+    die_after_rows: Optional[int] = None,
+    trace: Optional[obs.Trace] = None,
+) -> int:
+    """Serve one :class:`~repro.sweep.service.SweepService` until shutdown.
+
+    The service-mode sibling of :func:`run_worker`: instead of one
+    template and one sweep, this worker lives across many requests.  It
+    keeps its own bounded LRU of prepared templates (capacity set by the
+    service's ``welcome``), asks for a template it is missing with
+    ``need_template`` (self-healing: a respawned worker starts empty and
+    refills on demand), resets the warm start at every task boundary
+    (tasks from different requests are unrelated grid regions), and
+    streams ``telemetry``-before-``row`` per point exactly like the
+    one-shot worker so the service merges each stored row's spans once.
+
+    *die_after_rows* is the same fault-injection hook as on
+    :func:`run_worker`: the connection is aborted (RST — indistinguishable
+    from a crash) before solving the Nth row across all tasks.
+    """
+    from repro.sweep.service.template_cache import LRUTemplates
+
+    reader, writer = await _connect(
+        host, port, connect_retries, connect_retry_delay
+    )
+    label = f"{socket_module.gethostname()}:{os.getpid()}"
+    rows_sent = 0
+    obs_token = None
+    try:
+        await send_message(
+            writer,
+            {
+                "kind": "hello",
+                "version": PROTOCOL_VERSION,
+                "worker": label,
+                "role": "service-worker",
+            },
+        )
+        welcome = await recv_message(reader)
+        if welcome["kind"] == "reject":
+            raise ConnectionError(
+                f"service rejected this worker: {welcome.get('message')}"
+            )
+        if welcome["kind"] != "welcome":
+            raise ProtocolError(
+                f"expected a welcome, got {welcome['kind']!r}"
+            )
+        ship_telemetry = bool(welcome.get("telemetry"))
+        if ship_telemetry and trace is None:
+            trace = obs.Trace("service-worker", worker=label)
+        if trace is not None:
+            obs_token = obs.activate(trace)
+        cursor = trace.mark() if trace is not None else 0
+        templates = LRUTemplates(int(welcome.get("capacity", 4)))
+        logger.info("service worker %s ready", label)
+        while True:
+            message = await recv_message(reader)
+            kind = message["kind"]
+            if kind == "shutdown":
+                break
+            if kind == "template":
+                # unsolicited pre-warm: prepare and cache it
+                model = message["model"]
+                model.prepare()
+                templates.put(message["fingerprint"], model)
+                continue
+            if kind != "task":
+                raise ProtocolError(f"expected a task, got {kind!r}")
+            fingerprint = message["fingerprint"]
+            model = templates.get(fingerprint)
+            if model is None:
+                await send_message(
+                    writer,
+                    {"kind": "need_template", "fingerprint": fingerprint},
+                )
+                shipped = await recv_message(reader)
+                if (
+                    shipped["kind"] != "template"
+                    or shipped.get("fingerprint") != fingerprint
+                ):
+                    raise ProtocolError(
+                        f"expected the {fingerprint[:12]} template, got "
+                        f"{shipped['kind']!r}"
+                    )
+                model = shipped["model"]
+                with obs.span(
+                    "service.worker.template", fingerprint=fingerprint
+                ):
+                    model.prepare()
+                templates.put(fingerprint, model)
+            metrics = message["metrics"]
+            # task boundary: the previous task may be another request
+            # entirely — never warm-start across it
+            model.reset_point_state()
+            for index, point in zip(message["indices"], message["points"]):
+                if die_after_rows is not None and rows_sent >= die_after_rows:
+                    logger.warning(
+                        "service worker %s: injected fault before point %d",
+                        label,
+                        index,
+                    )
+                    writer.transport.abort()
+                    return rows_sent
+                try:
+                    row, failure = solve_point_row(model, metrics, point, index)
+                except (KeyError, ValueError, TypeError) as exc:
+                    # configuration error: it belongs to this *request*,
+                    # not this worker.  Report it and stay alive for the
+                    # next task (the one-shot worker exits here instead).
+                    await send_message(
+                        writer,
+                        {
+                            "kind": "fatal",
+                            "index": index,
+                            "error_type": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                    )
+                    break
+                if ship_telemetry and trace is not None:
+                    await send_message(
+                        writer,
+                        {
+                            "kind": "telemetry",
+                            "index": index,
+                            "spans": trace.slice_spans(cursor),
+                            "counters": trace.drain_counters(),
+                        },
+                    )
+                    cursor = trace.mark()
+                await send_message(
+                    writer,
+                    {
+                        "kind": "row",
+                        "index": index,
+                        "values": row,
+                        "error": failure,
+                    },
+                )
+                rows_sent += 1
+            else:
+                await send_message(
+                    writer,
+                    {"kind": "task_done", "task_id": message["task_id"]},
+                )
+    finally:
+        if obs_token is not None:
+            obs.deactivate(obs_token)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return rows_sent
+
+
+def service_worker_main(
+    host: str,
+    port: int,
+    *,
+    die_after_rows: Optional[int] = None,
+    trace: Optional[obs.Trace] = None,
+) -> int:
+    """Synchronous entry point: serve one service until shutdown."""
+    return asyncio.run(
+        run_service_worker(host, port, die_after_rows=die_after_rows, trace=trace)
+    )
+
+
+def _service_worker_process_main(
+    host: str, port: int, die_after_rows: Optional[int], hard_exit: bool
+) -> None:
+    try:
+        rows = service_worker_main(host, port, die_after_rows=die_after_rows)
+    except Exception as exc:  # the service requeues and respawns
+        logger.warning("service worker failed: %s", exc)
+        raise SystemExit(1)
+    if die_after_rows is not None and hard_exit:
+        os._exit(17)  # simulate a crash: no cleanup
+    raise SystemExit(0)
+
+
+def launch_service_workers(
+    n: int,
+    host: str,
+    port: int,
+    *,
+    die_after_rows: Optional[int] = None,
+    die_worker: Optional[int] = None,
+) -> List[multiprocessing.Process]:
+    """Fork *n* persistent service workers pointed at ``host:port``.
+
+    The service-mode sibling of :func:`launch_local_workers`; the fault
+    hook arms worker *die_worker* (default: the first) to hard-exit after
+    *die_after_rows* rows, which is how the fault-injection suite kills a
+    shard mid-request deterministically.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    processes: List[multiprocessing.Process] = []
+    for i in range(n):
+        inject = die_after_rows if i == (die_worker or 0) else None
+        process = ctx.Process(
+            target=_service_worker_process_main,
+            args=(host, port, inject, True),
+            name=f"service-worker-{i}",
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    return processes
 
 
 def worker_main(

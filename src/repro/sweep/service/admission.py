@@ -1,0 +1,112 @@
+"""Request admission: bounded concurrency, bounded queueing, drain.
+
+The service runs at most ``max_inflight`` requests at once.  Beyond
+that, up to ``max_pending`` callers wait in FIFO order on one
+:class:`asyncio.Condition`; a caller arriving when both bounds are full
+is rejected immediately with :class:`ServiceBusyError` — backpressure is
+a *reply* (``busy`` / HTTP 429), never an unbounded queue.
+
+Drain (SIGTERM) flips one flag: admitted requests finish, waiting ones
+are woken and rejected with :class:`ServiceDrainingError`, new arrivals
+are refused at the door, and :meth:`wait_drained` resolves once the last
+in-flight request releases its slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import obs
+
+__all__ = ["AdmissionController", "ServiceBusyError", "ServiceDrainingError"]
+
+
+class ServiceBusyError(RuntimeError):
+    """Both the in-flight set and the waiting queue are full (HTTP 429)."""
+
+
+class ServiceDrainingError(RuntimeError):
+    """The service is draining and admits no new work (HTTP 503)."""
+
+
+class AdmissionController:
+    """Counting admission gate with a bounded wait queue and drain mode."""
+
+    def __init__(self, max_inflight: int, max_pending: int) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {max_pending}")
+        self.max_inflight = int(max_inflight)
+        self.max_pending = int(max_pending)
+        self._inflight = 0
+        self._waiting = 0
+        self._draining = False
+        self._cond = asyncio.Condition()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def admit(self) -> None:
+        """Take an in-flight slot, waiting in the bounded queue if needed.
+
+        Raises :class:`ServiceDrainingError` while draining and
+        :class:`ServiceBusyError` when the queue is full; on success the
+        caller owns one slot and must :meth:`release` it exactly once.
+        """
+        async with self._cond:
+            if self._draining:
+                raise ServiceDrainingError("service is draining")
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                return
+            if self._waiting >= self.max_pending:
+                obs.incr("service.requests.rejected")
+                raise ServiceBusyError(
+                    f"{self._inflight} request(s) in flight and "
+                    f"{self._waiting} waiting (limits: "
+                    f"{self.max_inflight}/{self.max_pending})"
+                )
+            self._waiting += 1
+            obs.gauge("service.queue.depth", self._waiting)
+            obs.gauge_max("service.queue.depth.max", self._waiting)
+            try:
+                await self._cond.wait_for(
+                    lambda: self._draining
+                    or self._inflight < self.max_inflight
+                )
+            finally:
+                self._waiting -= 1
+                obs.gauge("service.queue.depth", self._waiting)
+            if self._draining:
+                self._cond.notify_all()  # let wait_drained() re-check
+                raise ServiceDrainingError("service is draining")
+            self._inflight += 1
+
+    async def release(self) -> None:
+        """Give back a slot taken by :meth:`admit`."""
+        async with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    async def begin_drain(self) -> None:
+        """Refuse new work and wake every waiter (they see draining)."""
+        async with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    async def wait_drained(self) -> None:
+        """Resolve once nothing is in flight and nobody is waiting."""
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self._inflight == 0 and self._waiting == 0
+            )

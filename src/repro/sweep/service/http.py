@@ -1,0 +1,173 @@
+"""Minimal HTTP/1.1 request parsing and response framing over asyncio.
+
+The service's JSON front end is deliberately tiny — no routing
+framework, no dependency — because the environment ships none and the
+surface is four routes.  This module owns the *wire* concerns only:
+parse one request (method, path, headers, body) with hard caps on every
+dimension, and frame one JSON response with ``Connection: close``.
+Routing and request semantics live in
+:class:`~repro.sweep.service.server.SweepService`.
+
+Anything malformed raises :class:`HttpError` with the right status code;
+the server turns it into a JSON error body and closes the connection —
+a fuzzer feeding garbage gets 4xx replies, never a traceback and never a
+dead accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "HTTP_VERSION",
+    "MAX_BODY_BYTES",
+    "HttpError",
+    "json_safe",
+    "read_request",
+    "response_bytes",
+]
+
+HTTP_VERSION = "HTTP/1.1"
+
+#: request bodies are model specs and axis lists — 1 MiB is generous
+MAX_BODY_BYTES = 1 << 20
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_BYTES = 16384
+_MAX_HEADERS = 64
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unroutable HTTP request.
+
+    Carries the status to reply with; ``allow`` lists the permitted
+    methods for a 405 (the ``Allow`` header is mandatory there).
+    """
+
+    def __init__(
+        self, status: int, message: str, allow: Optional[Sequence[str]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.allow = tuple(allow) if allow else None
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "header line too long") from exc
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise
+        raise HttpError(400, "truncated request") from exc
+    if len(line) > limit:
+        raise HttpError(400, "header line too long")
+    return line[:-2]
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Read one HTTP request; ``None`` if the peer closed before sending.
+
+    Returns ``(method, path, headers, body)`` with header names
+    lower-cased.  Raises :class:`HttpError` on malformed framing,
+    oversized pieces, or unsupported transfer encodings.
+    """
+    try:
+        request_line = await _read_line(reader, _MAX_REQUEST_LINE)
+    except asyncio.IncompleteReadError:
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {request_line[:80]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await _read_line(reader, _MAX_HEADER_BYTES)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated headers") from exc
+        if not line:
+            break
+        total += len(line)
+        if total > _MAX_HEADER_BYTES or len(headers) >= _MAX_HEADERS:
+            raise HttpError(400, "headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise HttpError(
+                400, f"invalid Content-Length: {length_header!r}"
+            ) from exc
+        if length < 0:
+            raise HttpError(400, f"invalid Content-Length: {length}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "body shorter than Content-Length") from exc
+    return method, path, headers, body
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    JSON has no NaN/Infinity; a failed sweep point's NaN row must still
+    serialise.  Only the HTTP layer lossy-coerces — the pickle channel
+    keeps exact floats.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+def response_bytes(
+    status: int,
+    payload: Any,
+    allow: Optional[Sequence[str]] = None,
+) -> bytes:
+    """Frame *payload* as a JSON response (always ``Connection: close``)."""
+    body = json.dumps(json_safe(payload)).encode()
+    headers = [
+        f"{HTTP_VERSION} {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if allow:
+        headers.append(f"Allow: {', '.join(allow)}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body

@@ -1,0 +1,368 @@
+"""Elastic pool of persistent service workers.
+
+With ``--workers N`` the service forks N
+:func:`~repro.sweep.distributed.worker.run_service_worker` processes
+that dial back into the service's own pickle port and stay connected
+across requests.  The pool hands one ``task`` (a request's remaining
+grid points) to one worker at a time, streams rows back with the same
+telemetry-before-row / first-write-wins discipline as the one-shot
+coordinator, and is **elastic**: a worker that dies — mid-request or
+idle — is pruned, a replacement is forked (budget-capped), and the
+request's unfinished points are retried on a survivor.  Only when one
+request has burned through ``max_retries + 1`` workers does it fail with
+:class:`ServiceWorkerError`; the daemon itself keeps serving.
+
+Workers cache prepared templates in their own bounded LRU and ask for a
+missing one with ``need_template`` — so a freshly respawned (empty)
+worker self-heals on its first task, and repeat fingerprints skip the
+template ship entirely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.sweep.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.sweep.distributed.worker import launch_service_workers
+from repro.sweep.results import PointFailure
+from repro.sweep.service.session import RequestError, ServiceRequest
+from repro.sweep.service.template_cache import TemplateEntry
+
+__all__ = ["ServiceWorkerError", "WorkerPool"]
+
+_ADOPTION_TIMEOUT = 30.0
+_MONITOR_INTERVAL = 0.2
+
+
+class ServiceWorkerError(RuntimeError):
+    """One request exhausted its worker-retry budget (HTTP 500)."""
+
+
+class _WorkerDied(Exception):
+    """The worker's connection failed mid-task (requeue + respawn)."""
+
+
+class _WorkerFatal(Exception):
+    """The worker reported a configuration error (the request's fault)."""
+
+
+class _Worker:
+    __slots__ = ("reader", "writer", "label", "affinity", "tasks")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        label: str,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.label = label
+        #: fingerprints this worker has been shipped (scheduling hint —
+        #: its LRU may have evicted them; ``need_template`` self-corrects)
+        self.affinity: Set[str] = set()
+        self.tasks = 0
+
+
+class WorkerPool:
+    """Fork, adopt, schedule, and replace persistent service workers."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        n_workers: int,
+        *,
+        capacity: int = 4,
+        max_retries: int = 2,
+        fault: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.n_workers = int(n_workers)
+        self.capacity = int(capacity)
+        self.max_retries = int(max_retries)
+        self.fault = dict(fault or {})
+        self._procs: List[Any] = []
+        self._workers: List[_Worker] = []
+        self._idle: List[_Worker] = []
+        self._cond = asyncio.Condition()
+        self._task_ids = itertools.count(1)
+        self._monitor: Optional[asyncio.Task] = None
+        self._closed = False
+        self.respawns = 0
+        self.deaths = 0
+        # enough to survive max_retries on every original worker, plus
+        # slack for idle deaths; a backstop, not a scheduling knob
+        self.max_respawns = self.n_workers * (self.max_retries + 1) + 2
+
+    async def start(self) -> None:
+        """Fork the workers and wait until every one has been adopted."""
+        if self.n_workers <= 0:
+            return
+        self._procs = launch_service_workers(
+            self.n_workers,
+            self.host,
+            self.port,
+            die_after_rows=self.fault.get("die_after_rows"),
+            die_worker=self.fault.get("die_worker"),
+        )
+        async with self._cond:
+            await asyncio.wait_for(
+                self._cond.wait_for(
+                    lambda: len(self._workers) >= self.n_workers
+                ),
+                timeout=_ADOPTION_TIMEOUT,
+            )
+        self._monitor = asyncio.create_task(self._monitor_loop())
+
+    async def adopt(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Dict[str, Any],
+    ) -> None:
+        """Welcome a worker that dialled in; the pool owns its socket now."""
+        await send_message(
+            writer,
+            {
+                "kind": "welcome",
+                "version": PROTOCOL_VERSION,
+                "capacity": self.capacity,
+                "telemetry": obs.enabled(),
+            },
+        )
+        worker = _Worker(reader, writer, str(hello.get("worker", "?")))
+        async with self._cond:
+            self._workers.append(worker)
+            self._idle.append(worker)
+            self._cond.notify_all()
+        obs.incr("service.workers.adopted")
+
+    # -- scheduling --------------------------------------------------------
+
+    async def _acquire(self, fingerprint: Optional[str]) -> _Worker:
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self._idle or self._closed or not self._alive_procs()
+            )
+            if not self._idle:
+                raise ServiceWorkerError(
+                    "no live workers remain (respawn budget exhausted)"
+                )
+            worker = next(
+                (w for w in self._idle if fingerprint in w.affinity), None
+            )
+            if worker is None:
+                worker = self._idle[0]
+            self._idle.remove(worker)
+            return worker
+
+    async def _release(self, worker: _Worker) -> None:
+        async with self._cond:
+            if worker in self._workers:
+                self._idle.append(worker)
+                self._cond.notify_all()
+
+    def _alive_procs(self) -> int:
+        return sum(1 for p in self._procs if p.is_alive())
+
+    async def _note_death(self, worker: _Worker) -> None:
+        """Prune a dead worker and fork a replacement (budget-capped)."""
+        self.deaths += 1
+        obs.incr("service.workers.died")
+        async with self._cond:
+            if worker in self._workers:
+                self._workers.remove(worker)
+            if worker in self._idle:
+                self._idle.remove(worker)
+            self._cond.notify_all()
+        worker.writer.close()
+        self._maybe_respawn()
+
+    def _maybe_respawn(self) -> None:
+        if self._closed or self.respawns >= self.max_respawns:
+            return
+        # elasticity is about *connected* workers: the dead shard's
+        # process may linger as a zombie for a moment after its socket
+        # died, and waiting for the OS to agree would miss the respawn
+        if len(self._workers) >= self.n_workers:
+            return
+        # replacements are never armed with the fault hook — the injected
+        # crash is a one-shot test stimulus, not a heritable trait
+        self._procs.extend(
+            launch_service_workers(1, self.host, self.port)
+        )
+        self.respawns += 1
+        obs.incr("service.workers.respawned")
+
+    async def _monitor_loop(self) -> None:
+        """Prune workers that die while idle (their socket hits EOF)."""
+        while not self._closed:
+            await asyncio.sleep(_MONITOR_INTERVAL)
+            async with self._cond:
+                dead = [w for w in self._idle if w.reader.at_eof()]
+            for worker in dead:
+                await self._note_death(worker)
+
+    # -- execution ---------------------------------------------------------
+
+    async def run_points(
+        self, request: ServiceRequest, entry: TemplateEntry
+    ) -> Tuple[Dict[int, List[float]], Dict[int, PointFailure]]:
+        """Solve every point of *request* on the pool, surviving deaths.
+
+        Returns ``(rows, errors)`` keyed by point index.  Numeric
+        failures become error records; a worker death requeues the
+        unfinished points (``max_retries + 1`` attempts per request);
+        a configuration error raises
+        :class:`~repro.sweep.service.session.RequestError`.
+        """
+        rows: Dict[int, List[float]] = {}
+        errors: Dict[int, PointFailure] = {}
+        deaths = 0
+        total = len(request.points)
+        while len(rows) < total:
+            worker = await self._acquire(request.fingerprint)
+            try:
+                await self._execute(worker, request, entry, rows, errors)
+            except _WorkerDied as exc:
+                deaths += 1
+                await self._note_death(worker)
+                if deaths > self.max_retries:
+                    raise ServiceWorkerError(
+                        f"request killed {deaths} worker(s): {exc}"
+                    ) from exc
+                continue
+            except _WorkerFatal as exc:
+                await self._release(worker)
+                raise RequestError(str(exc)) from exc
+            await self._release(worker)
+        return rows, errors
+
+    async def _execute(
+        self,
+        worker: _Worker,
+        request: ServiceRequest,
+        entry: TemplateEntry,
+        rows: Dict[int, List[float]],
+        errors: Dict[int, PointFailure],
+    ) -> None:
+        pending = [i for i in range(len(request.points)) if i not in rows]
+        task_id = next(self._task_ids)
+        trace = obs.current_trace()
+        stash: Dict[int, List[Dict[str, Any]]] = {}
+        try:
+            await send_message(
+                worker.writer,
+                {
+                    "kind": "task",
+                    "task_id": task_id,
+                    "fingerprint": request.fingerprint,
+                    "metrics": list(request.metrics),
+                    "indices": pending,
+                    "points": [request.points[i] for i in pending],
+                },
+            )
+            worker.tasks += 1
+            while True:
+                message = await recv_message(worker.reader)
+                kind = message["kind"]
+                if kind == "need_template":
+                    await send_message(
+                        worker.writer,
+                        {
+                            "kind": "template",
+                            "fingerprint": request.fingerprint,
+                            "model": entry.backend,
+                            "metrics": list(request.metrics),
+                            "telemetry": obs.enabled(),
+                        },
+                    )
+                    worker.affinity.add(request.fingerprint or "")
+                    obs.incr("service.templates.shipped")
+                elif kind == "telemetry":
+                    # counters merge unconditionally (they are deltas,
+                    # drained exactly once worker-side); spans wait for
+                    # the row so a requeued point never double-counts
+                    if trace is not None:
+                        trace.merge_segment(counters=message.get("counters"))
+                    stash[message["index"]] = message.get("spans") or []
+                elif kind == "row":
+                    index = message["index"]
+                    if index not in rows:
+                        rows[index] = list(message["values"])
+                        failure = message.get("error")
+                        if failure is not None:
+                            errors[index] = failure
+                        segment = stash.pop(index, None)
+                        if trace is not None and segment:
+                            trace.merge_segment(spans=segment)
+                        obs.incr("service.rows.completed")
+                elif kind == "fatal":
+                    raise _WorkerFatal(
+                        f"{message.get('error_type')}: {message.get('message')}"
+                    )
+                elif kind == "task_done":
+                    return
+                else:
+                    raise ProtocolError(
+                        f"unexpected {kind!r} from worker {worker.label}"
+                    )
+        except (
+            asyncio.IncompleteReadError,
+            ProtocolError,
+            ConnectionError,
+            OSError,
+        ) as exc:
+            raise _WorkerDied(f"{worker.label}: {exc}") from exc
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def shutdown(self) -> None:
+        """Stop monitors, tell workers to exit, reap the processes."""
+        self._closed = True
+        if self._monitor is not None:
+            self._monitor.cancel()
+            try:
+                await self._monitor
+            except asyncio.CancelledError:
+                pass
+        async with self._cond:
+            workers = list(self._workers)
+            self._workers.clear()
+            self._idle.clear()
+            self._cond.notify_all()
+        for worker in workers:
+            try:
+                await send_message(worker.writer, {"kind": "shutdown"})
+            except (ConnectionError, OSError):
+                pass
+            worker.writer.close()
+        await asyncio.to_thread(self._reap)
+
+    def _reap(self) -> None:
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "configured": self.n_workers,
+            "connected": len(self._workers),
+            "idle": len(self._idle),
+            "deaths": self.deaths,
+            "respawns": self.respawns,
+            "pids": [p.pid for p in self._procs if p.is_alive()],
+        }

@@ -1,0 +1,233 @@
+"""Reusable harness for service tests: in-process and forked daemons.
+
+:class:`ServiceFixture` runs a :class:`~repro.sweep.service.SweepService`
+on a background thread (its own event loop) and gives tests synchronous
+helpers: pickle requests, raw sockets for protocol fuzzing, HTTP calls,
+and a deterministic drain.  The thread activates the fixture's trace
+*before* ``asyncio.run`` so every handler task on the loop records into
+it — the same contract the CLI establishes — which is what lets tests
+assert span counts (``prepare.explore == 1``) after drain.
+
+:class:`ForkedService` runs the real ``python -m repro serve`` CLI in a
+subprocess for the tests that need true process semantics: SIGTERM
+delivery, exit codes, journal/trace files surviving the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.sweep.service import SweepService, request_over_socket
+from repro.sweep.service.session import recv_frame, send_frame
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: a small model every test can share: 11 states, solves in microseconds
+MM1K_MODEL = {"net": "mm1k", "buffer": 10}
+MM1K_METRICS = ["mean_tokens:queue", "throughput:serve"]
+
+
+def mm1k_sweep_payload(n_points: int = 4, **model_extra: Any) -> Dict[str, Any]:
+    return {
+        "op": "sweep",
+        "model": {**MM1K_MODEL, **model_extra},
+        "axes": [f"arrive=0.2:1.6:{n_points}"],
+        "metrics": list(MM1K_METRICS),
+    }
+
+
+class ServiceFixture:
+    """One in-process service daemon on a background thread."""
+
+    def __init__(self, telemetry: bool = True, **service_kwargs: Any) -> None:
+        self.telemetry = telemetry
+        self.trace: Optional[obs.Trace] = None
+        self.service = SweepService(**service_kwargs)
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._thread_main, name="service-fixture", daemon=True
+        )
+        self._error: Optional[BaseException] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServiceFixture":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError(f"service failed to start: {self._error}")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error}")
+        return self
+
+    def _thread_main(self) -> None:
+        token = None
+        if self.telemetry:
+            self.trace = obs.Trace("service-test")
+            token = obs.activate(self.trace)
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced by start()/drain()
+            self._error = exc
+            self._ready.set()
+        finally:
+            if token is not None:
+                obs.deactivate(token)
+
+    async def _amain(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        await self.service.start()
+        self._ready.set()
+        await self.service.serve_until_drained()
+
+    def drain(self) -> None:
+        """Graceful drain, as SIGTERM would; joins the service thread."""
+        assert self.loop is not None
+        self.loop.call_soon_threadsafe(self.service.request_drain)
+        self._thread.join(timeout=60)
+        if self._thread.is_alive():
+            raise RuntimeError("service did not drain within 60 s")
+        if self._error is not None:
+            raise RuntimeError(f"service thread failed: {self._error}")
+
+    def __enter__(self) -> "ServiceFixture":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._thread.is_alive():
+            self.drain()
+
+    # -- client helpers (all synchronous) ----------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.service.address
+
+    @property
+    def http_address(self) -> Tuple[str, int]:
+        return self.service.http_address
+
+    def request(self, payload: Dict[str, Any], timeout: float = 60.0) -> Dict[str, Any]:
+        host, port = self.service.address
+        return request_over_socket(host, port, payload, timeout=timeout)
+
+    def open_socket(self, timeout: float = 30.0) -> socket.socket:
+        """A raw connection to the pickle port (for fuzz/multi-request)."""
+        return socket.create_connection(self.service.address, timeout=timeout)
+
+    def http(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: float = 60.0,
+    ) -> Tuple[int, Dict[str, Any]]:
+        host, port = self.service.http_address
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                decoded = json.loads(raw)
+            except ValueError:
+                decoded = {"raw": raw.decode(errors="replace")}
+            return resp.status, decoded
+        finally:
+            conn.close()
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def spans(self, name: str) -> List[Any]:
+        assert self.trace is not None, "fixture started with telemetry=False"
+        return [sp for sp in self.trace.spans if sp.name == name]
+
+
+def exchange_on(sock: socket.socket, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One request/reply cycle on an already-open pickle socket."""
+    from repro.sweep.distributed.protocol import PROTOCOL_VERSION
+
+    send_frame(sock, {"kind": "request", "version": PROTOCOL_VERSION, **payload})
+    return recv_frame(sock)
+
+
+class ForkedService:
+    """The real ``python -m repro serve`` CLI in a subprocess."""
+
+    _ADDRESS_RE = re.compile(
+        r"\[service listening on (\S+):(\d+) \(pickle\) and "
+        r"http://(\S+):(\d+)"
+    )
+
+    def __init__(self, *extra_args: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--bind", "127.0.0.1:0", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+        self.host = self.http_host = ""
+        self.port = self.http_port = 0
+
+    def start(self) -> "ForkedService":
+        assert self.proc.stdout is not None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"serve exited early (rc={self.proc.poll()})"
+                )
+            match = self._ADDRESS_RE.search(line)
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                self.http_host, self.http_port = (
+                    match.group(3), int(match.group(4))
+                )
+                return self
+        raise RuntimeError("serve never printed its listen address")
+
+    def request(self, payload: Dict[str, Any], timeout: float = 60.0) -> Dict[str, Any]:
+        return request_over_socket(self.host, self.port, payload, timeout=timeout)
+
+    def sigterm(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout: float = 60.0) -> int:
+        rc = self.proc.wait(timeout=timeout)
+        if self.proc.stdout is not None:
+            self.proc.stdout.read()  # drain to let the pipe close
+        return rc
+
+    def __enter__(self) -> "ForkedService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.proc.poll() is None:
+            self.sigterm()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
