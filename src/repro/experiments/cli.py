@@ -98,12 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--model",
-        choices=sorted(BACKEND_NAMES),
+        choices=sorted(BACKEND_NAMES) + ["phase-type-batched"],
         default="gspn",
         help=(
             "model backend: 'gspn' re-binds exponential rates of --net; "
             "'phase-type' stage-expands the deterministic-delay CPU model; "
-            "'renewal' is the exact closed form (default: gspn)"
+            "'phase-type-batched' is shorthand for phase-type with "
+            "--batched; 'renewal' is the exact closed form (default: gspn)"
         ),
     )
     sweep_p.add_argument(
@@ -457,6 +458,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per request (and lifecycle event) to FILE",
     )
     serve_p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help=(
+            "inline-mode micro-batching window: hold the first request "
+            "for a template this long so concurrent same-template "
+            "requests coalesce into one stacked solve (adds up to MS "
+            "latency per request; 0 still coalesces whatever queued "
+            "during the previous solve; default 2.0)"
+        ),
+    )
+    serve_p.add_argument(
         "--solve-delay",
         type=float,
         default=None,
@@ -721,7 +735,9 @@ def _check_sweep_flags(args: argparse.Namespace) -> None:
                 f"(it is for --model {'/'.join(models)})"
             )
     if args.batch_size is not None and not args.batched:
-        raise ValueError("--batch-size requires --batched")
+        raise ValueError(
+            "--batch-size requires --batched (or --model phase-type-batched)"
+        )
 
 
 def _parse_batch_size(value: Optional[str]):
@@ -781,6 +797,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     obs_token = obs.activate(trace) if trace is not None else None
     progress: Optional[obs.ProgressLine] = None
     try:
+        if args.model == "phase-type-batched":
+            # the service's query channel spells the batched backend as
+            # its own model family; accept the same spelling here
+            args.model = "phase-type"
+            args.batched = True
         _check_sweep_flags(args)
         _check_distributed_flags(args)
         runner_solver_kwargs = {}
@@ -1078,6 +1099,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_retries=args.max_retries,
                 journal=str(args.journal) if args.journal else None,
                 solve_delay=args.solve_delay,
+                batch_window_ms=args.batch_window_ms,
             )
         except (ValueError, OSError) as exc:
             msg = exc.args[0] if exc.args else exc

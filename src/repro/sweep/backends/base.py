@@ -188,9 +188,10 @@ class SweepBackend(abc.ABC):
     transient_kinds: Tuple[str, ...] = ()
     #: backends that can solve many grid points in one stacked operation
     #: set this ``True`` and implement :meth:`solve_batch` /
-    #: :meth:`resolve_batch_size`; the runner then feeds them whole spans
-    #: of the grid instead of single points (serial and pool paths — the
-    #: distributed workers stream per point by design)
+    #: :meth:`resolve_batch_size`; every execution path then feeds them
+    #: whole spans of the grid instead of single points — serial and pool
+    #: directly, the distributed workers as batched ``rows`` wire frames
+    #: (protocol v2), and the service by stacking coalesced requests
     batch_capable: bool = False
 
     _template: Optional[Any] = None

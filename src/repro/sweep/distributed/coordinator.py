@@ -8,19 +8,27 @@ chunk; there is no static assignment, so a slow host simply takes fewer
 chunks.
 
 Sharding preserves the grid's axis order: pending points are split into
-*contiguous* chunks (:func:`~repro.sweep.runner.contiguous_chunks`), so
-iterative warm starts inside a chunk stay adjacent on the parameter grid
-and the merged table is ordered exactly like the serial runner's.
+*contiguous* chunks (:func:`~repro.sweep.engine.plan.partition_indices`),
+so iterative warm starts inside a chunk stay adjacent on the parameter
+grid and the merged table is ordered exactly like the serial runner's.
+On a batch-capable backend the chunk boundaries align to the backend's
+preferred batch size, so each chunk is a whole number of stacked solves
+shipped back as batched ``rows`` frames (protocol v2).
 
 Fault model
 -----------
 
 - **A point fails numerically** — the worker streams a NaN row with a
   :class:`~repro.sweep.results.PointFailure`; the sweep continues.
-- **A worker dies mid-chunk** (crash, kill, network partition) — rows
-  stream per point, so the coordinator requeues exactly the unfinished
-  suffix of the chunk at the *front* of the queue; surviving workers pick
-  it up.
+- **A worker dies mid-chunk** (crash, kill, network partition) — on a
+  pointwise-framing chunk rows stream per point, so the coordinator
+  requeues exactly the unfinished suffix at the *front* of the queue,
+  blaming only the point in flight; surviving workers pick it up.  On a
+  batch-framing chunk a whole batch may be in flight, so the unfinished
+  remainder is requeued *without blame* and the retry is downgraded to
+  pointwise framing — a genuinely poisonous point is then isolated and
+  blamed by the per-point machinery, and the healthy members of its
+  batch never inherit strikes.
 - **A point keeps killing workers** — after ``max_requeues`` requeues it
   is poisoned: NaN row, ``stage="worker"`` error record, sweep continues.
 - **Every worker is gone** — the supervisor aborts with
@@ -52,21 +60,19 @@ from repro import obs
 from repro.sweep.backends.base import Metric
 from repro.sweep.distributed.checkpoint import SweepCheckpoint
 from repro.sweep.distributed.protocol import (
+    CAPABILITIES,
     PROTOCOL_VERSION,
     ProtocolError,
     recv_message,
     send_message,
 )
+from repro.sweep.engine.collector import RowCollector
+from repro.sweep.engine.plan import DEFAULT_MAX_REQUEUES, partition_indices
 from repro.sweep.results import PointFailure
-from repro.sweep.runner import contiguous_chunks
 
-__all__ = ["DistributedSweepError", "SweepCoordinator"]
+__all__ = ["DEFAULT_MAX_REQUEUES", "DistributedSweepError", "SweepCoordinator"]
 
 logger = logging.getLogger(__name__)
-
-#: How often one point may be requeued after killing its worker before it
-#: is poisoned (NaN row + error record) instead of retried.
-DEFAULT_MAX_REQUEUES = 2
 
 
 class DistributedSweepError(RuntimeError):
@@ -75,11 +81,17 @@ class DistributedSweepError(RuntimeError):
 
 @dataclass
 class _Chunk:
-    """One contiguous span of pending grid points."""
+    """One contiguous span of pending grid points.
+
+    ``pointwise`` forces per-point framing on a batch-capable backend:
+    set on requeued chunks so the retry isolates a poisonous point
+    instead of losing (and re-blaming) whole batches.
+    """
 
     chunk_id: int
     indices: List[int]
     points: List[Dict[str, float]]
+    pointwise: bool = False
 
 
 class SweepCoordinator:
@@ -108,6 +120,11 @@ class SweepCoordinator:
         to journal every completed row.
     max_requeues:
         Worker-death retries per point before poisoning it.
+    wire_batching:
+        When ``False``, a batch-capable backend is still sharded but
+        every chunk is dispatched with pointwise framing — the
+        pre-``rows``-frame wire behaviour.  A benchmark baseline knob,
+        not an operational one.
     """
 
     def __init__(
@@ -122,16 +139,25 @@ class SweepCoordinator:
         done_requeues: Optional[Dict[int, int]] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
         max_requeues: int = DEFAULT_MAX_REQUEUES,
+        wire_batching: bool = True,
     ) -> None:
         self.model = model
         self.metrics = list(metrics)
         self.points = [dict(p) for p in points]
         self.max_requeues = max_requeues
         self._checkpoint = checkpoint
-        self._rows: Dict[int, List[float]] = dict(done_rows or {})
-        self._errors: Dict[int, PointFailure] = dict(done_errors or {})
         self._requeues: Dict[int, int] = dict(done_requeues or {})
         self._chunk_ids = itertools.count()
+        # The run-level trace (if the sweep runs with telemetry active).
+        # Captured here, in the runner's context, because the asyncio
+        # server invokes handle_worker from the event loop's own context.
+        self._trace = obs.current_trace()
+        self._collector = RowCollector(
+            len(self.metrics), trace=self._trace, checkpoint=checkpoint
+        )
+        self._collector.preload(done_rows or {}, done_errors or {})
+        self._batch_capable = bool(getattr(model, "batch_capable", False))
+        self._wire_batching = bool(wire_batching)
         self._pending: Deque[_Chunk] = deque(
             self._shard([i for i in range(len(points)) if i not in self._rows],
                         n_chunks)
@@ -140,19 +166,17 @@ class SweepCoordinator:
         self._failure: Optional[BaseException] = None
         self._n_connected = 0
         self._n_ever_connected = 0
-        # The run-level trace (if the sweep runs with telemetry active).
-        # Captured here, in the runner's context, because the asyncio
-        # server invokes handle_worker from the event loop's own context.
-        self._trace = obs.current_trace()
         if self._trace is not None:
-            if self._rows:
-                # checkpoint-resumed rows count as completed so the
-                # progress counters start from the resumed offset
-                self._trace.incr("sweep.rows.completed", len(self._rows))
-                resumed_failed = sum(1 for i in self._errors if i in self._rows)
-                if resumed_failed:
-                    self._trace.incr("sweep.rows.failed", resumed_failed)
             self._note_queue_depth()
+
+    @property
+    def _rows(self) -> Dict[int, List[float]]:
+        """Completed rows (the collector's first-write-wins map)."""
+        return self._collector.rows
+
+    @property
+    def _errors(self) -> Dict[int, PointFailure]:
+        return self._collector.errors
 
     # ------------------------------------------------------------------ #
     # sharding
@@ -160,32 +184,27 @@ class SweepCoordinator:
     def _shard(self, remaining: List[int], n_chunks: int) -> List[_Chunk]:
         """Contiguous chunks over the remaining indices.
 
-        After a checkpoint resume the remaining indices may have gaps;
-        each maximal contiguous run is chunked separately so no chunk
-        ever spans a gap (warm starts stay adjacent).
+        Delegates to the engine's partition planner: after a checkpoint
+        resume the remaining indices may have gaps, and each maximal
+        contiguous run is chunked separately so no chunk ever spans a
+        gap (warm starts stay adjacent).  Batch-capable backends get
+        chunk boundaries aligned to their preferred batch size, so each
+        chunk is a whole number of stacked solves.
         """
-        if not remaining:
-            return []
-        runs: List[List[int]] = [[remaining[0]]]
-        for index in remaining[1:]:
-            if index == runs[-1][-1] + 1:
-                runs[-1].append(index)
-            else:
-                runs.append([index])
-        chunks: List[_Chunk] = []
-        total = len(remaining)
-        for run in runs:
-            share = max(1, round(n_chunks * len(run) / total))
-            for start, stop in contiguous_chunks(len(run), share):
-                indices = run[start:stop]
-                chunks.append(
-                    _Chunk(
-                        chunk_id=next(self._chunk_ids),
-                        indices=indices,
-                        points=[self.points[i] for i in indices],
-                    )
-                )
-        return chunks
+        align = (
+            max(1, self.model.resolve_batch_size(len(self.points)))
+            if self._batch_capable and self._wire_batching
+            else 1
+        )
+        return [
+            _Chunk(
+                chunk_id=next(self._chunk_ids),
+                indices=indices,
+                points=[self.points[i] for i in indices],
+                pointwise=self._batch_capable and not self._wire_batching,
+            )
+            for indices in partition_indices(remaining, n_chunks, align=align)
+        ]
 
     # ------------------------------------------------------------------ #
     # progress
@@ -272,18 +291,7 @@ class SweepCoordinator:
     ) -> bool:
         """Record one completed row; False on duplicate delivery
         (requeue race — first write wins, telemetry must not merge)."""
-        if index in self._rows:
-            return False
-        self._rows[index] = [float(v) for v in values]
-        if error is not None:
-            self._errors[index] = error
-        if self._trace is not None:
-            self._trace.incr("sweep.rows.completed")
-            if error is not None:
-                self._trace.incr("sweep.rows.failed")
-        if self._checkpoint is not None:
-            self._checkpoint.append_row(index, values, error)
-        return True
+        return self._collector.store(index, values, error)
 
     def _poison(self, index: int) -> None:
         count = self._requeues.get(index, 0)
@@ -335,6 +343,7 @@ class SweepCoordinator:
                     chunk_id=next(self._chunk_ids),
                     indices=live_indices,
                     points=[self.points[i] for i in live_indices],
+                    pointwise=chunk.pointwise,
                 )
         return None
 
@@ -361,6 +370,7 @@ class SweepCoordinator:
         done: Set[int],
         reason: BaseException,
         blame: bool = True,
+        pointwise: bool = False,
     ) -> None:
         async with self._cond:
             unfinished = [
@@ -368,13 +378,16 @@ class SweepCoordinator:
                 if i not in done and i not in self._rows
             ]
             if unfinished:
-                # rows stream per point in order, so the first unfinished
-                # index is the one being solved when the worker died —
-                # blame it alone; the healthy tail of the chunk must not
-                # inherit retry counts (it would get poisoned wholesale).
-                # No blame at all when the chunk never reached the worker
-                # (dispatch to an already-dead socket): no point was
-                # being solved, so none earned a strike.
+                # on a pointwise-framing chunk rows stream per point in
+                # order, so the first unfinished index is the one being
+                # solved when the worker died — blame it alone; the
+                # healthy tail of the chunk must not inherit retry counts
+                # (it would get poisoned wholesale).  No blame at all
+                # when the chunk never reached the worker (dispatch to an
+                # already-dead socket) or when it was batch-framed (a
+                # whole batch was in flight — the caller downgrades the
+                # retry to pointwise instead, which isolates a genuine
+                # killer on the next attempt).
                 if blame:
                     self._requeues[unfinished[0]] = (
                         self._requeues.get(unfinished[0], 0) + 1
@@ -386,6 +399,7 @@ class SweepCoordinator:
                         chunk_id=next(self._chunk_ids),
                         indices=unfinished,
                         points=[self.points[i] for i in unfinished],
+                        pointwise=pointwise or chunk.pointwise,
                     )
                 )
                 if self._trace is not None:
@@ -419,9 +433,15 @@ class SweepCoordinator:
             if hello.get("kind") != "hello":
                 raise ProtocolError(f"expected hello, got {hello.get('kind')!r}")
             if hello.get("version") != PROTOCOL_VERSION:
+                # name both sides' versions *and* this side's capabilities
+                # so the stale peer's operator can diagnose what is
+                # missing (e.g. a v1 worker lacks the batched `rows`
+                # framing) instead of seeing a bare number mismatch
                 raise ProtocolError(
                     f"protocol version mismatch: coordinator "
-                    f"{PROTOCOL_VERSION}, worker {hello.get('version')}"
+                    f"{PROTOCOL_VERSION} (capabilities: "
+                    f"{', '.join(CAPABILITIES)}), worker "
+                    f"{hello.get('version')}"
                 )
             await send_message(
                 writer,
@@ -481,9 +501,6 @@ class SweepCoordinator:
         chunk: Optional[_Chunk] = None
         chunk_sent = False
         done_in_chunk: Set[int] = set()
-        # Per-point trace segments that arrived ahead of their row (see
-        # protocol.py): merged only when the row is actually stored.
-        segments: Dict[int, List[Dict[str, object]]] = {}
         t_joined = self._trace.now() if self._trace is not None else 0.0
         t_dispatch = 0.0
         t_first_row: Optional[float] = None
@@ -505,6 +522,7 @@ class SweepCoordinator:
                         "chunk_id": chunk.chunk_id,
                         "indices": chunk.indices,
                         "points": chunk.points,
+                        "pointwise": chunk.pointwise,
                     },
                 )
                 chunk_sent = True
@@ -516,34 +534,43 @@ class SweepCoordinator:
                 while True:
                     message = await recv_message(reader)
                     if message["kind"] == "telemetry":
-                        if self._trace is not None:
-                            # counter deltas measure solver work actually
-                            # done, so they merge unconditionally; spans
-                            # wait for their row (exactly-once per point)
-                            counters = message.get("counters")
-                            if counters:
-                                self._trace.merge_segment(counters=counters)
-                            spans = message.get("spans")
-                            if spans and message.get("index") is not None:
-                                segments[message["index"]] = spans
-                    elif message["kind"] == "row":
-                        index = message["index"]
-                        if index not in expected:
-                            raise ProtocolError(
-                                f"row for index {index} outside chunk "
-                                f"{chunk.chunk_id}"
+                        # counter deltas measure solver work actually
+                        # done, so they merge unconditionally; spans
+                        # wait for their row (exactly-once per point —
+                        # the collector merges a stashed segment only
+                        # when its row is first stored)
+                        self._collector.apply_telemetry(message)
+                    elif message["kind"] in ("row", "rows"):
+                        if message["kind"] == "rows":
+                            # one frame per stacked batch: counters merge
+                            # once, per-point spans stash by index, and
+                            # the rows store exactly like the per-point
+                            # framing below
+                            payloads = self._collector.apply_rows_frame(
+                                message
                             )
-                        done_in_chunk.add(index)
-                        if self._trace is not None and t_first_row is None:
-                            t_first_row = self._trace.now()
-                        async with self._cond:
-                            stored = self._store_row(
-                                index, message["values"], message.get("error")
-                            )
-                            self._cond.notify_all()
-                        spans = segments.pop(index, None)
-                        if stored and spans and self._trace is not None:
-                            self._trace.merge_segment(spans=spans)
+                        else:
+                            payloads = [message]
+                        for payload in payloads:
+                            index = payload["index"]
+                            if index not in expected:
+                                raise ProtocolError(
+                                    f"row for index {index} outside chunk "
+                                    f"{chunk.chunk_id}"
+                                )
+                            done_in_chunk.add(index)
+                            if (
+                                self._trace is not None
+                                and t_first_row is None
+                            ):
+                                t_first_row = self._trace.now()
+                            async with self._cond:
+                                self._store_row(
+                                    index,
+                                    payload["values"],
+                                    payload.get("error"),
+                                )
+                                self._cond.notify_all()
                     elif message["kind"] == "fatal":
                         # a configuration error: every point and every
                         # worker would fail identically — abort the sweep
@@ -597,7 +624,21 @@ class SweepCoordinator:
         ) as exc:
             logger.warning("worker %s lost: %s", worker_label, exc)
             if chunk is not None:
-                await self._requeue(chunk, done_in_chunk, exc, blame=chunk_sent)
+                # batch-framed chunk: a whole batch was in flight when the
+                # worker died, so no single point can be blamed — requeue
+                # everything unblamed and downgrade the retry to pointwise
+                # framing, where the per-point blame machinery isolates a
+                # genuine killer on the next attempt
+                batched = (
+                    self._batch_capable and chunk_sent and not chunk.pointwise
+                )
+                await self._requeue(
+                    chunk,
+                    done_in_chunk,
+                    exc,
+                    blame=chunk_sent and not batched,
+                    pointwise=batched,
+                )
         finally:
             async with self._cond:
                 self._n_connected -= 1

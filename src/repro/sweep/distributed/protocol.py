@@ -23,7 +23,10 @@ kind                    direction  payload
 ``fatal``               w -> c     ``index``, ``error_type``, ``message`` —
                                    a configuration error; aborts the sweep
 ``chunk``               c -> w     ``chunk_id``, ``indices``, ``points`` —
-                                   one *contiguous, axis-ordered* span
+                                   one *contiguous, axis-ordered* span;
+                                   ``pointwise`` (bool) forces per-point
+                                   framing on a batch-capable backend (the
+                                   coordinator's retry downgrade)
 ``telemetry``           w -> c     ``index``, ``spans``, ``counters`` — the
                                    trace segment recorded while solving that
                                    point (only when the template asked for
@@ -33,6 +36,13 @@ kind                    direction  payload
                                    double-counts them)
 ``row``                 w -> c     ``index``, ``values``, optional ``error``
                                    (a ``PointFailure``) — streamed per point
+``rows``                w -> c     *(v2)* ``rows`` (a list of per-row
+                                   ``{index, values, error}`` payloads),
+                                   ``spans`` (per-point segments keyed by
+                                   index), ``counters`` — one frame per
+                                   stacked ``solve_batch``; the batched
+                                   backend's answer to framing-bound
+                                   sub-millisecond points
 ``chunk_done``          w -> c     ``chunk_id``
 ``shutdown``            c -> w     —
 ======================  =========  ==========================================
@@ -75,12 +85,21 @@ kind                    direction  payload
 reused with one-shot semantics; ``template`` gains a ``fingerprint``
 field on the service channel so a worker can key its local LRU.
 
-Rows stream back *per point*, not per chunk: when a worker dies
-mid-chunk the coordinator knows exactly which points of that chunk
-finished and requeues only the unfinished suffix.  The same per-point
-granularity carries the telemetry: span segments arrive with their row,
-so the coordinator's merged run-level trace covers each stored row's
-solve exactly once however many times the point was attempted.
+Row framing comes in two granularities.  On a backend without batch
+support, rows stream back *per point*: when a worker dies mid-chunk the
+coordinator knows exactly which points of that chunk finished and
+requeues only the unfinished suffix, blaming the in-flight point alone.
+On a batch-capable backend (protocol v2), a worker solves each stacked
+batch as one block-diagonal system and ships one ``rows`` frame per
+batch — sub-millisecond points stop paying two protocol messages each.
+Worker death then loses at most one batch: the coordinator requeues the
+whole unfinished remainder *without blaming anyone* and downgrades the
+retry to pointwise framing (``chunk.pointwise``), so a genuinely
+poisonous point is isolated and blamed by the per-point machinery on
+the next attempt.  Both framings carry the same exactly-once telemetry:
+span segments are keyed to their row (stashed until the row is stored),
+so the merged run-level trace covers each stored row's solve exactly
+once however many times the point was attempted.
 
 .. warning::
    Pickle executes arbitrary code on load, so the channel is only as
@@ -97,6 +116,7 @@ import struct
 from typing import Any, Dict
 
 __all__ = [
+    "CAPABILITIES",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -106,7 +126,16 @@ __all__ = [
 
 #: Bumped on incompatible wire changes; the coordinator refuses
 #: mismatched workers (with a ``reject`` message naming the versions).
-PROTOCOL_VERSION = 1
+#: v2 added the batched ``rows`` frame and the ``pointwise`` chunk flag.
+PROTOCOL_VERSION = 2
+
+#: Feature names this build speaks, advertised in the ``hello`` /
+#: ``welcome`` handshake.  Capabilities travel *with* the version so a
+#: rejected peer's operator sees what the other side wanted (e.g. an old
+#: v1 ``worker --connect`` pointed at a batch-framing coordinator gets a
+#: ``reject`` naming both versions and the missing ``rows`` capability,
+#: not a mid-sweep frame error).
+CAPABILITIES = ("rows",)
 
 #: Upper bound on one frame (a template for a very large state space is
 #: tens of MB; a corrupted length prefix would otherwise ask for petabytes).

@@ -98,6 +98,10 @@ class DistributedSweepRunner(SweepRunner):
         journalled to the checkpoint, so a point that deterministically
         crashes workers converges to a poison verdict across resumes
         even when each run loses its whole fleet to it.
+    wire_batching:
+        ``False`` forces per-point wire framing (and per-point solves)
+        even on a batch-capable backend — the pre-v2 behaviour, kept as
+        the baseline for ``benchmarks/bench_wire_batching.py``.
     """
 
     def __init__(
@@ -118,6 +122,7 @@ class DistributedSweepRunner(SweepRunner):
         checkpoint: Optional[Union[str, Path]] = None,
         n_chunks: Optional[int] = None,
         max_requeues: Optional[int] = None,
+        wire_batching: bool = True,
         _fault_injection: Optional[Dict[str, int]] = None,
     ) -> None:
         super().__init__(
@@ -148,6 +153,7 @@ class DistributedSweepRunner(SweepRunner):
         self.checkpoint_path = Path(checkpoint) if checkpoint else None
         self.n_chunks = n_chunks
         self.max_requeues = max_requeues
+        self.wire_batching = wire_batching
         self._fault_injection = _fault_injection or {}
         self._sock: Optional[socket.socket] = None
         self._host = host
@@ -272,6 +278,7 @@ class DistributedSweepRunner(SweepRunner):
                     if self.max_requeues is not None
                     else DEFAULT_MAX_REQUEUES
                 ),
+                wire_batching=self.wire_batching,
             )
             if checkpoint is not None:
                 checkpoint.open_for_append(

@@ -2,14 +2,14 @@
 
 A worker connects to a coordinator (same machine or across the network),
 receives the sweep backend template once, then loops: take one
-contiguous chunk of grid points, reset the warm start
-(:meth:`~repro.sweep.backends.base.SweepBackend.reset_point_state` — the
-previous chunk may be a far-away span of the grid), solve the chunk's
-points in order through the same
-:func:`~repro.sweep.runner.solve_point_row` plumbing as the serial path,
-and stream one ``row`` message per point.  Per-point numerical failures
-become NaN rows with error records, exactly like the serial runner;
-they never kill the worker.
+contiguous chunk of grid points and stream it back through the engine's
+shared loop (:func:`~repro.sweep.engine.wire.stream_partition`) — warm
+start reset at the chunk boundary, the same
+:func:`~repro.sweep.engine.points.solve_point_row` plumbing as the
+serial path, one ``row`` message per point, or (batch-capable backends,
+protocol v2) one stacked ``solve_batch`` and one ``rows`` frame per
+batch.  Per-point numerical failures become NaN rows with error
+records, exactly like the serial runner; they never kill the worker.
 
 Three ways to run one:
 
@@ -33,12 +33,13 @@ from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.sweep.distributed.protocol import (
+    CAPABILITIES,
     PROTOCOL_VERSION,
     ProtocolError,
     recv_message,
     send_message,
 )
-from repro.sweep.runner import solve_point_row
+from repro.sweep.engine.wire import WorkerConfigError, stream_partition
 
 __all__ = [
     "launch_local_workers",
@@ -108,7 +109,12 @@ async def run_worker(
     try:
         await send_message(
             writer,
-            {"kind": "hello", "version": PROTOCOL_VERSION, "worker": label},
+            {
+                "kind": "hello",
+                "version": PROTOCOL_VERSION,
+                "capabilities": list(CAPABILITIES),
+                "worker": label,
+            },
         )
         template = await recv_message(reader)
         if template["kind"] == "reject":
@@ -132,6 +138,11 @@ async def run_worker(
         metrics = template["metrics"]
         model.prepare()
         logger.info("worker %s ready (%s)", label, model.describe())
+        should_die = None
+        if die_after_rows is not None or die_at_index is not None:
+            should_die = lambda index, sent: (  # noqa: E731
+                die_after_rows is not None and sent >= die_after_rows
+            ) or (die_at_index is not None and index == die_at_index)
         while True:
             message = await recv_message(reader)
             if message["kind"] == "shutdown":
@@ -140,67 +151,42 @@ async def run_worker(
                 raise ProtocolError(
                     f"expected a chunk, got {message['kind']!r}"
                 )
-            # chunk boundary: the previous chunk may be far away on the
-            # grid — never warm-start across it
-            model.reset_point_state()
-            for index, point in zip(message["indices"], message["points"]):
-                if (die_after_rows is not None and rows_sent >= die_after_rows) or (
-                    die_at_index is not None and index == die_at_index
-                ):
-                    logger.warning(
-                        "worker %s: injected fault before point %d",
-                        label,
-                        index,
-                    )
-                    writer.transport.abort()
-                    return rows_sent
-                try:
-                    row, failure = solve_point_row(model, metrics, point, index)
-                except (KeyError, ValueError, TypeError) as exc:
-                    # a *configuration* error (bad metric spec, unknown
-                    # place) — it would fail on every point and every
-                    # worker.  Report the diagnosis so the coordinator
-                    # aborts the sweep with it instead of watching the
-                    # whole fleet die one connection-reset at a time.
-                    # Worker-local failures (MemoryError, OSError…)
-                    # deliberately propagate instead: this worker dies
-                    # and the point is requeued to roomier survivors.
-                    await send_message(
-                        writer,
-                        {
-                            "kind": "fatal",
-                            "index": index,
-                            "error_type": type(exc).__name__,
-                            "message": str(exc),
-                        },
-                    )
-                    return rows_sent
-                if ship_telemetry and trace is not None:
-                    # the point's trace segment travels *ahead* of its
-                    # row: the coordinator stashes it and merges it only
-                    # if the row is actually stored, so a stored row
-                    # always has its spans and a duplicate delivery
-                    # (requeue race) never double-counts them
-                    await send_message(
-                        writer,
-                        {
-                            "kind": "telemetry",
-                            "index": index,
-                            "spans": trace.slice_spans(cursor),
-                            "counters": trace.drain_counters(),
-                        },
-                    )
-                    cursor = trace.mark()
+            try:
+                rows_sent, cursor, died = await stream_partition(
+                    writer,
+                    model,
+                    metrics,
+                    message["indices"],
+                    message["points"],
+                    pointwise=bool(message.get("pointwise")),
+                    trace=trace,
+                    ship_telemetry=ship_telemetry,
+                    cursor=cursor,
+                    rows_sent=rows_sent,
+                    should_die=should_die,
+                    fault_label=f"worker {label}",
+                )
+            except WorkerConfigError as err:
+                # a *configuration* error (bad metric spec, unknown
+                # place) — it would fail on every point and every
+                # worker.  Report the diagnosis so the coordinator
+                # aborts the sweep with it instead of watching the
+                # whole fleet die one connection-reset at a time.
+                # Worker-local failures (MemoryError, OSError…)
+                # deliberately propagate instead: this worker dies
+                # and the point is requeued to roomier survivors.
                 await send_message(
                     writer,
                     {
-                        "kind": "row",
-                        "index": index,
-                        "values": row,
-                        "error": failure,
+                        "kind": "fatal",
+                        "index": err.index,
+                        "error_type": type(err.error).__name__,
+                        "message": str(err.error),
                     },
                 )
-                rows_sent += 1
+                return rows_sent
+            if died:
+                return rows_sent
             await send_message(
                 writer, {"kind": "chunk_done", "chunk_id": message["chunk_id"]}
             )
@@ -254,6 +240,7 @@ async def run_service_worker(
             {
                 "kind": "hello",
                 "version": PROTOCOL_VERSION,
+                "capabilities": list(CAPABILITIES),
                 "worker": label,
                 "role": "service-worker",
             },
@@ -311,60 +298,48 @@ async def run_service_worker(
                     model.prepare()
                 templates.put(fingerprint, model)
             metrics = message["metrics"]
-            # task boundary: the previous task may be another request
-            # entirely — never warm-start across it
-            model.reset_point_state()
-            for index, point in zip(message["indices"], message["points"]):
-                if die_after_rows is not None and rows_sent >= die_after_rows:
-                    logger.warning(
-                        "service worker %s: injected fault before point %d",
-                        label,
-                        index,
-                    )
-                    writer.transport.abort()
-                    return rows_sent
-                try:
-                    row, failure = solve_point_row(model, metrics, point, index)
-                except (KeyError, ValueError, TypeError) as exc:
-                    # configuration error: it belongs to this *request*,
-                    # not this worker.  Report it and stay alive for the
-                    # next task (the one-shot worker exits here instead).
-                    await send_message(
-                        writer,
-                        {
-                            "kind": "fatal",
-                            "index": index,
-                            "error_type": type(exc).__name__,
-                            "message": str(exc),
-                        },
-                    )
-                    break
-                if ship_telemetry and trace is not None:
-                    await send_message(
-                        writer,
-                        {
-                            "kind": "telemetry",
-                            "index": index,
-                            "spans": trace.slice_spans(cursor),
-                            "counters": trace.drain_counters(),
-                        },
-                    )
-                    cursor = trace.mark()
+            # task boundary handled inside stream_partition: the previous
+            # task may be another request entirely — never warm-start
+            # across it
+            try:
+                rows_sent, cursor, died = await stream_partition(
+                    writer,
+                    model,
+                    metrics,
+                    message["indices"],
+                    message["points"],
+                    pointwise=bool(message.get("pointwise")),
+                    trace=trace,
+                    ship_telemetry=ship_telemetry,
+                    cursor=cursor,
+                    rows_sent=rows_sent,
+                    should_die=(
+                        (lambda index, sent: sent >= die_after_rows)
+                        if die_after_rows is not None
+                        else None
+                    ),
+                    fault_label=f"service worker {label}",
+                )
+            except WorkerConfigError as err:
+                # configuration error: it belongs to this *request*,
+                # not this worker.  Report it and stay alive for the
+                # next task (the one-shot worker exits here instead).
                 await send_message(
                     writer,
                     {
-                        "kind": "row",
-                        "index": index,
-                        "values": row,
-                        "error": failure,
+                        "kind": "fatal",
+                        "index": err.index,
+                        "error_type": type(err.error).__name__,
+                        "message": str(err.error),
                     },
                 )
-                rows_sent += 1
-            else:
-                await send_message(
-                    writer,
-                    {"kind": "task_done", "task_id": message["task_id"]},
-                )
+                continue
+            if died:
+                return rows_sent
+            await send_message(
+                writer,
+                {"kind": "task_done", "task_id": message["task_id"]},
+            )
     finally:
         if obs_token is not None:
             obs.deactivate(obs_token)

@@ -20,6 +20,16 @@ backend's grammar — steady-state (``mean_tokens:<place>``,
 ``fraction:active@0.5``, ``time_to_threshold:0.01``); see
 :mod:`repro.sweep.backends.base`.
 
+**The engine.**  Execution itself lives in :mod:`repro.sweep.engine`:
+the runner builds an :class:`~repro.sweep.engine.plan.ExecutionPlan`
+(contiguous point partitions, batch sizing, retry budgets) and hands it
+to an :class:`~repro.sweep.engine.executor.Executor` — the serial loop
+or the in-machine process pool here, the distributed coordinator in
+:mod:`repro.sweep.distributed`, the always-on daemon in
+:mod:`repro.sweep.service`.  This module keeps the historical public
+API (``iter_point_rows``, ``solve_point_row``, ``contiguous_chunks``…)
+as thin re-exports.
+
 **Preflight.**  Before solving anything, the runner verifies the sweep
 configuration (:func:`repro.verify.preflight_sweep`): the chain structure
 is classified from the already-built template (absorbing deadlocks and
@@ -40,9 +50,9 @@ metric specs, unknown places) still raise immediately; they would fail
 on every point.
 
 **Fan-out.**  ``n_workers > 1`` distributes *contiguous, axis-ordered
-chunks* of the grid over a process pool (the backend template ships to
-each worker once via the pool initializer).  Contiguity keeps iterative
-warm starts adjacent — each chunk starts cold
+partitions* of the grid over a process pool (the backend template ships
+to each worker once via the pool initializer).  Contiguity keeps
+iterative warm starts adjacent — each partition starts cold
 (:meth:`~repro.sweep.backends.base.SweepBackend.reset_point_state`) and
 warm-starts within itself, so a GMRES start never comes from a far-away
 grid point.  Results are ordered like, and (for the direct solvers)
@@ -57,12 +67,9 @@ the whole grid.  For sharding a grid across hosts, see
 from __future__ import annotations
 
 import logging
-import math
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor  # noqa: F401  (monkeypatch seam)
 from typing import (
-    Dict,
     Iterable,
     List,
     Mapping,
@@ -72,19 +79,32 @@ from typing import (
     Union,
 )
 
-import numpy as np
-
 from repro import obs
-from repro.markov.ctmc import NumericalSolveError
 from repro.petri.analysis import ReachabilityOptions
 from repro.petri.net import PetriNet
 from repro.sweep.backends import GSPNBackend, SweepBackend, evaluate_gspn_metric
 from repro.sweep.backends.base import Metric, metric_name
+from repro.sweep.engine.executor import PoolExecutor, SerialExecutor
+from repro.sweep.engine.plan import (
+    PARTITIONS_PER_WORKER,
+    build_plan,
+    contiguous_chunks,
+)
+from repro.sweep.engine.points import (
+    METRIC_FAILURE_TYPES,
+    SOLVE_FAILURE_TYPES,
+    iter_partition_rows,
+    metrics_row as _metrics_row,  # noqa: F401  (historical private name)
+    solve_missing_rows,
+    solve_point_row,
+)
 from repro.sweep.grid import SweepGrid
 from repro.sweep.results import PointFailure, SweepResult
 
 __all__ = [
+    "METRIC_FAILURE_TYPES",
     "Metric",
+    "SOLVE_FAILURE_TYPES",
     "SweepRunner",
     "contiguous_chunks",
     "evaluate_metric",
@@ -100,156 +120,10 @@ logger = logging.getLogger(__name__)
 #: historically exported.
 evaluate_metric = evaluate_gspn_metric
 
-#: Chunks handed out per pool worker: oversubscription for load balance
-#: while each chunk stays one contiguous span of the axis-ordered grid.
-CHUNKS_PER_WORKER = 4
-
-#: Exception types treated as a *per-point solve failure* (NaN row + error
-#: record).  ``ValueError`` covers singular/reducible chains surfacing
-#: from the direct solvers (including ``numpy.linalg.LinAlgError``, a
-#: ``ValueError`` subclass) and ``RuntimeError`` covers
-#: ``ConvergenceError``; anything else (``KeyError`` for bad axes,
-#: ``TypeError``…) is a configuration bug and propagates.
-SOLVE_FAILURE_TYPES = (
-    ValueError,
-    ArithmeticError,
-    RuntimeError,
-)
-
-#: Exception types treated as a per-point failure during *metric
-#: evaluation* (GSPN backends solve their steady state lazily, at the
-#: first steady metric).  Deliberately excludes plain ``ValueError``: a
-#: malformed metric spec is a configuration error that would fail on
-#: every point and must raise, whereas a lazily-triggered solve stall
-#: (:class:`~repro.markov.ctmc.ConvergenceError` is a ``RuntimeError``),
-#: a singular chain (:class:`~repro.markov.ctmc.NumericalSolveError`),
-#: or a dense-factorisation failure (``numpy.linalg.LinAlgError``) is
-#: point-local — the latter two are the only ``ValueError`` subclasses
-#: caught here.
-METRIC_FAILURE_TYPES = (
-    ArithmeticError,
-    RuntimeError,
-    np.linalg.LinAlgError,
-    NumericalSolveError,
-)
-
-
-def contiguous_chunks(n: int, n_chunks: int) -> List[Tuple[int, int]]:
-    """Split ``range(n)`` into at most *n_chunks* contiguous spans.
-
-    Returns ``(start, stop)`` pairs that cover ``range(n)`` in order,
-    pairwise disjoint, with sizes differing by at most one.  Contiguity is
-    the point: sweep grids enumerate row-major (last axis fastest), so a
-    contiguous span of indices is a neighbourhood of the parameter grid
-    and iterative warm starts stay adjacent within a chunk.
-
-    >>> contiguous_chunks(10, 3)
-    [(0, 4), (4, 7), (7, 10)]
-    >>> contiguous_chunks(2, 8)
-    [(0, 1), (1, 2)]
-    """
-    if n < 0:
-        raise ValueError(f"n must be >= 0, got {n}")
-    if n == 0:
-        return []
-    n_chunks = max(1, min(n, n_chunks))
-    base, extra = divmod(n, n_chunks)
-    spans: List[Tuple[int, int]] = []
-    start = 0
-    for k in range(n_chunks):
-        size = base + (1 if k < extra else 0)
-        spans.append((start, start + size))
-        start += size
-    return spans
-
-
-def solve_missing_rows(
-    model: SweepBackend,
-    metrics: Sequence[Metric],
-    points: Sequence[Mapping[str, float]],
-    missing: Iterable[int],
-):
-    """Serially solve *missing* indices, yielding ``(index, row, failure)``.
-
-    The shared resume loop of the broken-pool fallback and the
-    distributed runner's serial paths.  *missing* must be ascending; the
-    warm start is reset whenever consecutive indices are not adjacent —
-    completed work interleaves the gaps, and a warm start must never
-    cross one.
-    """
-    previous: Optional[int] = None
-    for index in missing:
-        if previous is not None and index != previous + 1:
-            model.reset_point_state()
-        previous = index
-        row, failure = solve_point_row(model, metrics, points[index], index)
-        obs.incr("sweep.rows.completed")
-        if failure is not None:
-            obs.incr("sweep.rows.failed")
-        yield (index, row, failure)
-
-
-def solve_point_row(
-    model: SweepBackend,
-    metrics: Sequence[Metric],
-    point: Mapping[str, float],
-    index: int,
-) -> Tuple[List[float], Optional[PointFailure]]:
-    """Solve one grid point into a metric row, isolating numerical failures.
-
-    The shared per-point plumbing of every execution path (serial, process
-    pool, distributed workers).  Returns ``(row, failure)``: on success the
-    metric values and ``None``; on a recoverable numerical failure (see
-    :data:`SOLVE_FAILURE_TYPES` / :data:`METRIC_FAILURE_TYPES`) an all-NaN
-    row plus the :class:`~repro.sweep.results.PointFailure` record.
-    Configuration errors propagate.
-    """
-    nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
-    with obs.span("sweep.point", index=index) as sp:
-        with obs.span("sweep.solve"):
-            try:
-                solution = model.solve(point)
-            except SOLVE_FAILURE_TYPES as exc:
-                sp.set("stage", "solve")
-                sp.set("error", type(exc).__name__)
-                return nan_row(), PointFailure(
-                    index=index,
-                    point={k: float(v) for k, v in point.items()},
-                    stage="solve",
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                )
-        return _metrics_row(model, metrics, point, index, solution, sp)
-
-
-def _metrics_row(
-    model: SweepBackend,
-    metrics: Sequence[Metric],
-    point: Mapping[str, float],
-    index: int,
-    solution,
-    sp,
-) -> Tuple[List[float], Optional[PointFailure]]:
-    """Evaluate *metrics* on an already-solved point (shared by the
-    pointwise and batched paths; *sp* is the open ``sweep.point`` span)."""
-    nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
-    row: List[float] = []
-    with obs.span("sweep.metrics"):
-        for i, m in enumerate(metrics):
-            try:
-                row.append(model.evaluate(solution, m))
-            except METRIC_FAILURE_TYPES as exc:
-                sp.set("stage", "metric")
-                sp.set("error", type(exc).__name__)
-                return nan_row(), PointFailure(
-                    index=index,
-                    point={k: float(v) for k, v in point.items()},
-                    stage="metric",
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    metric=metric_name(m, i),
-                )
-    return row, None
+#: Back-compat alias: partitions handed out per pool worker
+#: (oversubscription for load balance; see
+#: :data:`repro.sweep.engine.plan.PARTITIONS_PER_WORKER`).
+CHUNKS_PER_WORKER = PARTITIONS_PER_WORKER
 
 
 def iter_point_rows(
@@ -261,103 +135,16 @@ def iter_point_rows(
     """Yield ``(index, row, failure)`` for *points*, batching when the
     backend can.
 
-    The shared inner loop of the serial runner and the pool workers.  A
-    batch-capable backend (``batch_capable`` — see
-    :meth:`~repro.sweep.backends.base.SweepBackend.solve_batch`) gets the
-    points in stacked batches of its preferred size, solved as one
-    block-diagonal system each under a ``sweep.batch`` span; everything
-    downstream is unchanged — one ``sweep.point`` span, one row, and
-    per-point failure isolation per grid point, exactly as on the
-    pointwise path.  Indices are offset by *start* (a pool chunk's base).
+    The historical public spelling of
+    :func:`repro.sweep.engine.points.iter_partition_rows`: the shared
+    inner loop of the serial runner and the pool workers.  A
+    batch-capable backend gets the points in stacked batches of its
+    preferred size under ``sweep.batch`` spans; everything downstream is
+    unchanged — one ``sweep.point`` span, one row, and per-point failure
+    isolation per grid point.  Indices are offset by *start* (a pool
+    partition's base).
     """
-    batch = (
-        model.resolve_batch_size(len(points))
-        if getattr(model, "batch_capable", False)
-        else 1
-    )
-    if batch <= 1:
-        for offset, point in enumerate(points):
-            index = start + offset
-            row, failure = solve_point_row(model, metrics, point, index)
-            yield index, row, failure
-        return
-    nan_row = lambda: [math.nan] * len(metrics)  # noqa: E731
-    for base in range(0, len(points), batch):
-        span = points[base : base + batch]
-        with obs.span(
-            "sweep.batch", start=start + base, points=len(span)
-        ):
-            solutions = model.solve_batch(list(span))
-        for offset, (point, solution) in enumerate(zip(span, solutions)):
-            index = start + base + offset
-            with obs.span("sweep.point", index=index) as sp:
-                if isinstance(solution, Exception):
-                    sp.set("stage", "solve")
-                    sp.set("error", type(solution).__name__)
-                    yield index, nan_row(), PointFailure(
-                        index=index,
-                        point={k: float(v) for k, v in point.items()},
-                        stage="solve",
-                        error_type=type(solution).__name__,
-                        message=str(solution),
-                    )
-                    continue
-                row, failure = _metrics_row(
-                    model, metrics, point, index, solution, sp
-                )
-            yield index, row, failure
-
-
-# -- process-pool plumbing: the template lands in each worker exactly once --
-_WORKER_STATE: Optional[tuple] = None
-
-
-def _init_worker(
-    model: SweepBackend, metrics: Sequence[Metric], telemetry: bool = False
-) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (model, list(metrics))
-    if telemetry:
-        # the parent runs with tracing on: give this worker its own trace
-        # so chunk results can ship span segments + counter deltas back
-        obs.activate(obs.Trace("sweep-worker"))
-
-
-def _solve_chunk(
-    start: int, chunk_points: Sequence[Mapping[str, float]]
-) -> Tuple[
-    int, List[List[float]], List[PointFailure], Optional[Dict[str, object]]
-]:
-    """Solve one contiguous chunk inside a pool worker.
-
-    The warm start is reset at the chunk boundary — the previous chunk
-    this worker solved may be a far-away span of the grid — then carried
-    point-to-point within the chunk.
-
-    The fourth element is the chunk's telemetry segment (spans recorded
-    during the chunk + counter deltas) when the worker traces, else
-    ``None``; the parent merges it into the run-level trace.
-    """
-    assert _WORKER_STATE is not None, "worker used before initialisation"
-    model, metrics = _WORKER_STATE
-    model.reset_point_state()
-    trace = obs.current_trace()
-    mark = trace.mark() if trace is not None else 0
-    rows: List[List[float]] = []
-    errors: List[PointFailure] = []
-    for _, row, failure in iter_point_rows(
-        model, metrics, chunk_points, start
-    ):
-        rows.append(row)
-        if failure is not None:
-            errors.append(failure)
-    segment: Optional[Dict[str, object]] = None
-    if trace is not None:
-        segment = {
-            "spans": trace.slice_spans(mark),
-            "counters": trace.drain_counters(),
-        }
-    return start, rows, errors, segment
+    yield from iter_partition_rows(model, metrics, points, start)
 
 
 class SweepRunner:
@@ -388,7 +175,7 @@ class SweepRunner:
         instead of silently ignoring them.
     n_workers:
         ``None``/``0``/``1`` solves serially; ``>= 2`` fans contiguous
-        chunks of points out over a process pool of that size.
+        partitions of points out over a process pool of that size.
     preflight:
         Verify the sweep configuration before solving anything (default
         ``True``): :func:`repro.verify.preflight_sweep` classifies the
@@ -509,17 +296,8 @@ class SweepRunner:
     def _run_serial(
         self, points: Sequence[Mapping[str, float]]
     ) -> Tuple[List[List[float]], List[PointFailure]]:
-        rows: List[List[float]] = []
-        errors: List[PointFailure] = []
-        for _, row, failure in iter_point_rows(
-            self.model, self.metrics, points
-        ):
-            rows.append(row)
-            obs.incr("sweep.rows.completed")
-            if failure is not None:
-                errors.append(failure)
-                obs.incr("sweep.rows.failed")
-        return rows, errors
+        plan = build_plan(self.model, self.metrics, points)
+        return SerialExecutor().run(plan, self.model, self.metrics, points)
 
     def _template_ships(self) -> bool:
         """Pre-flight: can the template reach workers (pool or wire)?
@@ -545,68 +323,15 @@ class SweepRunner:
             )
             return self._run_serial(points)
         workers = min(self.n_workers, len(points))
-        spans = contiguous_chunks(len(points), CHUNKS_PER_WORKER * workers)
-        rows: List[Optional[List[float]]] = [None] * len(points)
-        error_map: Dict[int, PointFailure] = {}
-        trace = obs.current_trace()
-        harvested: set = set()
-
-        def harvest(future, result) -> None:
-            if id(future) in harvested:
-                return  # the broken-pool sweep below re-visits futures
-            harvested.add(id(future))
-            start, chunk_rows, chunk_errors, segment = result
-            rows[start : start + len(chunk_rows)] = chunk_rows
-            for failure in chunk_errors:
-                error_map[failure.index] = failure
-            if trace is not None and segment is not None:
-                trace.merge_segment(**segment)
-            obs.incr("sweep.rows.completed", len(chunk_rows))
-            if chunk_errors:
-                obs.incr("sweep.rows.failed", len(chunk_errors))
-
-        futures = []
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self.model, self.metrics, obs.enabled()),
-            ) as pool:
-                futures = [
-                    pool.submit(_solve_chunk, start, list(points[start:stop]))
-                    for start, stop in spans
-                ]
-                for future in futures:
-                    harvest(future, future.result())
-        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
-            # the pool broke or could not ship the template.  Keep every
-            # chunk that did complete and resume serially from the
-            # unfinished points only — on a mostly-done grid the fallback
-            # costs the remainder, not a full re-solve.  Genuine
-            # configuration errors propagate with their own traceback.
-            for future in futures:
-                if (
-                    future.done()
-                    and not future.cancelled()
-                    and future.exception() is None
-                ):
-                    harvest(future, future.result())
-            missing = [i for i, row in enumerate(rows) if row is None]
-            logger.warning(
-                "sweep process pool failed (%s); resuming %d of %d points "
-                "serially",
-                exc,
-                len(missing),
-                len(points),
-            )
-            for index, row, failure in solve_missing_rows(
-                self.model, self.metrics, points, missing
-            ):
-                rows[index] = row
-                if failure is not None:
-                    error_map[failure.index] = failure
-        assert all(row is not None for row in rows)
-        return (
-            [list(row) for row in rows],  # type: ignore[union-attr]
-            [error_map[i] for i in sorted(error_map)],
+        plan = build_plan(
+            self.model,
+            self.metrics,
+            points,
+            n_partitions=CHUNKS_PER_WORKER * workers,
         )
+        # ProcessPoolExecutor resolves through this module's namespace at
+        # call time: the broken-pool tests monkeypatch it here.
+        executor = PoolExecutor(
+            workers, pool_cls=ProcessPoolExecutor, log=logger
+        )
+        return executor.run(plan, self.model, self.metrics, points)

@@ -32,6 +32,7 @@ from repro.sweep.distributed.protocol import (
     send_message,
 )
 from repro.sweep.distributed.worker import launch_service_workers
+from repro.sweep.engine.collector import RowCollector
 from repro.sweep.results import PointFailure
 from repro.sweep.service.session import RequestError, ServiceRequest
 from repro.sweep.service.template_cache import TemplateEntry
@@ -226,14 +227,22 @@ class WorkerPool:
         a configuration error raises
         :class:`~repro.sweep.service.session.RequestError`.
         """
-        rows: Dict[int, List[float]] = {}
-        errors: Dict[int, PointFailure] = {}
+        # failures stay the request layer's concern: the collector counts
+        # completions under the service's own name and skips the failed
+        # counter (numeric failures are per-request result data here, not
+        # sweep-level progress)
+        collector = RowCollector(
+            len(request.metrics),
+            trace=obs.current_trace(),
+            counter_completed="service.rows.completed",
+            counter_failed=None,
+        )
         deaths = 0
         total = len(request.points)
-        while len(rows) < total:
+        while collector.n_completed < total:
             worker = await self._acquire(request.fingerprint)
             try:
-                await self._execute(worker, request, entry, rows, errors)
+                await self._execute(worker, request, entry, collector)
             except _WorkerDied as exc:
                 deaths += 1
                 await self._note_death(worker)
@@ -246,20 +255,19 @@ class WorkerPool:
                 await self._release(worker)
                 raise RequestError(str(exc)) from exc
             await self._release(worker)
-        return rows, errors
+        return collector.rows, collector.errors
 
     async def _execute(
         self,
         worker: _Worker,
         request: ServiceRequest,
         entry: TemplateEntry,
-        rows: Dict[int, List[float]],
-        errors: Dict[int, PointFailure],
+        collector: RowCollector,
     ) -> None:
-        pending = [i for i in range(len(request.points)) if i not in rows]
+        pending = [
+            i for i in range(len(request.points)) if i not in collector.rows
+        ]
         task_id = next(self._task_ids)
-        trace = obs.current_trace()
-        stash: Dict[int, List[Dict[str, Any]]] = {}
         try:
             await send_message(
                 worker.writer,
@@ -290,23 +298,19 @@ class WorkerPool:
                     worker.affinity.add(request.fingerprint or "")
                     obs.incr("service.templates.shipped")
                 elif kind == "telemetry":
-                    # counters merge unconditionally (they are deltas,
-                    # drained exactly once worker-side); spans wait for
-                    # the row so a requeued point never double-counts
-                    if trace is not None:
-                        trace.merge_segment(counters=message.get("counters"))
-                    stash[message["index"]] = message.get("spans") or []
-                elif kind == "row":
-                    index = message["index"]
-                    if index not in rows:
-                        rows[index] = list(message["values"])
-                        failure = message.get("error")
-                        if failure is not None:
-                            errors[index] = failure
-                        segment = stash.pop(index, None)
-                        if trace is not None and segment:
-                            trace.merge_segment(spans=segment)
-                        obs.incr("service.rows.completed")
+                    collector.apply_telemetry(message)
+                elif kind in ("row", "rows"):
+                    payloads = (
+                        collector.apply_rows_frame(message)
+                        if kind == "rows"
+                        else [message]
+                    )
+                    for payload in payloads:
+                        collector.store(
+                            payload["index"],
+                            payload["values"],
+                            payload.get("error"),
+                        )
                 elif kind == "fatal":
                     raise _WorkerFatal(
                         f"{message.get('error_type')}: {message.get('message')}"

@@ -18,7 +18,10 @@ Request lifecycle: parse (:class:`RequestError` → ``error``/400) →
 admission (:class:`ServiceBusyError` → ``busy``/429,
 :class:`ServiceDrainingError` → ``busy``/503) → template via the
 single-flight :class:`~repro.sweep.service.template_cache.TemplateCache`
-→ solve (inline in a thread, or fanned to the worker pool) → reply.
+→ solve (through the :class:`~repro.sweep.service.batching.MicroBatcher`
+in a thread — concurrent same-template requests coalesce into one
+stacked solve, see ``--batch-window-ms`` — or fanned to the worker
+pool) → reply.
 Every request lands one ``service.request`` span (its segment merged
 exactly once), one journal line, and a completed/failed counter.
 
@@ -36,7 +39,7 @@ import json
 import logging
 import socket
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.sweep.distributed.protocol import (
@@ -46,13 +49,12 @@ from repro.sweep.distributed.protocol import (
     send_message,
 )
 from repro.sweep.nets import DEMO_NETS
-from repro.sweep.results import PointFailure
-from repro.sweep.runner import iter_point_rows
 from repro.sweep.service.admission import (
     AdmissionController,
     ServiceBusyError,
     ServiceDrainingError,
 )
+from repro.sweep.service.batching import MicroBatcher, run_traced
 from repro.sweep.service.http import (
     HttpError,
     read_request,
@@ -90,30 +92,6 @@ def _bind(host: str, port: int) -> socket.socket:
     return sock
 
 
-def _run_traced(fn: Callable[[], Any], name: str) -> Tuple[Any, Optional[dict]]:
-    """Run *fn* under a private trace; return ``(value, segment)``.
-
-    The thread-side half of the service's telemetry discipline: work
-    dispatched to ``asyncio.to_thread`` never writes the service trace
-    directly (concurrent threads would interleave); it records into a
-    private trace whose segment the event loop merges exactly once.
-    """
-    local = obs.Trace(name) if obs.enabled() else None
-    token = obs.activate(local) if local is not None else None
-    try:
-        value = fn()
-    finally:
-        if token is not None:
-            obs.deactivate(token)
-    segment = None
-    if local is not None:
-        segment = {
-            "spans": local.slice_spans(0),
-            "counters": local.drain_counters(),
-        }
-    return value, segment
-
-
 class SweepService:
     """One daemon serving sweeps, steady solves, and lint over two wires."""
 
@@ -131,6 +109,7 @@ class SweepService:
         max_retries: int = 2,
         journal: Optional[str] = None,
         solve_delay: Optional[float] = None,
+        batch_window_ms: float = 0.0,
         worker_fault: Optional[Dict[str, Any]] = None,
     ) -> None:
         self._sock = _bind(host, port)
@@ -144,7 +123,12 @@ class SweepService:
         self.max_retries = int(max_retries)
         self.journal_path = journal
         self.solve_delay = solve_delay
+        self.batch_window_ms = float(batch_window_ms)
         self.worker_fault = worker_fault
+        self.batcher = MicroBatcher(
+            window_s=self.batch_window_ms / 1000.0,
+            solve_delay=solve_delay,
+        )
         self.started_at = time.time()
         self.completed = 0
         self.failed = 0
@@ -217,6 +201,7 @@ class SweepService:
         logger.info("drain requested: finishing in-flight work")
         await self.admission.begin_drain()
         await self.admission.wait_drained()
+        await self.batcher.drain()
         await asyncio.sleep(_DRAIN_GRACE_S)
         await self.pool.shutdown()
         for server in self._servers:
@@ -308,36 +293,12 @@ class SweepService:
         if self.n_workers > 0:
             rows, errors = await self.pool.run_points(request, entry)
         else:
-            async with entry.lock:  # one solve per template at a time
-                try:
-                    (rows, errors), segment = await asyncio.to_thread(
-                        self._solve_inline, entry.backend, request
-                    )
-                except (KeyError, TypeError, ValueError) as exc:
-                    raise RequestError(str(exc)) from exc
-            trace = obs.current_trace()
-            if trace is not None and segment is not None:
-                trace.merge_segment(**segment)
+            # the batcher owns the template lock discipline: concurrent
+            # same-fingerprint requests coalesce into one stacked solve
+            # (with per-request failure isolation) instead of queueing
+            # one full solve each behind entry.lock
+            rows, errors = await self.batcher.submit(entry, request)
         return solve_response(request, rows, errors, cache_hit=hit)
-
-    def _solve_inline(
-        self, backend: Any, request: ServiceRequest
-    ) -> Tuple[Tuple[Dict[int, List[float]], Dict[int, PointFailure]], Any]:
-        def run() -> Tuple[Dict[int, List[float]], Dict[int, PointFailure]]:
-            backend.reset_point_state()
-            rows: Dict[int, List[float]] = {}
-            errors: Dict[int, PointFailure] = {}
-            for index, row, failure in iter_point_rows(
-                backend, request.metrics, request.points
-            ):
-                rows[index] = row
-                if failure is not None:
-                    errors[index] = failure
-                if self.solve_delay:
-                    time.sleep(self.solve_delay)
-            return rows, errors
-
-        return _run_traced(run, "service-solve")
 
     async def _run_lint(self, request: ServiceRequest) -> Dict[str, Any]:
         assert request.lint_net is not None
@@ -349,7 +310,7 @@ class SweepService:
             kwargs = {} if max_markings is None else {"max_markings": max_markings}
             return lint_net(factory(), level=level, **kwargs)
 
-        report, segment = await asyncio.to_thread(_run_traced, run, "service-lint")
+        report, segment = await asyncio.to_thread(run_traced, run, "service-lint")
         trace = obs.current_trace()
         if trace is not None and segment is not None:
             trace.merge_segment(**segment)
@@ -568,5 +529,6 @@ class SweepService:
             "open_connections": len(self._connections),
             "requests": {"completed": self.completed, "failed": self.failed},
             "cache": self.cache.stats(),
+            "batching": self.batcher.stats(),
             "workers": self.pool.stats(),
         }

@@ -120,10 +120,13 @@ class LRUTemplates:
 class TemplateEntry:
     """One cached, prepared backend plus its serialisation lock.
 
-    ``lock`` serialises inline-mode solves on the same template (a
-    backend instance is not safe for concurrent solves — its
-    ``SolverCache`` warm state is mutable); requests for *different*
-    templates run concurrently.
+    ``lock`` serialises solve *flights* on the same template (a backend
+    instance is not safe for concurrent solves — its ``SolverCache``
+    warm state is mutable).  In inline mode the
+    :class:`~repro.sweep.service.batching.MicroBatcher` holds it per
+    flight, so concurrent same-template requests coalesce into one
+    locked stacked solve instead of queueing one solve each; requests
+    for *different* templates run concurrently as before.
     """
 
     __slots__ = ("fingerprint", "backend", "lock", "prepare_s", "uses")
